@@ -1,0 +1,224 @@
+// Command experiments regenerates every table and figure of the RAPMiner
+// paper's evaluation section on the in-repo corpora. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+// results.
+//
+// Usage:
+//
+//	experiments [-run all|fig8a|fig8b|fig9a|fig9b|fig10a|fig10b|table4|table6]
+//	            [-seed N] [-squeeze-cases N] [-rapmd-cases N] [-hotspot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		which        = fs.String("run", "all", "experiment to run: all, fig8a, fig8b, fig9a, fig9b, fig10a, fig10b, table4, table6, noise, detection, overlap, derived")
+		seed         = fs.Int64("seed", 2022, "corpus generation seed")
+		squeezeCases = fs.Int("squeeze-cases", 10, "cases per Squeeze-B0 group")
+		rapmdCases   = fs.Int("rapmd-cases", 105, "RAPMD failure cases (paper: 105)")
+		hotspot      = fs.Bool("hotspot", false, "include the HotSpot extension in method comparisons")
+		ens          = fs.Bool("ensemble", false, "include the rank-fusion ensemble in method comparisons")
+		plotDir      = fs.String("plots", "", "also write the figures as SVG files into this directory")
+		markdownPath = fs.String("markdown", "", "run every experiment and write a Markdown report to this file")
+		externalDir  = fs.String("external", "", "evaluate all methods on an external corpus directory (published dataset layout) instead of the built-in experiments")
+		repeats      = fs.Int("repeats", 1, "repeat the RAPMD evaluation over this many independently seeded corpora")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt := experiments.Options{
+		Seed:            *seed,
+		SqueezeCases:    *squeezeCases,
+		RAPMDCases:      *rapmdCases,
+		IncludeHotSpot:  *hotspot,
+		IncludeEnsemble: *ens,
+		Repeats:         *repeats,
+	}
+
+	if *externalDir != "" {
+		rows, name, err := experiments.RunExternalEval(*externalDir, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.FormatExternalEval(rows, name))
+		return nil
+	}
+
+	if *markdownPath != "" {
+		rep, err := experiments.RunReport(opt)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*markdownPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteMarkdown(f, time.Now()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", *markdownPath)
+		return nil
+	}
+
+	wantSqueeze := *which == "all" || *which == "fig8a" || *which == "fig9a"
+	wantRAPMD := *which == "all" || *which == "fig8b" || *which == "fig9b"
+
+	plot := func(name string, render func(io.Writer) error) error {
+		if *plotDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*plotDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(*plotDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
+		return nil
+	}
+
+	ran := false
+	if wantSqueeze {
+		rows, err := experiments.RunSqueezeEval(opt)
+		if err != nil {
+			return err
+		}
+		if *which == "all" || *which == "fig8a" {
+			fmt.Fprintln(w, experiments.FormatFig8a(rows))
+			if err := plot("fig8a.svg", func(f io.Writer) error { return experiments.PlotFig8a(f, rows) }); err != nil {
+				return err
+			}
+		}
+		if *which == "all" || *which == "fig9a" {
+			fmt.Fprintln(w, experiments.FormatFig9a(rows))
+			if err := plot("fig9a.svg", func(f io.Writer) error { return experiments.PlotFig9a(f, rows) }); err != nil {
+				return err
+			}
+		}
+		ran = true
+	}
+	if wantRAPMD {
+		rows, err := experiments.RunRAPMDEval(opt)
+		if err != nil {
+			return err
+		}
+		if *which == "all" || *which == "fig8b" {
+			fmt.Fprintln(w, experiments.FormatFig8b(rows))
+			if err := plot("fig8b.svg", func(f io.Writer) error { return experiments.PlotFig8b(f, rows) }); err != nil {
+				return err
+			}
+		}
+		if *which == "all" || *which == "fig9b" {
+			fmt.Fprintln(w, experiments.FormatFig9b(rows))
+			if err := plot("fig9b.svg", func(f io.Writer) error { return experiments.PlotFig9b(f, rows) }); err != nil {
+				return err
+			}
+		}
+		ran = true
+	}
+	if *which == "all" || *which == "fig10a" {
+		points, err := experiments.RunFig10a(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.FormatFig10(points, "t_CP"))
+		if err := plot("fig10a.svg", func(f io.Writer) error { return experiments.PlotFig10(f, points, "t_CP") }); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if *which == "all" || *which == "fig10b" {
+		points, err := experiments.RunFig10b(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.FormatFig10(points, "t_conf"))
+		if err := plot("fig10b.svg", func(f io.Writer) error { return experiments.PlotFig10(f, points, "t_conf") }); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if *which == "all" || *which == "table4" {
+		rows, emp, err := experiments.RunTable4(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.FormatTable4(rows, emp))
+		ran = true
+	}
+	if *which == "all" || *which == "derived" {
+		rows, err := experiments.RunDerivedStudy(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.FormatDerivedStudy(rows))
+		ran = true
+	}
+	if *which == "all" || *which == "overlap" {
+		rows, err := experiments.RunOverlapStudy(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.FormatOverlapStudy(rows))
+		ran = true
+	}
+	if *which == "all" || *which == "detection" {
+		points, err := experiments.RunDetectionStudy(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.FormatDetectionStudy(points))
+		ran = true
+	}
+	if *which == "all" || *which == "noise" {
+		rows, err := experiments.RunNoiseStudy(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.FormatNoiseStudy(rows))
+		ran = true
+	}
+	if *which == "all" || *which == "table6" {
+		res, err := experiments.RunTable6(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.FormatTable6(res))
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *which)
+	}
+	return nil
+}

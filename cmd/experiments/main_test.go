@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gendata"
+)
+
+func tiny(extra ...string) []string {
+	return append([]string{"-squeeze-cases", "1", "-rapmd-cases", "2"}, extra...)
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	tests := []struct {
+		which string
+		want  string
+	}{
+		{"fig8b", "RC@k on RAPMD"},
+		{"fig9b", "mean running time on RAPMD"},
+		{"fig10a", "sensitivity of t_CP"},
+		{"fig10b", "sensitivity of t_conf"},
+		{"table4", "DecreaseRatio@k"},
+		{"table6", "Efficiency improvement"},
+		{"noise", "noise levels"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.which, func(t *testing.T) {
+			var out strings.Builder
+			if err := run(&out, tiny("-run", tt.which)); err != nil {
+				t.Fatalf("run(%s): %v", tt.which, err)
+			}
+			if !strings.Contains(out.String(), tt.want) {
+				t.Errorf("output missing %q:\n%s", tt.want, out.String())
+			}
+		})
+	}
+}
+
+func TestRunSqueezeFigures(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, tiny("-run", "fig8a")); err != nil {
+		t.Fatalf("run(fig8a): %v", err)
+	}
+	if !strings.Contains(out.String(), "F1-score on Squeeze-B0") {
+		t.Errorf("fig8a header missing:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "running time") {
+		t.Error("fig8a run should not print fig9a")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, tiny("-run", "bogus")); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunHotSpotFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, tiny("-run", "fig8b", "-hotspot")); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "HotSpot") {
+		t.Errorf("HotSpot row missing:\n%s", out.String())
+	}
+}
+
+func TestRunInvalidOptions(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-rapmd-cases", "0", "-run", "fig8b"}); err == nil {
+		t.Error("zero rapmd cases accepted")
+	}
+}
+
+func TestRunWritesPlots(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run(&out, tiny("-run", "fig8a", "-plots", dir)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig8a.svg"))
+	if err != nil {
+		t.Fatalf("read plot: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Errorf("plot is not SVG: %.40s", data)
+	}
+	if err := run(&out, tiny("-run", "fig10b", "-plots", dir)); err != nil {
+		t.Fatalf("run fig10b: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig10b.svg")); err != nil {
+		t.Errorf("fig10b.svg missing: %v", err)
+	}
+}
+
+func TestRunExternalEvaluation(t *testing.T) {
+	// Export a tiny corpus in the external layout and evaluate on it.
+	dir := t.TempDir()
+	corpus, err := gendata.SqueezeB0(4, gendata.SqueezeGroup{Dim: 1, NumRAPs: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gendata.WriteExternal(dir, corpus); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(&out, []string{"-external", dir}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "RAPMiner") || !strings.Contains(out.String(), "F1") {
+		t.Errorf("external evaluation output incomplete:\n%s", out.String())
+	}
+}
+
+func TestRunExternalMissingDir(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-external", "/nonexistent-dir"}); err == nil {
+		t.Error("missing external dir accepted")
+	}
+}

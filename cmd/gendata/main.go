@@ -1,0 +1,105 @@
+// Command gendata emits the repository's semi-synthetic corpora as CSV
+// files, one snapshot per failure case plus a ground-truth index, so the
+// datasets can be inspected or fed to external tooling.
+//
+// Usage:
+//
+//	gendata -corpus rapmd   [-cases 105] [-seed 2022] [-out dir]
+//	gendata -corpus squeeze [-dim 2] [-raps 3] [-cases 10] [-seed 2022] [-out dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/gendata"
+	"repro/internal/kpi"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gendata:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gendata", flag.ContinueOnError)
+	var (
+		corpusKind = fs.String("corpus", "rapmd", "corpus to generate: rapmd or squeeze")
+		cases      = fs.Int("cases", 10, "number of failure cases")
+		seed       = fs.Int64("seed", 2022, "generation seed")
+		dim        = fs.Int("dim", 1, "squeeze corpus: RAP dimension (1-3)")
+		raps       = fs.Int("raps", 1, "squeeze corpus: RAPs per case (1-3)")
+		outDir     = fs.String("out", ".", "output directory")
+		format     = fs.String("format", "csv", "output format: csv (Table III files + truth list) or external (the published dataset layout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		corpus *gendata.Corpus
+		err    error
+	)
+	switch *corpusKind {
+	case "rapmd":
+		corpus, err = gendata.RAPMD(*seed, *cases)
+	case "squeeze":
+		corpus, err = gendata.SqueezeB0(*seed, gendata.SqueezeGroup{Dim: *dim, NumRAPs: *raps}, *cases)
+	default:
+		return fmt.Errorf("unknown corpus %q", *corpusKind)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *format == "external" {
+		if err := gendata.WriteExternal(*outDir, corpus); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d cases in the external layout to %s\n", len(corpus.Cases), *outDir)
+		return nil
+	}
+	if *format != "csv" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	truthPath := filepath.Join(*outDir, corpus.Name+"-truth.txt")
+	truth, err := os.Create(truthPath)
+	if err != nil {
+		return err
+	}
+	defer truth.Close()
+
+	for i, c := range corpus.Cases {
+		name := fmt.Sprintf("%s-case%03d.csv", corpus.Name, i)
+		if err := writeSnapshot(filepath.Join(*outDir, name), c.Snapshot); err != nil {
+			return err
+		}
+		fmt.Fprintf(truth, "%s:", name)
+		for _, rap := range c.RAPs {
+			fmt.Fprintf(truth, " %s", rap.Format(corpus.Schema))
+		}
+		fmt.Fprintln(truth)
+	}
+	fmt.Printf("wrote %d cases and %s\n", len(corpus.Cases), truthPath)
+	return nil
+}
+
+func writeSnapshot(path string, snap *kpi.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := kpi.WriteCSV(f, snap); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

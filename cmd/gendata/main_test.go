@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/kpi"
+)
+
+func TestRunSqueezeCorpus(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-corpus", "squeeze", "-dim", "2", "-raps", "1", "-cases", "2", "-out", dir})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvs, truths int
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), ".csv"):
+			csvs++
+		case strings.HasSuffix(e.Name(), "-truth.txt"):
+			truths++
+		}
+	}
+	if csvs != 2 || truths != 1 {
+		t.Fatalf("got %d csvs and %d truth files, want 2 and 1", csvs, truths)
+	}
+
+	// The CSVs parse back into snapshots with labels.
+	f, err := os.Open(filepath.Join(dir, "squeeze-B0(2,1)-case000.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := kpi.ReadCSV(f, nil)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if snap.NumAnomalous() == 0 {
+		t.Error("exported case has no anomalous leaves")
+	}
+
+	// The truth file references the case files and parseable patterns.
+	truth, err := os.ReadFile(filepath.Join(dir, "squeeze-B0(2,1)-truth.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(truth), "case000.csv:") {
+		t.Errorf("truth file malformed:\n%s", truth)
+	}
+}
+
+func TestRunRAPMDCorpus(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-corpus", "rapmd", "-cases", "1", "-out", dir}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 { // one case + truth file
+		t.Fatalf("got %d files, want 2", len(entries))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-corpus", "bogus"}); err == nil {
+		t.Error("unknown corpus accepted")
+	}
+	if err := run([]string{"-corpus", "squeeze", "-dim", "0"}); err == nil {
+		t.Error("invalid dim accepted")
+	}
+	if err := run([]string{"-cases", "0"}); err == nil {
+		t.Error("zero cases accepted")
+	}
+}
+
+func TestRunExternalFormat(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-corpus", "squeeze", "-dim", "1", "-raps", "1", "-cases", "2", "-format", "external", "-out", dir})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "injection_info.csv")); err != nil {
+		t.Errorf("index file missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "000000.csv")); err != nil {
+		t.Errorf("case file missing: %v", err)
+	}
+	if err := run([]string{"-format", "bogus", "-cases", "1"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,155 @@
+// Command monitor runs the Fig. 1 IT-operations loop against the simulated
+// ISP CDN: it ticks through simulated minutes, raises a debounced aggregate
+// alarm, localizes the root anomaly patterns while the alarm is active and
+// prints the incident lifecycle. A failure from the CDN failure catalog is
+// injected partway through the window.
+//
+// Usage:
+//
+//	monitor [-seed 7] [-minutes 25] [-failure-at 8] [-severity 0.6]
+//	        [-kind site-outage] [-interval 0s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/anomaly"
+	"repro/internal/cdn"
+	"repro/internal/kpi"
+	"repro/internal/pipeline"
+	"repro/internal/rapminer"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "monitor:", err)
+		os.Exit(1)
+	}
+}
+
+// failingSource wraps the simulator and applies the failure from a tick
+// onward.
+type failingSource struct {
+	sim     *cdn.Simulator
+	failure cdn.Failure
+	from    time.Time
+}
+
+func (f *failingSource) Schema() *kpi.Schema { return f.sim.Schema() }
+
+func (f *failingSource) SnapshotAt(ts time.Time) (*kpi.Snapshot, error) {
+	snap, err := f.sim.SnapshotAt(ts)
+	if err != nil {
+		return nil, err
+	}
+	if !ts.Before(f.from) {
+		if err := cdn.ApplyFailures(snap, []cdn.Failure{f.failure}); err != nil {
+			return nil, err
+		}
+	}
+	return snap, nil
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("monitor", flag.ContinueOnError)
+	var (
+		seed      = fs.Int64("seed", 7, "simulation seed")
+		minutes   = fs.Int("minutes", 25, "simulated minutes to monitor")
+		failureAt = fs.Int("failure-at", 8, "minute at which the failure starts")
+		severity  = fs.Float64("severity", 0.6, "fraction of traffic lost inside the failure scope")
+		kindName  = fs.String("kind", "site-outage", "failure kind: node-outage, site-outage, regional-site-failure, access-degradation, client-bug")
+		interval  = fs.Duration("interval", 0, "real time per simulated minute (0 = as fast as possible)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *minutes < 1 || *failureAt < 0 || *failureAt >= *minutes {
+		return fmt.Errorf("need 0 <= failure-at < minutes (got %d, %d)", *failureAt, *minutes)
+	}
+	kind, err := parseKind(*kindName)
+	if err != nil {
+		return err
+	}
+
+	sim, err := cdn.NewSimulator(cdn.DefaultConfig(*seed))
+	if err != nil {
+		return err
+	}
+	failure, err := sim.DrawFailure(rand.New(rand.NewSource(*seed)), kind)
+	if err != nil {
+		return err
+	}
+	failure.Severity = *severity
+
+	start := time.Date(2026, 2, 18, 20, 0, 0, 0, time.UTC)
+	src := &failingSource{
+		sim:     sim,
+		failure: failure,
+		from:    start.Add(time.Duration(*failureAt) * time.Minute),
+	}
+
+	miner, err := rapminer.New(rapminer.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	cfg := pipeline.DefaultConfig(anomaly.DefaultRelativeDeviation(), miner)
+	cfg.AlarmThreshold = 0.005 // a single scope is a few percent of traffic
+	monitor, err := pipeline.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "monitoring simulated CDN from %s (%d minutes)\n", start.Format("15:04"), *minutes)
+	fmt.Fprintf(w, "scheduled failure at minute %d: %s\n\n", *failureAt, failure.Format(sim.Schema()))
+
+	runner, err := pipeline.StartRunner(monitor, src, start, time.Minute, *interval, *minutes)
+	if err != nil {
+		return err
+	}
+	defer runner.Stop()
+
+	for ev := range runner.Events() {
+		switch ev.Kind {
+		case pipeline.EventTick:
+			fmt.Fprintf(w, "%s  dev %5.2f%%  ok\n", ev.Time.Format("15:04"), 100*ev.Deviation)
+		case pipeline.EventArming:
+			fmt.Fprintf(w, "%s  dev %5.2f%%  alarm arming\n", ev.Time.Format("15:04"), 100*ev.Deviation)
+		case pipeline.EventOpened:
+			fmt.Fprintf(w, "%s  dev %5.2f%%  INCIDENT #%d OPENED\n", ev.Time.Format("15:04"), 100*ev.Deviation, ev.Incident.ID)
+			printScopes(w, sim.Schema(), ev)
+		case pipeline.EventUpdated:
+			fmt.Fprintf(w, "%s  dev %5.2f%%  incident #%d scope updated\n", ev.Time.Format("15:04"), 100*ev.Deviation, ev.Incident.ID)
+			printScopes(w, sim.Schema(), ev)
+		case pipeline.EventOngoing:
+			fmt.Fprintf(w, "%s  dev %5.2f%%  incident #%d ongoing\n", ev.Time.Format("15:04"), 100*ev.Deviation, ev.Incident.ID)
+		case pipeline.EventResolved:
+			fmt.Fprintf(w, "%s  dev %5.2f%%  incident #%d resolved after %d scope updates\n",
+				ev.Time.Format("15:04"), 100*ev.Deviation, ev.Incident.ID, ev.Incident.Updates)
+		}
+	}
+	return runner.Err()
+}
+
+func printScopes(w io.Writer, schema *kpi.Schema, ev pipeline.Event) {
+	for _, p := range ev.Incident.Scopes {
+		fmt.Fprintf(w, "        -> %s (score %.3f)\n", p.Combo.Format(schema), p.Score)
+	}
+}
+
+func parseKind(name string) (cdn.FailureKind, error) {
+	kinds := []cdn.FailureKind{
+		cdn.NodeOutage, cdn.SiteOutage, cdn.RegionalSiteFailure,
+		cdn.AccessDegradation, cdn.ClientBug,
+	}
+	for _, k := range kinds {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown failure kind %q", name)
+}

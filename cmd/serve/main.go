@@ -1,0 +1,77 @@
+// Command serve exposes anomaly localization over HTTP.
+//
+//	serve [-addr :8080]
+//
+// Endpoints:
+//
+//	GET  /healthz       liveness probe
+//	GET  /v1/methods    available localization methods
+//	POST /v1/localize   localize a snapshot
+//
+// POST /v1/localize accepts the Table III snapshot layout as
+// application/json (the kpi JSON document) or text/csv, with query
+// parameters method (default rapminer), k (default 3) and relabel=true to
+// force re-detection. Example:
+//
+//	curl -X POST --data-binary @snapshot.csv -H 'Content-Type: text/csv' \
+//	     'localhost:8080/v1/localize?method=rapminer&k=3'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/httpapi"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.NewHandler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,88 @@
+// drilldown demonstrates the triage loop an operator runs after the miner
+// reports: localize, inspect the top pattern's blast radius (Filter),
+// explain it away (Exclude), and re-run localization on the residual until
+// no anomalies remain. Iterative peeling separates overlapping failures
+// that a single top-k query would rank against each other.
+//
+// Run with:
+//
+//	go run ./examples/drilldown
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/anomaly"
+	"repro/internal/cdn"
+	"repro/internal/inject"
+	"repro/internal/rapminer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sim, err := cdn.NewSimulator(cdn.DefaultConfig(12))
+	if err != nil {
+		return err
+	}
+	background, err := sim.SnapshotAt(time.Date(2026, 2, 21, 20, 30, 0, 0, time.UTC))
+	if err != nil {
+		return err
+	}
+	failure, err := inject.InjectRAPMD(rand.New(rand.NewSource(2)), background, inject.DefaultRAPMDConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("injected %d root anomaly patterns:\n", len(failure.RAPs))
+	for _, rap := range failure.RAPs {
+		fmt.Printf("  %s\n", rap.Format(sim.Schema()))
+	}
+
+	miner, err := rapminer.New(rapminer.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	detector := anomaly.DefaultRelativeDeviation()
+
+	snap := failure.Snapshot
+	anomaly.Label(snap, detector)
+
+	fmt.Println("\npeeling the failure apart:")
+	for round := 1; snap.NumAnomalous() > 0 && round <= 10; round++ {
+		res, err := miner.Localize(snap, 1)
+		if err != nil {
+			return err
+		}
+		if len(res.Patterns) == 0 {
+			fmt.Printf("round %d: %d anomalous leaves left but no confident pattern — stopping\n",
+				round, snap.NumAnomalous())
+			break
+		}
+		top := res.Patterns[0].Combo
+
+		// Drill into the pattern's scope for the incident report.
+		scope, err := snap.Filter(top)
+		if err != nil {
+			return err
+		}
+		v, f := scope.Sum(top)
+		fmt.Printf("round %d: %s — %d leaves, %d anomalous, traffic %.0f of expected %.0f (%.0f%% loss)\n",
+			round, top.Format(sim.Schema()), scope.Len(), scope.NumAnomalous(),
+			v, f, 100*(f-v)/f)
+
+		// Explain the pattern away and continue on the residual.
+		snap, err = snap.Exclude(top)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\nresidual anomalous leaves: %d\n", snap.NumAnomalous())
+	return nil
+}

@@ -1,0 +1,82 @@
+// Quickstart: build a small multi-dimensional KPI snapshot in the Table III
+// layout, label it, and mine the root anomaly patterns with RAPMiner.
+//
+// The data reproduces the Fig. 3 scenario of the paper: Android and IOS
+// users on every access type fail to fetch Site1 from location L1, so the
+// coarsest anomalous combination — the RAP — is (L1, *, *, Site1).
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/anomaly"
+	"repro/internal/kpi"
+	"repro/internal/rapminer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	schema, err := kpi.NewSchema(
+		kpi.Attribute{Name: "Location", Values: []string{"L1", "L2", "L3"}},
+		kpi.Attribute{Name: "AccessType", Values: []string{"Wireless", "Fixed"}},
+		kpi.Attribute{Name: "OS", Values: []string{"Android", "IOS"}},
+		kpi.Attribute{Name: "Website", Values: []string{"Site1", "Site2"}},
+	)
+	if err != nil {
+		return err
+	}
+
+	// The most fine-grained attribute combinations with their actual and
+	// forecast KPI values (e.g. out-flow). Everything under
+	// (L1, *, *, Site1) lost 60% of its traffic.
+	rap := kpi.MustParseCombination(schema, "(L1, *, *, Site1)")
+	var leaves []kpi.Leaf
+	for l := int32(0); l < 3; l++ {
+		for a := int32(0); a < 2; a++ {
+			for o := int32(0); o < 2; o++ {
+				for w := int32(0); w < 2; w++ {
+					combo := kpi.Combination{l, a, o, w}
+					leaf := kpi.Leaf{Combo: combo, Actual: 100, Forecast: 100}
+					if rap.Matches(combo) {
+						leaf.Actual = 40
+					}
+					leaves = append(leaves, leaf)
+				}
+			}
+		}
+	}
+	snapshot, err := kpi.NewSnapshot(schema, leaves)
+	if err != nil {
+		return err
+	}
+
+	// Step 1: label the leaves with an anomaly detector. RAPMiner only
+	// consumes these labels, never the raw values.
+	detector := anomaly.DefaultRelativeDeviation()
+	n := anomaly.Label(snapshot, detector)
+	fmt.Printf("%d of %d leaves labeled anomalous by %s\n", n, snapshot.Len(), detector.Name())
+
+	// Step 2: mine the root anomaly patterns.
+	miner, err := rapminer.New(rapminer.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	result, err := miner.Localize(snapshot, 3)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\nroot anomaly patterns:")
+	fmt.Print(result.Format(schema))
+	return nil
+}

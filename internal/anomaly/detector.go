@@ -1,0 +1,196 @@
+// Package anomaly labels the most fine-grained attribute combinations of a
+// KPI snapshot as normal or anomalous. The labels are the only input the
+// RAPMiner search consumes (Section IV-B of the paper: "RAPMiner only uses
+// the anomaly detection results for the most fine-grained attribute
+// combinations"), so the detectors here form the boundary between the
+// forecasting substrate and the localization algorithms.
+package anomaly
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/kpi"
+)
+
+// Detector decides whether a single leaf observation is anomalous.
+type Detector interface {
+	// Detect reports whether the (actual, forecast) pair is anomalous.
+	Detect(actual, forecast float64) bool
+	// Name identifies the detector in reports.
+	Name() string
+}
+
+// Label applies a detector to every leaf of the snapshot in place and
+// returns the number of leaves labeled anomalous.
+func Label(s *kpi.Snapshot, d Detector) int {
+	n := 0
+	for i := range s.Leaves {
+		l := &s.Leaves[i]
+		l.Anomalous = d.Detect(l.Actual, l.Forecast)
+		if l.Anomalous {
+			n++
+		}
+	}
+	return n
+}
+
+// RelativeDeviation flags a leaf when |f - v| / max(f, eps) exceeds
+// Threshold. This is the detector matched to the paper's injection scheme,
+// which perturbs leaves by a relative deviation Dev = (f - v) / f (Eq. 4):
+// injected leaves get Dev in [0.1, 0.9] and background leaves Dev in
+// [-0.02, 0.09], so any threshold strictly between 0.09 and 0.1 separates
+// them exactly.
+type RelativeDeviation struct {
+	// Threshold is the minimum |relative deviation| considered
+	// anomalous.
+	Threshold float64
+	// MinForecast ignores leaves whose forecast is below this floor;
+	// tiny denominators make relative deviation meaningless on sparse
+	// CDN leaves.
+	MinForecast float64
+	// Eps guards division by zero.
+	Eps float64
+}
+
+var _ Detector = RelativeDeviation{}
+
+// DefaultRelativeDeviation returns the detector used throughout the
+// experiments: threshold strictly between the paper's normal and anomalous
+// deviation ranges.
+func DefaultRelativeDeviation() RelativeDeviation {
+	return RelativeDeviation{Threshold: 0.095, Eps: 1e-9}
+}
+
+// Name implements Detector.
+func (d RelativeDeviation) Name() string {
+	return fmt.Sprintf("reldev(%.3f)", d.Threshold)
+}
+
+// Detect implements Detector.
+func (d RelativeDeviation) Detect(actual, forecast float64) bool {
+	if forecast < d.MinForecast {
+		return false
+	}
+	dev := math.Abs(forecast-actual) / (math.Abs(forecast) + d.Eps)
+	return dev >= d.Threshold
+}
+
+// AbsoluteDeviation flags a leaf when |f - v| exceeds Threshold; useful for
+// KPIs whose noise floor is additive rather than multiplicative.
+type AbsoluteDeviation struct {
+	Threshold float64
+}
+
+var _ Detector = AbsoluteDeviation{}
+
+// Name implements Detector.
+func (d AbsoluteDeviation) Name() string {
+	return fmt.Sprintf("absdev(%g)", d.Threshold)
+}
+
+// Detect implements Detector.
+func (d AbsoluteDeviation) Detect(actual, forecast float64) bool {
+	return math.Abs(forecast-actual) >= d.Threshold
+}
+
+// KSigma flags a leaf when the residual deviates from the residual mean by
+// more than K standard deviations. Mean and Std are calibrated from a
+// normal-period window with Calibrate.
+type KSigma struct {
+	K    float64
+	Mean float64
+	Std  float64
+}
+
+var _ Detector = (*KSigma)(nil)
+
+// Name implements Detector.
+func (d *KSigma) Name() string { return fmt.Sprintf("ksigma(%.1f)", d.K) }
+
+// Calibrate estimates the residual distribution from paired normal-period
+// observations.
+func (d *KSigma) Calibrate(actual, forecast []float64) error {
+	if len(actual) != len(forecast) {
+		return fmt.Errorf("anomaly: calibrate length mismatch %d vs %d", len(actual), len(forecast))
+	}
+	if len(actual) == 0 {
+		return fmt.Errorf("anomaly: calibrate with no samples")
+	}
+	var sum float64
+	for i := range actual {
+		sum += actual[i] - forecast[i]
+	}
+	d.Mean = sum / float64(len(actual))
+	var ss float64
+	for i := range actual {
+		r := actual[i] - forecast[i] - d.Mean
+		ss += r * r
+	}
+	d.Std = math.Sqrt(ss / float64(len(actual)))
+	return nil
+}
+
+// Detect implements Detector.
+func (d *KSigma) Detect(actual, forecast float64) bool {
+	if d.Std == 0 {
+		return actual != forecast
+	}
+	return math.Abs(actual-forecast-d.Mean) > d.K*d.Std
+}
+
+// TopQuantile labels the fraction Q of leaves with the largest relative
+// deviations, regardless of absolute scale — useful when a fixed threshold
+// cannot be calibrated. Unlike the threshold detectors it needs the whole
+// snapshot at once, so it is applied via LabelTopQuantile rather than
+// Label.
+type TopQuantile struct {
+	// Q is the fraction of leaves to label, in (0, 1).
+	Q float64
+	// Eps guards division.
+	Eps float64
+}
+
+// LabelTopQuantile labels the snapshot in place and returns the number of
+// anomalous leaves.
+func LabelTopQuantile(s *kpi.Snapshot, d TopQuantile) (int, error) {
+	if d.Q <= 0 || d.Q >= 1 {
+		return 0, fmt.Errorf("anomaly: quantile %v out of (0, 1)", d.Q)
+	}
+	n := s.Len()
+	if n == 0 {
+		return 0, nil
+	}
+	devs := make([]float64, n)
+	for i, l := range s.Leaves {
+		devs[i] = math.Abs(l.Forecast-l.Actual) / (math.Abs(l.Forecast) + d.Eps)
+	}
+	sorted := append([]float64(nil), devs...)
+	sort.Float64s(sorted)
+	cutIdx := int(float64(n) * (1 - d.Q))
+	if cutIdx >= n {
+		cutIdx = n - 1
+	}
+	cut := sorted[cutIdx]
+	if cut == 0 {
+		// A zero threshold would label every exact leaf; an all-clean
+		// snapshot labels nothing.
+		count := 0
+		for i := range s.Leaves {
+			s.Leaves[i].Anomalous = devs[i] > 0
+			if s.Leaves[i].Anomalous {
+				count++
+			}
+		}
+		return count, nil
+	}
+	count := 0
+	for i := range s.Leaves {
+		s.Leaves[i].Anomalous = devs[i] >= cut
+		if s.Leaves[i].Anomalous {
+			count++
+		}
+	}
+	return count, nil
+}

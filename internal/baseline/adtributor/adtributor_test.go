@@ -1,0 +1,222 @@
+package adtributor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kpi"
+)
+
+func schema2(t *testing.T) *kpi.Schema {
+	t.Helper()
+	return kpi.MustSchema(
+		kpi.Attribute{Name: "A", Values: []string{"a1", "a2", "a3", "a4"}},
+		kpi.Attribute{Name: "B", Values: []string{"b1", "b2", "b3"}},
+	)
+}
+
+// denseDrop builds a dense snapshot where leaves matched by rap lose frac of
+// their forecast value.
+func denseDrop(t *testing.T, s *kpi.Schema, rap kpi.Combination, frac float64) *kpi.Snapshot {
+	t.Helper()
+	var leaves []kpi.Leaf
+	for a := int32(0); a < int32(s.Cardinality(0)); a++ {
+		for b := int32(0); b < int32(s.Cardinality(1)); b++ {
+			c := kpi.Combination{a, b}
+			leaf := kpi.Leaf{Combo: c, Actual: 100, Forecast: 100}
+			if rap.Matches(c) {
+				leaf.Actual = 100 * (1 - frac)
+				leaf.Anomalous = true
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	snap, err := kpi.NewSnapshot(s, leaves)
+	if err != nil {
+		t.Fatalf("NewSnapshot: %v", err)
+	}
+	return snap
+}
+
+func TestLocalizeOneDimensionalRAP(t *testing.T) {
+	s := schema2(t)
+	rap := kpi.MustParseCombination(s, "(a2, *)")
+	snap := denseDrop(t, s, rap, 0.6)
+
+	l, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := l.Localize(snap, 1)
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if len(res.Patterns) != 1 || !res.Patterns[0].Combo.Equal(rap) {
+		t.Fatalf("got %s, want (a2, *)", res.Format(s))
+	}
+}
+
+func TestLocalizeMultipleElementsSameAttribute(t *testing.T) {
+	s := schema2(t)
+	rapA := kpi.MustParseCombination(s, "(a1, *)")
+	rapB := kpi.MustParseCombination(s, "(a3, *)")
+	var leaves []kpi.Leaf
+	for a := int32(0); a < 4; a++ {
+		for b := int32(0); b < 3; b++ {
+			c := kpi.Combination{a, b}
+			leaf := kpi.Leaf{Combo: c, Actual: 100, Forecast: 100}
+			if rapA.Matches(c) || rapB.Matches(c) {
+				leaf.Actual = 30
+				leaf.Anomalous = true
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	snap, err := kpi.NewSnapshot(s, leaves)
+	if err != nil {
+		t.Fatalf("NewSnapshot: %v", err)
+	}
+	l, _ := New(DefaultConfig())
+	res, err := l.Localize(snap, 2)
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if len(res.Patterns) != 2 {
+		t.Fatalf("got %d patterns, want 2: %s", len(res.Patterns), res.Format(s))
+	}
+	found := map[string]bool{}
+	for _, p := range res.Patterns {
+		found[p.Combo.Format(s)] = true
+	}
+	if !found["(a1, *)"] || !found["(a3, *)"] {
+		t.Errorf("results %v missing an injected element", found)
+	}
+}
+
+func TestLocalizeCleanSnapshotReturnsWeakOrNoCandidates(t *testing.T) {
+	s := schema2(t)
+	snap := denseDrop(t, s, kpi.Combination{kpi.Wildcard, kpi.Wildcard}, 0) // no drop anywhere
+	l, _ := New(DefaultConfig())
+	res, err := l.Localize(snap, 3)
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if len(res.Patterns) != 0 {
+		t.Errorf("clean snapshot produced %s", res.Format(s))
+	}
+}
+
+func TestLocalizeCannotFindHigherDimensionalRAP(t *testing.T) {
+	// A genuinely 2-D RAP: Adtributor returns 1-D fragments, never the
+	// true combination (the limitation Fig. 8 exposes).
+	s := schema2(t)
+	rap := kpi.MustParseCombination(s, "(a2, b1)")
+	snap := denseDrop(t, s, rap, 0.9)
+	l, _ := New(DefaultConfig())
+	res, err := l.Localize(snap, 3)
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	for _, p := range res.Patterns {
+		if p.Combo.Layer() != 1 {
+			t.Errorf("Adtributor returned non-1-D pattern %s", p.Combo.Format(s))
+		}
+		if p.Combo.Equal(rap) {
+			t.Errorf("Adtributor claims the 2-D RAP exactly")
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{TEP: 0, TEEP: 0.05},
+		{TEP: 1.5, TEEP: 0.05},
+		{TEP: 0.67, TEEP: -1},
+		{TEP: 0.67, TEEP: 1},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted invalid config", cfg)
+		}
+	}
+}
+
+func TestLocalizeArgumentValidation(t *testing.T) {
+	l, _ := New(DefaultConfig())
+	if _, err := l.Localize(nil, 1); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+	s := schema2(t)
+	snap := denseDrop(t, s, kpi.MustParseCombination(s, "(a1, *)"), 0.5)
+	if _, err := l.Localize(snap, 0); err == nil {
+		t.Error("k = 0 accepted")
+	}
+}
+
+func TestLocalizeEmptySnapshot(t *testing.T) {
+	s := schema2(t)
+	snap, err := kpi.NewSnapshot(s, nil)
+	if err != nil {
+		t.Fatalf("NewSnapshot: %v", err)
+	}
+	l, _ := New(DefaultConfig())
+	res, err := l.Localize(snap, 3)
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if len(res.Patterns) != 0 {
+		t.Errorf("empty snapshot produced patterns")
+	}
+}
+
+func TestJSDivergence(t *testing.T) {
+	if got := jsDivergence(0.5, 0.5); math.Abs(got) > 1e-12 {
+		t.Errorf("identical distributions: %v, want 0", got)
+	}
+	if got := jsDivergence(0.8, 0.1); got <= 0 {
+		t.Errorf("diverging masses: %v, want > 0", got)
+	}
+	if got := jsDivergence(0, 0); got != 0 {
+		t.Errorf("zero masses: %v, want 0", got)
+	}
+	if got := jsDivergence(0, 0.3); got <= 0 || math.IsNaN(got) {
+		t.Errorf("one-sided mass: %v", got)
+	}
+}
+
+func TestExplanatoryPowerGuards(t *testing.T) {
+	if got := explanatoryPower(10, 5, 0); got != 0 {
+		t.Errorf("zero change: %v, want 0", got)
+	}
+	if got := explanatoryPower(40, 100, -100); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("ep = %v, want 0.6", got)
+	}
+}
+
+func TestNameAndKTruncation(t *testing.T) {
+	l, _ := New(DefaultConfig())
+	if l.Name() != "Adtributor" {
+		t.Errorf("Name = %q", l.Name())
+	}
+	s := schema2(t)
+	rapA := kpi.MustParseCombination(s, "(a1, *)")
+	rapB := kpi.MustParseCombination(s, "(a3, *)")
+	var leaves []kpi.Leaf
+	for a := int32(0); a < 4; a++ {
+		for b := int32(0); b < 3; b++ {
+			c := kpi.Combination{a, b}
+			leaf := kpi.Leaf{Combo: c, Actual: 100, Forecast: 100}
+			if rapA.Matches(c) || rapB.Matches(c) {
+				leaf.Actual = 30
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	snap, _ := kpi.NewSnapshot(s, leaves)
+	res, err := l.Localize(snap, 1)
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if len(res.Patterns) > 1 {
+		t.Errorf("k = 1 returned %d patterns", len(res.Patterns))
+	}
+}

@@ -1,0 +1,57 @@
+package adtributor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/kpi"
+)
+
+func BenchmarkLocalize(b *testing.B) {
+	mk := func(prefix string, n int) kpi.Attribute {
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = prefix + string(rune('a'+i/26)) + string(rune('a'+i%26))
+		}
+		return kpi.Attribute{Name: prefix, Values: vals}
+	}
+	s := kpi.MustSchema(mk("A", 33), mk("B", 4), mk("C", 4), mk("D", 20))
+	rap := kpi.Combination{5, kpi.Wildcard, kpi.Wildcard, kpi.Wildcard}
+	r := rand.New(rand.NewSource(2))
+	var leaves []kpi.Leaf
+	for a := int32(0); a < 33; a++ {
+		for bb := int32(0); bb < 4; bb++ {
+			for c := int32(0); c < 4; c++ {
+				for d := int32(0); d < 20; d++ {
+					combo := kpi.Combination{a, bb, c, d}
+					f := 50 + 100*r.Float64()
+					leaf := kpi.Leaf{Combo: combo, Actual: f, Forecast: f}
+					if rap.Matches(combo) {
+						leaf.Actual = f * 0.3
+						leaf.Anomalous = true
+					}
+					leaves = append(leaves, leaf)
+				}
+			}
+		}
+	}
+	snap, err := kpi.NewSnapshot(s, leaves)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := l.Localize(snap, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Patterns) == 0 {
+			b.Fatal("nothing found")
+		}
+	}
+}

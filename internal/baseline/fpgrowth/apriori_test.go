@@ -1,0 +1,81 @@
+package fpgrowth
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestMineAprioriMatchesFPGrowth(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		nTx := 5 + r.Intn(40)
+		nItems := 3 + r.Intn(7)
+		txs := make([][]Item, nTx)
+		for i := range txs {
+			var tx []Item
+			for it := 0; it < nItems; it++ {
+				if r.Intn(2) == 0 {
+					tx = append(tx, Item(it))
+				}
+			}
+			txs[i] = tx
+		}
+		minSup := 1 + r.Intn(5)
+		fp, err := Mine(txs, minSup)
+		if err != nil {
+			t.Fatalf("Mine: %v", err)
+		}
+		ap, err := MineApriori(txs, minSup)
+		if err != nil {
+			t.Fatalf("MineApriori: %v", err)
+		}
+		if !reflect.DeepEqual(canonicalize(fp), canonicalize(ap)) {
+			t.Fatalf("trial %d: FP-growth and Apriori disagree\nfp: %v\nap: %v",
+				trial, canonicalize(fp), canonicalize(ap))
+		}
+	}
+}
+
+func TestMineAprioriDuplicatesAndValidation(t *testing.T) {
+	if _, err := MineApriori(nil, 0); err == nil {
+		t.Error("minSupport 0 accepted")
+	}
+	got, err := MineApriori([][]Item{{1, 1, 2}, {1, 2}}, 2)
+	if err != nil {
+		t.Fatalf("MineApriori: %v", err)
+	}
+	for _, is := range got {
+		if len(is.Items) == 1 && is.Items[0] == 1 && is.Support != 2 {
+			t.Errorf("duplicate items double-counted: %+v", is)
+		}
+	}
+}
+
+func BenchmarkMineVsApriori(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	txs := make([][]Item, 500)
+	for i := range txs {
+		tx := make([]Item, 4)
+		for a := 0; a < 4; a++ {
+			tx[a] = encodeItem(a, int32(r.Intn(8)))
+		}
+		txs[i] = tx
+	}
+	b.Run("fpgrowth", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Mine(txs, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("apriori", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := MineApriori(txs, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

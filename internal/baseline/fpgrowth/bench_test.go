@@ -1,0 +1,29 @@
+package fpgrowth
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMine(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	txs := make([][]Item, 500)
+	for i := range txs {
+		tx := make([]Item, 4)
+		for a := 0; a < 4; a++ {
+			tx[a] = encodeItem(a, int32(r.Intn(8)))
+		}
+		txs[i] = tx
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sets, err := Mine(txs, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sets) == 0 {
+			b.Fatal("no frequent itemsets")
+		}
+	}
+}

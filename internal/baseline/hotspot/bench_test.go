@@ -1,0 +1,49 @@
+package hotspot
+
+import (
+	"testing"
+
+	"repro/internal/kpi"
+)
+
+func BenchmarkLocalize(b *testing.B) {
+	s := kpi.MustSchema(
+		kpi.Attribute{Name: "A", Values: []string{"a1", "a2", "a3", "a4"}},
+		kpi.Attribute{Name: "B", Values: []string{"b1", "b2", "b3"}},
+		kpi.Attribute{Name: "C", Values: []string{"c1", "c2"}},
+	)
+	rap := kpi.MustParseCombination(s, "(a2, b1, *)")
+	var leaves []kpi.Leaf
+	for a := int32(0); a < 4; a++ {
+		for bb := int32(0); bb < 3; bb++ {
+			for c := int32(0); c < 2; c++ {
+				combo := kpi.Combination{a, bb, c}
+				leaf := kpi.Leaf{Combo: combo, Actual: 100, Forecast: 100}
+				if rap.Matches(combo) {
+					leaf.Actual = 40
+					leaf.Anomalous = true
+				}
+				leaves = append(leaves, leaf)
+			}
+		}
+	}
+	snap, err := kpi.NewSnapshot(s, leaves)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := l.Localize(snap, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Patterns) == 0 {
+			b.Fatal("nothing found")
+		}
+	}
+}

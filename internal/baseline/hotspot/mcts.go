@@ -1,0 +1,134 @@
+package hotspot
+
+import (
+	"math"
+	"math/rand"
+)
+
+// mctsNode is one node of the search tree. The state is the set of chosen
+// element indexes along the path from the root; each child adds one more
+// element (only indexes greater than the last chosen one, so every subset
+// has exactly one path).
+type mctsNode struct {
+	parent   *mctsNode
+	children map[int]*mctsNode
+	// elem is the element index added by the edge into this node
+	// (-1 at the root).
+	elem   int
+	visits int
+	// q is the maximum reward observed below this node; HotSpot
+	// backpropagates max rather than mean because the evaluation is
+	// deterministic.
+	q float64
+}
+
+// mcts is a small UCT searcher over fixed-size subsets.
+type mcts struct {
+	root       *mctsNode
+	numElems   int
+	maxSetSize int
+	ucb        float64
+	rng        *rand.Rand
+	// cursor tracks the node reached by the last selectAndExpand call so
+	// backpropagate can walk upward.
+	cursor *mctsNode
+}
+
+func newMCTS(numElems, maxSetSize int, ucb float64, rng *rand.Rand) *mcts {
+	return &mcts{
+		root:       &mctsNode{elem: -1, children: make(map[int]*mctsNode)},
+		numElems:   numElems,
+		maxSetSize: maxSetSize,
+		ucb:        ucb,
+		rng:        rng,
+	}
+}
+
+// depth returns the number of elements chosen along the path to n.
+func (n *mctsNode) depth() int {
+	d := 0
+	for p := n; p.parent != nil; p = p.parent {
+		d++
+	}
+	return d
+}
+
+// selectAndExpand walks the tree with UCB1 until it can expand a new child
+// (or reaches the depth limit), expands one unvisited action at random, and
+// returns the resulting subset as a bitmask over the element indexes.
+func (t *mcts) selectAndExpand() []bool {
+	node := t.root
+	for {
+		depth := node.depth()
+		if depth >= t.maxSetSize || node.elem == t.numElems-1 {
+			break // terminal: cannot add more elements
+		}
+		if unexpanded := t.unexpandedActions(node); len(unexpanded) > 0 {
+			a := unexpanded[t.rng.Intn(len(unexpanded))]
+			child := &mctsNode{
+				parent:   node,
+				children: make(map[int]*mctsNode),
+				elem:     a,
+			}
+			node.children[a] = child
+			node = child
+			break
+		}
+		next := t.bestChild(node)
+		if next == nil {
+			break
+		}
+		node = next
+	}
+	t.cursor = node
+	return t.stateOf(node)
+}
+
+// unexpandedActions lists element indexes > node.elem without a child yet.
+func (t *mcts) unexpandedActions(node *mctsNode) []int {
+	var out []int
+	for a := node.elem + 1; a < t.numElems; a++ {
+		if _, ok := node.children[a]; !ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// bestChild picks the child maximizing UCB1 with max-Q exploitation.
+func (t *mcts) bestChild(node *mctsNode) *mctsNode {
+	var (
+		best      *mctsNode
+		bestScore = math.Inf(-1)
+	)
+	for _, c := range node.children {
+		score := c.q
+		if c.visits > 0 && node.visits > 0 {
+			score += t.ucb * math.Sqrt(math.Log(float64(node.visits))/float64(c.visits))
+		}
+		if score > bestScore {
+			bestScore = score
+			best = c
+		}
+	}
+	return best
+}
+
+// backpropagate records the reward along the path of the last expansion.
+func (t *mcts) backpropagate(reward float64) {
+	for n := t.cursor; n != nil; n = n.parent {
+		n.visits++
+		if reward > n.q {
+			n.q = reward
+		}
+	}
+}
+
+// stateOf converts the path into a bitmask.
+func (t *mcts) stateOf(node *mctsNode) []bool {
+	bits := make([]bool, t.numElems)
+	for n := node; n.parent != nil; n = n.parent {
+		bits[n.elem] = true
+	}
+	return bits
+}

@@ -1,0 +1,64 @@
+package idice
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/kpi"
+)
+
+// benchSnapshotIDice builds a CDN-shaped snapshot with one injected RAP.
+func benchSnapshotIDice(b *testing.B) *kpi.Snapshot {
+	b.Helper()
+	mk := func(prefix string, n int) kpi.Attribute {
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = prefix + string(rune('a'+i/26)) + string(rune('a'+i%26))
+		}
+		return kpi.Attribute{Name: prefix, Values: vals}
+	}
+	s := kpi.MustSchema(mk("L", 33), mk("A", 4), mk("O", 4), mk("S", 20))
+	rap := kpi.Combination{11, kpi.Wildcard, kpi.Wildcard, kpi.Wildcard}
+	r := rand.New(rand.NewSource(6))
+	var leaves []kpi.Leaf
+	for l := int32(0); l < 33; l++ {
+		for a := int32(0); a < 4; a++ {
+			for o := int32(0); o < 4; o++ {
+				for w := int32(0); w < 20; w++ {
+					combo := kpi.Combination{l, a, o, w}
+					f := 50 + 100*r.Float64()
+					leaf := kpi.Leaf{Combo: combo, Actual: f, Forecast: f}
+					if rap.Matches(combo) {
+						leaf.Actual = f * 0.4
+						leaf.Anomalous = true
+					}
+					leaves = append(leaves, leaf)
+				}
+			}
+		}
+	}
+	snap, err := kpi.NewSnapshot(s, leaves)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return snap
+}
+
+func BenchmarkLocalize(b *testing.B) {
+	snap := benchSnapshotIDice(b)
+	l, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := l.Localize(snap, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Patterns) == 0 {
+			b.Fatal("nothing found")
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package squeeze
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/kpi"
+)
+
+// benchSnapshot builds a 14400-leaf snapshot with two same-cuboid RAPs of
+// distinct magnitudes (the workload Squeeze is designed for).
+func benchSnapshot(b *testing.B) *kpi.Snapshot {
+	b.Helper()
+	mk := func(prefix string, n int) kpi.Attribute {
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = prefix + string(rune('a'+i/26)) + string(rune('a'+i%26))
+		}
+		return kpi.Attribute{Name: prefix, Values: vals}
+	}
+	s := kpi.MustSchema(mk("A", 10), mk("B", 12), mk("C", 8), mk("D", 15))
+	rapA := kpi.Combination{2, kpi.Wildcard, kpi.Wildcard, kpi.Wildcard}
+	rapB := kpi.Combination{7, kpi.Wildcard, kpi.Wildcard, kpi.Wildcard}
+	r := rand.New(rand.NewSource(9))
+	var leaves []kpi.Leaf
+	for a := int32(0); a < 10; a++ {
+		for bb := int32(0); bb < 12; bb++ {
+			for c := int32(0); c < 8; c++ {
+				for d := int32(0); d < 15; d++ {
+					combo := kpi.Combination{a, bb, c, d}
+					f := 50 + 100*r.Float64()
+					leaf := kpi.Leaf{Combo: combo, Actual: f, Forecast: f}
+					switch {
+					case rapA.Matches(combo):
+						leaf.Actual = f * 0.5
+						leaf.Anomalous = true
+					case rapB.Matches(combo):
+						leaf.Actual = f * 0.2
+						leaf.Anomalous = true
+					}
+					leaves = append(leaves, leaf)
+				}
+			}
+		}
+	}
+	snap, err := kpi.NewSnapshot(s, leaves)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return snap
+}
+
+func BenchmarkLocalize(b *testing.B) {
+	snap := benchSnapshot(b)
+	l, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := l.Localize(snap, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Patterns) == 0 {
+			b.Fatal("nothing found")
+		}
+	}
+}
+
+func BenchmarkClusterByDeviation(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	scores := make([]float64, 2000)
+	idx := make([]int, len(scores))
+	for i := range scores {
+		scores[i] = r.Float64() * 1.5
+		idx[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := clusterByDeviation(scores, idx, 0.05); len(got) == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package cdn
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkSnapshotAt(b *testing.B) {
+	sim, err := NewSimulator(DefaultConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := time.Date(2026, 2, 10, 21, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := sim.SnapshotAt(ts.Add(time.Duration(i) * time.Minute))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if snap.Len() == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+func BenchmarkTableAt(b *testing.B) {
+	sim, err := NewSimulator(DefaultConfig(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := time.Date(2026, 2, 10, 21, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.TableAt(ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package cdn simulates the ISP-operated CDN the RAPMiner paper studies. It
+// stands in for the proprietary production traces: the paper's RAPMD
+// dataset starts from 35 days of minute-granularity fundamental KPIs of the
+// most fine-grained attribute combinations of a real CDN; this simulator
+// produces the same shape of data — a Table I schema (33 locations, 4
+// access types, 4 OS, 20 websites), heavy-tailed per-leaf traffic volumes,
+// diurnal/weekly seasonality, sparse leaves, and both fundamental
+// (out-flow, requests, cache hits) and derived (hit ratio) KPIs.
+package cdn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/kpi"
+	"repro/internal/timeseries"
+)
+
+// DefaultSchema returns the Table I attribute space of the paper's CDN:
+// Location (33), Access Type (4), OS (4), Website (20) — 10560 leaves.
+func DefaultSchema() *kpi.Schema {
+	locations := make([]string, 33)
+	for i := range locations {
+		locations[i] = fmt.Sprintf("L%d", i+1)
+	}
+	websites := make([]string, 20)
+	for i := range websites {
+		websites[i] = fmt.Sprintf("Site%d", i+1)
+	}
+	return kpi.MustSchema(
+		kpi.Attribute{Name: "Location", Values: locations},
+		kpi.Attribute{Name: "AccessType", Values: []string{"Wireless", "Fixed", "Cellular", "Dedicated"}},
+		kpi.Attribute{Name: "OS", Values: []string{"Android", "IOS", "Windows", "Other"}},
+		kpi.Attribute{Name: "Website", Values: websites},
+	)
+}
+
+// Config parameterizes a Simulator.
+type Config struct {
+	// Schema defaults to DefaultSchema when nil.
+	Schema *kpi.Schema
+	// Seed fixes the per-leaf weights and the noise stream.
+	Seed int64
+	// BaseTraffic is the mean out-flow of the whole CDN at the seasonal
+	// baseline (arbitrary units, e.g. Mbit/min).
+	BaseTraffic float64
+	// Sparsity is the fraction of leaves carrying no traffic at all —
+	// the paper notes that fine-grained CDN KPIs "are usually sparse".
+	Sparsity float64
+	// NoiseStd is the multiplicative observation noise per leaf sample.
+	NoiseStd float64
+	// CacheHitRatio is the mean cache hit ratio of edge nodes.
+	CacheHitRatio float64
+}
+
+// DefaultConfig returns a CDN of plausible scale: 1 Tbit/min aggregate
+// traffic, 5% silent leaves, 3% per-sample noise.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:          seed,
+		BaseTraffic:   1e6,
+		Sparsity:      0.05,
+		NoiseStd:      0.03,
+		CacheHitRatio: 0.92,
+	}
+}
+
+// Simulator produces KPI snapshots and tables of the simulated CDN at any
+// timestamp, deterministically for a given seed.
+type Simulator struct {
+	schema  *kpi.Schema
+	cfg     Config
+	profile timeseries.SeasonalProfile
+	// combos and weights describe the active (non-silent) leaves; a
+	// weight is the leaf's share of the CDN's aggregate traffic.
+	combos  []kpi.Combination
+	weights []float64
+	// phase shifts the diurnal peak per location to mimic geography.
+	phase []float64
+}
+
+// NewSimulator validates the configuration and draws the static leaf
+// population (weights, sparsity mask, per-location phase).
+func NewSimulator(cfg Config) (*Simulator, error) {
+	if cfg.BaseTraffic <= 0 {
+		return nil, fmt.Errorf("cdn: BaseTraffic %v, want > 0", cfg.BaseTraffic)
+	}
+	if cfg.Sparsity < 0 || cfg.Sparsity >= 1 {
+		return nil, fmt.Errorf("cdn: Sparsity %v out of [0, 1)", cfg.Sparsity)
+	}
+	if cfg.NoiseStd < 0 {
+		return nil, fmt.Errorf("cdn: NoiseStd %v, want >= 0", cfg.NoiseStd)
+	}
+	if cfg.CacheHitRatio <= 0 || cfg.CacheHitRatio > 1 {
+		return nil, fmt.Errorf("cdn: CacheHitRatio %v out of (0, 1]", cfg.CacheHitRatio)
+	}
+	schema := cfg.Schema
+	if schema == nil {
+		schema = DefaultSchema()
+	}
+
+	s := &Simulator{
+		schema:  schema,
+		cfg:     cfg,
+		profile: timeseries.DefaultProfile(1),
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	// Heavy-tailed popularity per attribute element (Zipf-ish): the
+	// weight of a leaf is the product of its elements' popularities, so
+	// popular sites on popular locations dominate, like real CDNs.
+	elemPop := make([][]float64, schema.NumAttributes())
+	for a := range elemPop {
+		card := schema.Cardinality(a)
+		elemPop[a] = make([]float64, card)
+		for e := range elemPop[a] {
+			// Zipf over a random permutation plus log-normal jitter.
+			rank := float64(e%card) + 1
+			elemPop[a][e] = math.Exp(0.5*r.NormFloat64()) / rank
+		}
+		r.Shuffle(card, func(i, j int) {
+			elemPop[a][i], elemPop[a][j] = elemPop[a][j], elemPop[a][i]
+		})
+	}
+
+	s.phase = make([]float64, schema.Cardinality(0))
+	for i := range s.phase {
+		s.phase[i] = 2 * (r.Float64() - 0.5) // +/- 1 hour
+	}
+
+	var totalWeight float64
+	forEachLeaf(schema, func(c kpi.Combination) {
+		if r.Float64() < cfg.Sparsity {
+			return // silent leaf
+		}
+		w := 1.0
+		for a, code := range c {
+			w *= elemPop[a][code]
+		}
+		s.combos = append(s.combos, c.Clone())
+		s.weights = append(s.weights, w)
+		totalWeight += w
+	})
+	for i := range s.weights {
+		s.weights[i] /= totalWeight
+	}
+	return s, nil
+}
+
+// Schema returns the simulator's attribute space.
+func (s *Simulator) Schema() *kpi.Schema { return s.schema }
+
+// NumActiveLeaves returns the number of leaves carrying traffic.
+func (s *Simulator) NumActiveLeaves() int { return len(s.combos) }
+
+// expected returns the noiseless out-flow of leaf i at ts.
+func (s *Simulator) expected(i int, ts time.Time) float64 {
+	shifted := ts.Add(time.Duration(s.phase[s.combos[i][0]] * float64(time.Hour)))
+	return s.cfg.BaseTraffic * s.weights[i] * s.profile.ValueAt(shifted)
+}
+
+// SnapshotAt returns the out-flow snapshot at ts: Actual carries the
+// simulated (noisy) observation and Forecast the noiseless seasonal
+// expectation, standing in for the external prediction method the paper
+// assumes. Labels start false. The result is deterministic in (seed, ts).
+func (s *Simulator) SnapshotAt(ts time.Time) (*kpi.Snapshot, error) {
+	r := rand.New(rand.NewSource(s.cfg.Seed ^ ts.Unix()))
+	leaves := make([]kpi.Leaf, len(s.combos))
+	for i := range s.combos {
+		f := s.expected(i, ts)
+		v := f * (1 + s.cfg.NoiseStd*r.NormFloat64())
+		if v < 0 {
+			v = 0
+		}
+		leaves[i] = kpi.Leaf{Combo: s.combos[i], Actual: v, Forecast: f}
+	}
+	return kpi.NewSnapshot(s.schema, leaves)
+}
+
+// TableAt returns the fundamental KPIs at ts (out_flow, requests, hits)
+// plus the derived hit_ratio column, demonstrating the fundamental/derived
+// KPI pipeline of Section III-A.
+func (s *Simulator) TableAt(ts time.Time) (*kpi.Table, error) {
+	r := rand.New(rand.NewSource(s.cfg.Seed ^ ts.Unix() ^ 0x5bd1e995))
+	tbl, err := kpi.NewTable(s.schema, s.combos)
+	if err != nil {
+		return nil, err
+	}
+	n := len(s.combos)
+	outFlow := make([]float64, n)
+	requests := make([]float64, n)
+	hits := make([]float64, n)
+	const meanObjectKB = 512
+	for i := range s.combos {
+		flow := s.expected(i, ts) * (1 + s.cfg.NoiseStd*r.NormFloat64())
+		if flow < 0 {
+			flow = 0
+		}
+		outFlow[i] = flow
+		requests[i] = math.Ceil(flow / meanObjectKB * 1024)
+		hitRatio := s.cfg.CacheHitRatio + 0.02*r.NormFloat64()
+		hitRatio = math.Max(0, math.Min(1, hitRatio))
+		hits[i] = math.Round(requests[i] * hitRatio)
+	}
+	for name, col := range map[string][]float64{
+		"out_flow": outFlow,
+		"requests": requests,
+		"hits":     hits,
+	} {
+		if err := tbl.SetColumn(name, col); err != nil {
+			return nil, err
+		}
+	}
+	err = tbl.Derive("hit_ratio", []string{"hits", "requests"}, func(v []float64) float64 {
+		if v[1] == 0 {
+			return 0
+		}
+		return v[0] / v[1]
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// forEachLeaf enumerates the full Cartesian product of the schema in
+// lexicographic code order.
+func forEachLeaf(s *kpi.Schema, fn func(kpi.Combination)) {
+	n := s.NumAttributes()
+	combo := make(kpi.Combination, n)
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == n {
+			fn(combo)
+			return
+		}
+		for v := int32(0); v < int32(s.Cardinality(depth)); v++ {
+			combo[depth] = v
+			rec(depth + 1)
+		}
+	}
+	rec(0)
+}

@@ -1,0 +1,233 @@
+package cdn
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/kpi"
+)
+
+var testTime = time.Date(2026, 2, 10, 21, 0, 0, 0, time.UTC)
+
+func TestDefaultSchemaMatchesTableI(t *testing.T) {
+	s := DefaultSchema()
+	if got := s.NumAttributes(); got != 4 {
+		t.Fatalf("NumAttributes = %d, want 4", got)
+	}
+	wantCard := map[string]int{"Location": 33, "AccessType": 4, "OS": 4, "Website": 20}
+	for name, card := range wantCard {
+		i, ok := s.AttributeIndex(name)
+		if !ok {
+			t.Fatalf("attribute %q missing", name)
+		}
+		if got := s.Cardinality(i); got != card {
+			t.Errorf("Cardinality(%s) = %d, want %d", name, got, card)
+		}
+	}
+	// 33 * 4 * 4 * 20 = 10560 (Section II-B of the paper).
+	if got := s.NumLeaves(); got != 10560 {
+		t.Errorf("NumLeaves = %d, want 10560", got)
+	}
+}
+
+func TestNewSimulatorValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{BaseTraffic: 0, CacheHitRatio: 0.9},
+		{BaseTraffic: 1, Sparsity: -0.1, CacheHitRatio: 0.9},
+		{BaseTraffic: 1, Sparsity: 1, CacheHitRatio: 0.9},
+		{BaseTraffic: 1, NoiseStd: -1, CacheHitRatio: 0.9},
+		{BaseTraffic: 1, CacheHitRatio: 0},
+		{BaseTraffic: 1, CacheHitRatio: 1.5},
+	} {
+		if _, err := NewSimulator(cfg); err == nil {
+			t.Errorf("NewSimulator(%+v) accepted invalid config", cfg)
+		}
+	}
+}
+
+func smallConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Schema = kpi.MustSchema(
+		kpi.Attribute{Name: "Location", Values: []string{"L1", "L2", "L3", "L4", "L5"}},
+		kpi.Attribute{Name: "AccessType", Values: []string{"Wireless", "Fixed"}},
+		kpi.Attribute{Name: "OS", Values: []string{"Android", "IOS"}},
+		kpi.Attribute{Name: "Website", Values: []string{"Site1", "Site2", "Site3"}},
+	)
+	return cfg
+}
+
+func TestSimulatorSparsity(t *testing.T) {
+	cfg := DefaultConfig(7)
+	cfg.Sparsity = 0.5
+	sim, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	total := sim.Schema().NumLeaves()
+	active := sim.NumActiveLeaves()
+	frac := float64(active) / float64(total)
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("active fraction = %v, want near 0.5", frac)
+	}
+}
+
+func TestSnapshotDeterministicAndSeedSensitive(t *testing.T) {
+	sim1, err := NewSimulator(smallConfig(1))
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	a, err := sim1.SnapshotAt(testTime)
+	if err != nil {
+		t.Fatalf("SnapshotAt: %v", err)
+	}
+	b, err := sim1.SnapshotAt(testTime)
+	if err != nil {
+		t.Fatalf("SnapshotAt: %v", err)
+	}
+	for i := range a.Leaves {
+		if a.Leaves[i].Actual != b.Leaves[i].Actual {
+			t.Fatalf("same (seed, ts) produced different values at leaf %d", i)
+		}
+	}
+	sim2, err := NewSimulator(smallConfig(2))
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	c, err := sim2.SnapshotAt(testTime)
+	if err != nil {
+		t.Fatalf("SnapshotAt: %v", err)
+	}
+	if sim1.NumActiveLeaves() == sim2.NumActiveLeaves() {
+		same := true
+		for i := range a.Leaves {
+			if a.Leaves[i].Actual != c.Leaves[i].Actual {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical snapshots")
+		}
+	}
+}
+
+func TestSnapshotForecastTracksActual(t *testing.T) {
+	sim, err := NewSimulator(smallConfig(3))
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	snap, err := sim.SnapshotAt(testTime)
+	if err != nil {
+		t.Fatalf("SnapshotAt: %v", err)
+	}
+	if snap.Len() == 0 {
+		t.Fatal("no active leaves")
+	}
+	// Under 3% noise nearly all leaves are within 15% of forecast.
+	within := 0
+	for _, l := range snap.Leaves {
+		if l.Forecast <= 0 {
+			t.Fatalf("non-positive forecast %v", l.Forecast)
+		}
+		if math.Abs(l.Actual-l.Forecast)/l.Forecast < 0.15 {
+			within++
+		}
+	}
+	if frac := float64(within) / float64(snap.Len()); frac < 0.99 {
+		t.Errorf("only %v of leaves near forecast", frac)
+	}
+}
+
+func TestSnapshotDiurnalPattern(t *testing.T) {
+	sim, err := NewSimulator(smallConfig(4))
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	peak, err := sim.SnapshotAt(time.Date(2026, 2, 10, 21, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatalf("SnapshotAt: %v", err)
+	}
+	trough, err := sim.SnapshotAt(time.Date(2026, 2, 10, 9, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatalf("SnapshotAt: %v", err)
+	}
+	pv, _ := peak.Sum(kpi.NewRoot(4))
+	tv, _ := trough.Sum(kpi.NewRoot(4))
+	if pv <= tv {
+		t.Errorf("evening traffic %v not above morning traffic %v", pv, tv)
+	}
+}
+
+func TestHeavyTailedWeights(t *testing.T) {
+	sim, err := NewSimulator(NewSimulatorDefaultForTest())
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	snap, err := sim.SnapshotAt(testTime)
+	if err != nil {
+		t.Fatalf("SnapshotAt: %v", err)
+	}
+	// Top 10% of leaves should carry well over 10% of traffic.
+	var total float64
+	values := make([]float64, snap.Len())
+	for i, l := range snap.Leaves {
+		values[i] = l.Forecast
+		total += l.Forecast
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	cut := sorted[len(sorted)*9/10]
+	var topShare float64
+	for _, v := range values {
+		if v >= cut {
+			topShare += v
+		}
+	}
+	if topShare/total < 0.3 {
+		t.Errorf("top decile carries %v of traffic, want heavy tail (> 0.3)", topShare/total)
+	}
+}
+
+// NewSimulatorDefaultForTest returns the default config over the full
+// Table I schema with a fixed seed.
+func NewSimulatorDefaultForTest() Config {
+	return DefaultConfig(99)
+}
+
+func TestTableAtColumnsAndDerivation(t *testing.T) {
+	sim, err := NewSimulator(smallConfig(5))
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	tbl, err := sim.TableAt(testTime)
+	if err != nil {
+		t.Fatalf("TableAt: %v", err)
+	}
+	for _, col := range []string{"out_flow", "requests", "hits", "hit_ratio"} {
+		vals, ok := tbl.Column(col)
+		if !ok {
+			t.Fatalf("column %q missing", col)
+		}
+		for i, v := range vals {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("column %q row %d = %v", col, i, v)
+			}
+		}
+	}
+	hits, _ := tbl.Column("hits")
+	reqs, _ := tbl.Column("requests")
+	ratio, _ := tbl.Column("hit_ratio")
+	for i := range hits {
+		if hits[i] > reqs[i] {
+			t.Fatalf("row %d: hits %v > requests %v", i, hits[i], reqs[i])
+		}
+		if reqs[i] > 0 {
+			want := hits[i] / reqs[i]
+			if math.Abs(ratio[i]-want) > 1e-9 {
+				t.Fatalf("row %d: hit_ratio %v, want %v", i, ratio[i], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package ensemble combines several localization methods with reciprocal
+// rank fusion. The RAPMiner paper observes that different methods win on
+// different workload shapes (Fig. 8: Squeeze on some 2-D groups, FP-growth
+// on (2,1)/(3,3), RAPMiner on 1-D and RAPMD); fusing their rankings is the
+// natural "supplement" extension — a pattern several methods agree on is a
+// stronger RAP candidate than any single method's opinion.
+package ensemble
+
+import (
+	"fmt"
+
+	"repro/internal/kpi"
+	"repro/internal/localize"
+)
+
+// rrfK is the standard reciprocal-rank-fusion damping constant.
+const rrfK = 60
+
+// Localizer fuses the rankings of its member methods.
+type Localizer struct {
+	members []localize.Localizer
+}
+
+var _ localize.Localizer = (*Localizer)(nil)
+
+// New builds an ensemble over at least one member.
+func New(members ...localize.Localizer) (*Localizer, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("ensemble: no members")
+	}
+	for i, m := range members {
+		if m == nil {
+			return nil, fmt.Errorf("ensemble: member %d is nil", i)
+		}
+	}
+	return &Localizer{members: members}, nil
+}
+
+// Name implements localize.Localizer.
+func (l *Localizer) Name() string { return "Ensemble" }
+
+// Members returns the member names, for reports.
+func (l *Localizer) Members() []string {
+	names := make([]string, len(l.members))
+	for i, m := range l.members {
+		names[i] = m.Name()
+	}
+	return names
+}
+
+// Localize implements localize.Localizer: each member is asked for a
+// generous candidate list, and candidates are re-ranked by
+// sum over members of 1 / (rrfK + rank).
+func (l *Localizer) Localize(snapshot *kpi.Snapshot, k int) (localize.Result, error) {
+	if snapshot == nil {
+		return localize.Result{}, fmt.Errorf("ensemble: nil snapshot")
+	}
+	if k <= 0 {
+		return localize.Result{}, fmt.Errorf("ensemble: k = %d, want > 0", k)
+	}
+	askK := 3 * k
+	type fused struct {
+		combo kpi.Combination
+		score float64
+		votes int
+	}
+	pool := make(map[string]*fused)
+	for _, m := range l.members {
+		res, err := m.Localize(snapshot, askK)
+		if err != nil {
+			return localize.Result{}, fmt.Errorf("ensemble: %s: %w", m.Name(), err)
+		}
+		for rank, p := range res.Patterns {
+			key := p.Combo.Key()
+			f, ok := pool[key]
+			if !ok {
+				f = &fused{combo: p.Combo}
+				pool[key] = f
+			}
+			f.score += 1 / float64(rrfK+rank+1)
+			f.votes++
+		}
+	}
+
+	out := make([]localize.ScoredPattern, 0, len(pool))
+	for _, f := range pool {
+		out = append(out, localize.ScoredPattern{Combo: f.combo, Score: f.score})
+	}
+	// SortPatterns ranks by fused score and breaks ties toward coarser
+	// patterns, which is the right default here too.
+	localize.SortPatterns(out)
+	if k < len(out) {
+		out = out[:k]
+	}
+	return localize.Result{Patterns: out}, nil
+}

@@ -1,0 +1,50 @@
+package ensemble_test
+
+import (
+	"fmt"
+
+	"repro/internal/baseline/fpgrowth"
+	"repro/internal/ensemble"
+	"repro/internal/kpi"
+	"repro/internal/rapminer"
+)
+
+// Example fuses RAPMiner with the FP-growth baseline: the pattern both
+// rank first wins the fused ranking.
+func Example() {
+	schema := kpi.MustSchema(
+		kpi.Attribute{Name: "Location", Values: []string{"L1", "L2"}},
+		kpi.Attribute{Name: "Website", Values: []string{"Site1", "Site2"}},
+	)
+	scope := kpi.MustParseCombination(schema, "(*, Site2)")
+	var leaves []kpi.Leaf
+	for l := int32(0); l < 2; l++ {
+		for w := int32(0); w < 2; w++ {
+			combo := kpi.Combination{l, w}
+			leaf := kpi.Leaf{Combo: combo, Actual: 100, Forecast: 100}
+			if scope.Matches(combo) {
+				leaf.Actual = 20
+				leaf.Anomalous = true
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	snapshot, err := kpi.NewSnapshot(schema, leaves)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	miner, _ := rapminer.New(rapminer.DefaultConfig())
+	rules, _ := fpgrowth.New(fpgrowth.DefaultConfig())
+	fused, _ := ensemble.New(miner, rules)
+
+	result, err := fused.Localize(snapshot, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(result.Patterns[0].Combo.Format(schema))
+	// Output:
+	// (*, Site2)
+}

@@ -1,0 +1,60 @@
+package evalmetrics
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// RCInterval is a bootstrap percentile confidence interval for RC@k.
+type RCInterval struct {
+	// Point is the plain RC@k estimate.
+	Point float64
+	// Lo and Hi bound the interval at the requested level.
+	Lo, Hi float64
+	// Level is the confidence level, e.g. 0.95.
+	Level float64
+	// NumTrue is the number of true RAPs resampled over.
+	NumTrue int
+}
+
+// Bootstrap computes a percentile confidence interval for the accumulated
+// RC@k by resampling the per-truth hit indicators with replacement. seed
+// fixes the resampling stream so reports are reproducible.
+func (m *RCAtK) Bootstrap(resamples int, level float64, seed int64) (RCInterval, error) {
+	if resamples < 10 {
+		return RCInterval{}, fmt.Errorf("evalmetrics: resamples %d, want >= 10", resamples)
+	}
+	if level <= 0 || level >= 1 {
+		return RCInterval{}, fmt.Errorf("evalmetrics: level %v out of (0, 1)", level)
+	}
+	n := len(m.perTruth)
+	if n == 0 {
+		return RCInterval{}, fmt.Errorf("evalmetrics: no truths accumulated")
+	}
+	r := rand.New(rand.NewSource(seed))
+	values := make([]float64, resamples)
+	for b := range values {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if m.perTruth[r.Intn(n)] {
+				hits++
+			}
+		}
+		values[b] = float64(hits) / float64(n)
+	}
+	sort.Float64s(values)
+	alpha := (1 - level) / 2
+	lo := values[int(alpha*float64(resamples))]
+	hiIdx := int((1 - alpha) * float64(resamples))
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	return RCInterval{
+		Point:   m.Value(),
+		Lo:      lo,
+		Hi:      values[hiIdx],
+		Level:   level,
+		NumTrue: n,
+	}, nil
+}

@@ -1,0 +1,83 @@
+package evalmetrics
+
+import (
+	"repro/internal/kpi"
+)
+
+// ScopeOverlap measures partial credit between a predicted pattern and a
+// true RAP as the Jaccard index of their leaf scopes in the snapshot:
+// |pred ∩ truth| / |pred ∪ truth|. The exact-match metrics of the paper
+// treat (L1, Wireless, *, Site1) as a complete miss of (L1, *, *, Site1);
+// scope overlap quantifies how close such near-misses are.
+func ScopeOverlap(s *kpi.Snapshot, pred, truth kpi.Combination) float64 {
+	predScope := s.LeafScope(pred)
+	truthScope := s.LeafScope(truth)
+	if len(predScope) == 0 && len(truthScope) == 0 {
+		return 0
+	}
+	inter := 0
+	for k := range predScope {
+		if _, ok := truthScope[k]; ok {
+			inter++
+		}
+	}
+	union := len(predScope) + len(truthScope) - inter
+	return float64(inter) / float64(union)
+}
+
+// BestOverlaps greedily assigns each true RAP the highest-overlap unused
+// prediction and returns the per-truth overlaps (0 when no prediction is
+// left). The mean of the result is a partial-credit recall counterpart to
+// RC@k.
+func BestOverlaps(s *kpi.Snapshot, preds, truths []kpi.Combination) []float64 {
+	out := make([]float64, len(truths))
+	used := make([]bool, len(preds))
+	// Greedy: repeatedly take the globally best (truth, pred) pair.
+	assigned := make([]bool, len(truths))
+	for round := 0; round < len(truths); round++ {
+		bestT, bestP, bestV := -1, -1, 0.0
+		for ti := range truths {
+			if assigned[ti] {
+				continue
+			}
+			for pi := range preds {
+				if used[pi] {
+					continue
+				}
+				v := ScopeOverlap(s, preds[pi], truths[ti])
+				if v > bestV {
+					bestT, bestP, bestV = ti, pi, v
+				}
+			}
+		}
+		if bestT < 0 {
+			break // nothing overlaps anything anymore
+		}
+		assigned[bestT] = true
+		used[bestP] = true
+		out[bestT] = bestV
+	}
+	return out
+}
+
+// MeanOverlap accumulates BestOverlaps across cases.
+type MeanOverlap struct {
+	sum float64
+	n   int
+}
+
+// Add scores one case.
+func (m *MeanOverlap) Add(s *kpi.Snapshot, preds, truths []kpi.Combination) {
+	for _, v := range BestOverlaps(s, preds, truths) {
+		m.sum += v
+		m.n++
+	}
+}
+
+// Value returns the mean per-truth scope overlap, or 0 with no samples.
+func (m *MeanOverlap) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}

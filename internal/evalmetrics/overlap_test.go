@@ -1,0 +1,108 @@
+package evalmetrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kpi"
+)
+
+// overlapSnapshot is a dense 3x2x2 snapshot for scope computations.
+func overlapSnapshot(t *testing.T) *kpi.Snapshot {
+	t.Helper()
+	s := kpi.MustSchema(
+		kpi.Attribute{Name: "A", Values: []string{"a1", "a2", "a3"}},
+		kpi.Attribute{Name: "B", Values: []string{"b1", "b2"}},
+		kpi.Attribute{Name: "C", Values: []string{"c1", "c2"}},
+	)
+	var leaves []kpi.Leaf
+	for a := int32(0); a < 3; a++ {
+		for b := int32(0); b < 2; b++ {
+			for c := int32(0); c < 2; c++ {
+				leaves = append(leaves, kpi.Leaf{Combo: kpi.Combination{a, b, c}})
+			}
+		}
+	}
+	snap, err := kpi.NewSnapshot(s, leaves)
+	if err != nil {
+		t.Fatalf("NewSnapshot: %v", err)
+	}
+	return snap
+}
+
+func TestScopeOverlapIdentityAndDisjoint(t *testing.T) {
+	snap := overlapSnapshot(t)
+	a1 := kpi.MustParseCombination(snap.Schema, "(a1, *, *)")
+	a2 := kpi.MustParseCombination(snap.Schema, "(a2, *, *)")
+	if got := ScopeOverlap(snap, a1, a1); got != 1 {
+		t.Errorf("self overlap = %v, want 1", got)
+	}
+	if got := ScopeOverlap(snap, a1, a2); got != 0 {
+		t.Errorf("disjoint overlap = %v, want 0", got)
+	}
+}
+
+func TestScopeOverlapChildOfTruth(t *testing.T) {
+	snap := overlapSnapshot(t)
+	truth := kpi.MustParseCombination(snap.Schema, "(a1, *, *)")  // 4 leaves
+	child := kpi.MustParseCombination(snap.Schema, "(a1, b1, *)") // 2 leaves, subset
+	if got := ScopeOverlap(snap, child, truth); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("child overlap = %v, want 0.5", got)
+	}
+	// Symmetric.
+	if got := ScopeOverlap(snap, truth, child); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("reversed overlap = %v, want 0.5", got)
+	}
+}
+
+func TestScopeOverlapEmptyScopes(t *testing.T) {
+	s := kpi.MustSchema(kpi.Attribute{Name: "A", Values: []string{"a1", "a2"}})
+	snap, err := kpi.NewSnapshot(s, []kpi.Leaf{{Combo: kpi.Combination{0}}})
+	if err != nil {
+		t.Fatalf("NewSnapshot: %v", err)
+	}
+	absent := kpi.Combination{1}
+	if got := ScopeOverlap(snap, absent, absent); got != 0 {
+		t.Errorf("empty-vs-empty overlap = %v, want 0", got)
+	}
+}
+
+func TestBestOverlapsGreedyAssignment(t *testing.T) {
+	snap := overlapSnapshot(t)
+	parse := func(txt string) kpi.Combination {
+		return kpi.MustParseCombination(snap.Schema, txt)
+	}
+	truths := []kpi.Combination{parse("(a1, *, *)"), parse("(a2, *, *)")}
+	// First prediction exactly matches truth 0; second is a child of
+	// truth 1.
+	preds := []kpi.Combination{parse("(a1, *, *)"), parse("(a2, b2, *)")}
+	got := BestOverlaps(snap, preds, truths)
+	if got[0] != 1 {
+		t.Errorf("truth 0 overlap = %v, want 1", got[0])
+	}
+	if math.Abs(got[1]-0.5) > 1e-12 {
+		t.Errorf("truth 1 overlap = %v, want 0.5", got[1])
+	}
+	// A prediction is consumed once: duplicate truths cannot both claim
+	// the same exact prediction.
+	dup := BestOverlaps(snap, preds[:1], []kpi.Combination{truths[0], truths[0]})
+	if dup[0] != 1 || dup[1] != 0 {
+		t.Errorf("duplicate truths got %v, want [1 0]", dup)
+	}
+}
+
+func TestMeanOverlapAccumulates(t *testing.T) {
+	snap := overlapSnapshot(t)
+	parse := func(txt string) kpi.Combination {
+		return kpi.MustParseCombination(snap.Schema, txt)
+	}
+	var m MeanOverlap
+	if m.Value() != 0 {
+		t.Error("empty MeanOverlap not 0")
+	}
+	m.Add(snap, []kpi.Combination{parse("(a1, *, *)")}, []kpi.Combination{parse("(a1, *, *)")})
+	m.Add(snap, nil, []kpi.Combination{parse("(a2, *, *)")})
+	if got := m.Value(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MeanOverlap = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/evalmetrics"
+	"repro/internal/gendata"
+)
+
+// DerivedStudyRow compares a method's RC@3 on the fundamental-KPI RAPMD
+// corpus against the derived-KPI (cache hit ratio) corpus. The paper's
+// genericity claim (Section IV-B) predicts that label-only methods —
+// RAPMiner, FP-growth — hold their effectiveness on the non-additive KPI,
+// while methods that model the KPI values themselves degrade.
+type DerivedStudyRow struct {
+	Method      string
+	Fundamental float64
+	Derived     float64
+}
+
+// RunDerivedStudy evaluates every method on both corpora.
+func RunDerivedStudy(opt Options) ([]DerivedStudyRow, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	methods, err := opt.methods()
+	if err != nil {
+		return nil, err
+	}
+	fundamental, err := gendata.RAPMD(opt.Seed, opt.RAPMDCases)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: rapmd corpus: %w", err)
+	}
+	derived, err := gendata.RAPMDDerived(opt.Seed, opt.RAPMDCases)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: derived corpus: %w", err)
+	}
+
+	score := func(m string, corpus *gendata.Corpus) (float64, error) {
+		for _, method := range methods {
+			if method.Name() != m {
+				continue
+			}
+			rc, err := evalmetrics.NewRCAtK(3)
+			if err != nil {
+				return 0, err
+			}
+			for ci, c := range corpus.Cases {
+				res, err := method.Localize(c.Snapshot, 3)
+				if err != nil {
+					return 0, fmt.Errorf("experiments: %s on %s case %d: %w", m, corpus.Name, ci, err)
+				}
+				rc.Add(res.TopK(3), c.RAPs)
+			}
+			return rc.Value(), nil
+		}
+		return 0, fmt.Errorf("experiments: method %q missing", m)
+	}
+
+	var rows []DerivedStudyRow
+	for _, m := range methods {
+		f, err := score(m.Name(), fundamental)
+		if err != nil {
+			return nil, err
+		}
+		d, err := score(m.Name(), derived)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, DerivedStudyRow{Method: m.Name(), Fundamental: f, Derived: d})
+	}
+	return rows, nil
+}
+
+// FormatDerivedStudy renders the fundamental-vs-derived comparison.
+func FormatDerivedStudy(rows []DerivedStudyRow) string {
+	header := []string{"method", "RC@3 fundamental (out-flow)", "RC@3 derived (hit ratio)"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Method,
+			fmt.Sprintf("%.1f%%", 100*r.Fundamental),
+			fmt.Sprintf("%.1f%%", 100*r.Derived),
+		})
+	}
+	return "Extension — fundamental vs. derived KPI on RAPMD-style corpora\n" +
+		textTable(header, out)
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/anomaly"
+	"repro/internal/evalmetrics"
+	"repro/internal/gendata"
+)
+
+// ExternalEvalRow holds one method's scores on an externally supplied
+// corpus (the published Squeeze dataset layout; see gendata.LoadExternal).
+type ExternalEvalRow struct {
+	Method string
+	// F1 uses the Fig. 8(a) protocol: returned-k equals the true count.
+	F1 float64
+	// RC3 uses the Fig. 8(b) protocol with k = 3.
+	RC3         float64
+	MeanSeconds float64
+}
+
+// RunExternalEval loads a corpus from dir, labels its leaves with the
+// default detector and evaluates every method on it.
+func RunExternalEval(dir string, opt Options) ([]ExternalEvalRow, string, error) {
+	methods, err := opt.methods()
+	if err != nil {
+		return nil, "", err
+	}
+	corpus, err := gendata.LoadExternal(dir, anomaly.DefaultRelativeDeviation())
+	if err != nil {
+		return nil, "", err
+	}
+
+	var rows []ExternalEvalRow
+	for _, m := range methods {
+		var (
+			score  evalmetrics.SetScore
+			timing evalmetrics.Timing
+		)
+		rc, err := evalmetrics.NewRCAtK(3)
+		if err != nil {
+			return nil, "", err
+		}
+		for ci, c := range corpus.Cases {
+			start := time.Now()
+			res, err := m.Localize(c.Snapshot, 3)
+			if err != nil {
+				return nil, "", fmt.Errorf("experiments: %s on external case %d: %w", m.Name(), ci, err)
+			}
+			timing.Add(time.Since(start))
+			rc.Add(res.TopK(3), c.RAPs)
+			score.Add(res.TopK(len(c.RAPs)), c.RAPs)
+		}
+		rows = append(rows, ExternalEvalRow{
+			Method:      m.Name(),
+			F1:          score.F1(),
+			RC3:         rc.Value(),
+			MeanSeconds: timing.Mean().Seconds(),
+		})
+	}
+	return rows, corpus.Name, nil
+}
+
+// FormatExternalEval renders the external-corpus evaluation.
+func FormatExternalEval(rows []ExternalEvalRow, name string) string {
+	header := []string{"method", "F1", "RC@3", "mean time"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Method,
+			fmt.Sprintf("%.3f", r.F1),
+			fmt.Sprintf("%.1f%%", 100*r.RC3),
+			fmt.Sprintf("%.4gs", r.MeanSeconds),
+		})
+	}
+	return fmt.Sprintf("Evaluation on %s (%d methods)\n", name, len(rows)) + textTable(header, out)
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Report bundles one full evaluation run for rendering.
+type Report struct {
+	Options   Options
+	Squeeze   []SqueezeEvalRow
+	RAPMD     []RAPMDEvalRow
+	Fig10a    []SensitivityPoint
+	Fig10b    []SensitivityPoint
+	Table4    []Table4Row
+	Table4Emp Table4Empirical
+	Table6    Table6Result
+	Noise     []NoiseStudyRow
+	Detection []DetectionPoint
+	Overlap   []OverlapStudyRow
+	Derived   []DerivedStudyRow
+}
+
+// RunReport executes every driver and collects the results.
+func RunReport(opt Options) (*Report, error) {
+	rep := &Report{Options: opt}
+	var err error
+	if rep.Squeeze, err = RunSqueezeEval(opt); err != nil {
+		return nil, err
+	}
+	if rep.RAPMD, err = RunRAPMDEval(opt); err != nil {
+		return nil, err
+	}
+	if rep.Fig10a, err = RunFig10a(opt); err != nil {
+		return nil, err
+	}
+	if rep.Fig10b, err = RunFig10b(opt); err != nil {
+		return nil, err
+	}
+	if rep.Table4, rep.Table4Emp, err = RunTable4(opt); err != nil {
+		return nil, err
+	}
+	if rep.Table6, err = RunTable6(opt); err != nil {
+		return nil, err
+	}
+	if rep.Noise, err = RunNoiseStudy(opt); err != nil {
+		return nil, err
+	}
+	if rep.Detection, err = RunDetectionStudy(opt); err != nil {
+		return nil, err
+	}
+	if rep.Overlap, err = RunOverlapStudy(opt); err != nil {
+		return nil, err
+	}
+	if rep.Derived, err = RunDerivedStudy(opt); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// WriteMarkdown renders the report as a self-contained Markdown document.
+// now stamps the header (passed in so rendering stays deterministic in
+// tests).
+func (r *Report) WriteMarkdown(w io.Writer, now time.Time) error {
+	b := &strings.Builder{}
+	fmt.Fprintf(b, "# RAPMiner reproduction report\n\n")
+	fmt.Fprintf(b, "Generated %s — seed %d, %d Squeeze cases per group, %d RAPMD cases.\n\n",
+		now.Format(time.RFC3339), r.Options.Seed, r.Options.SqueezeCases, r.Options.RAPMDCases)
+
+	mdMethodTable := func(title string, cols []string, row func(m string) []string) {
+		fmt.Fprintf(b, "## %s\n\n", title)
+		fmt.Fprintf(b, "| method | %s |\n", strings.Join(cols, " | "))
+		fmt.Fprintf(b, "|%s\n", strings.Repeat("---|", len(cols)+1))
+		for _, m := range methodColumns(asSet(r.RAPMD)) {
+			fmt.Fprintf(b, "| %s | %s |\n", m, strings.Join(row(m), " | "))
+		}
+		fmt.Fprintln(b)
+	}
+
+	// Fig. 8(a) / 9(a).
+	if len(r.Squeeze) > 0 {
+		fmt.Fprintf(b, "## Fig. 8(a) — F1 on Squeeze-B0\n\n| group | %s |\n",
+			strings.Join(methodColumns(r.Squeeze[0].F1), " | "))
+		fmt.Fprintf(b, "|%s\n", strings.Repeat("---|", len(methodColumns(r.Squeeze[0].F1))+1))
+		for _, row := range r.Squeeze {
+			cells := []string{row.Group.String()}
+			for _, m := range methodColumns(row.F1) {
+				cells = append(cells, fmt.Sprintf("%.3f", row.F1[m]))
+			}
+			fmt.Fprintf(b, "| %s |\n", strings.Join(cells, " | "))
+		}
+		fmt.Fprintln(b)
+	}
+
+	// Fig. 8(b) / 9(b).
+	byMethod := make(map[string]RAPMDEvalRow, len(r.RAPMD))
+	for _, row := range r.RAPMD {
+		byMethod[row.Method] = row
+	}
+	mdMethodTable("Fig. 8(b) — RC@k on RAPMD", []string{"RC@3", "RC@4", "RC@5", "mean time (s)"},
+		func(m string) []string {
+			row := byMethod[m]
+			return []string{
+				fmt.Sprintf("%.1f%%", 100*row.RC[3]),
+				fmt.Sprintf("%.1f%%", 100*row.RC[4]),
+				fmt.Sprintf("%.1f%%", 100*row.RC[5]),
+				fmt.Sprintf("%.4g", row.MeanSeconds),
+			}
+		})
+
+	// Fig. 10.
+	fmt.Fprintf(b, "## Fig. 10 — parameter sensitivity\n\n| t_CP | RC@3 | | t_conf | RC@3 |\n|---|---|---|---|---|\n")
+	n := len(r.Fig10a)
+	if len(r.Fig10b) > n {
+		n = len(r.Fig10b)
+	}
+	for i := 0; i < n; i++ {
+		left, right := []string{"", ""}, []string{"", ""}
+		if i < len(r.Fig10a) {
+			left = []string{fmt.Sprintf("%.4g", r.Fig10a[i].Threshold), fmt.Sprintf("%.1f%%", 100*r.Fig10a[i].RC3)}
+		}
+		if i < len(r.Fig10b) {
+			right = []string{fmt.Sprintf("%.4g", r.Fig10b[i].Threshold), fmt.Sprintf("%.1f%%", 100*r.Fig10b[i].RC3)}
+		}
+		fmt.Fprintf(b, "| %s | %s | | %s | %s |\n", left[0], left[1], right[0], right[1])
+	}
+	fmt.Fprintln(b)
+
+	// Tables IV and VI.
+	fmt.Fprintf(b, "## Table IV — DecreaseRatio@k\n\n| k | bound | exact (n=4) |\n|---|---|---|\n")
+	for _, row := range r.Table4 {
+		exact := "-"
+		if row.K <= 4 {
+			exact = fmt.Sprintf("%.4f", row.ExactAtN4)
+		}
+		fmt.Fprintf(b, "| %d | %.5f | %s |\n", row.K, row.LowerBound, exact)
+	}
+	fmt.Fprintf(b, "\nMeasured deletion histogram %v, mean reduction %.3f.\n\n",
+		r.Table4Emp.DeletedHistogram, r.Table4Emp.MeanDecreaseRatio)
+
+	fmt.Fprintf(b, "## Table VI — deletion ablation\n\n")
+	fmt.Fprintf(b, "| arm | RC@3 | mean time (s) |\n|---|---|---|\n")
+	fmt.Fprintf(b, "| with deletion | %.1f%% | %.4g |\n", 100*r.Table6.With.RC3, r.Table6.With.MeanSeconds)
+	fmt.Fprintf(b, "| without deletion | %.1f%% | %.4g |\n", 100*r.Table6.Without.RC3, r.Table6.Without.MeanSeconds)
+	fmt.Fprintf(b, "\nEfficiency improvement %.2f%%, effectiveness decreased %.2f%%.\n\n",
+		100*r.Table6.EfficiencyImprovement, 100*r.Table6.EffectivenessDecrease)
+
+	// Extensions, reusing the plain-text tables inside fenced blocks.
+	fmt.Fprintf(b, "## Extension studies\n\n```\n%s```\n\n```\n%s```\n\n```\n%s```\n\n```\n%s```\n",
+		FormatNoiseStudy(r.Noise), FormatDetectionStudy(r.Detection),
+		FormatOverlapStudy(r.Overlap), FormatDerivedStudy(r.Derived))
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// asSet adapts the RAPMD rows into the map shape methodColumns expects.
+func asSet(rows []RAPMDEvalRow) map[string]float64 {
+	out := make(map[string]float64, len(rows))
+	for _, r := range rows {
+		out[r.Method] = 1
+	}
+	return out
+}

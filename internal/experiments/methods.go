@@ -1,0 +1,151 @@
+// Package experiments contains one driver per table and figure of the
+// RAPMiner paper's evaluation section, all deterministic per seed. Each
+// driver returns typed rows; the Format* helpers render them in the shape
+// the paper reports.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline/adtributor"
+	"repro/internal/baseline/fpgrowth"
+	"repro/internal/baseline/hotspot"
+	"repro/internal/baseline/idice"
+	"repro/internal/baseline/squeeze"
+	"repro/internal/ensemble"
+	"repro/internal/localize"
+	"repro/internal/rapminer"
+)
+
+// MethodNames lists the five methods of the paper's figures, in the
+// paper's plotting order.
+var MethodNames = []string{"Adtributor", "iDice", "FP-growth", "Squeeze", "RAPMiner"}
+
+// PaperMethods constructs the five localizers compared in Fig. 8 and
+// Fig. 9 with their default configurations.
+func PaperMethods() ([]localize.Localizer, error) {
+	adt, err := adtributor.New(adtributor.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: adtributor: %w", err)
+	}
+	id, err := idice.New(idice.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: idice: %w", err)
+	}
+	fp, err := fpgrowth.New(fpgrowth.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fpgrowth: %w", err)
+	}
+	sq, err := squeeze.New(squeeze.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: squeeze: %w", err)
+	}
+	rm, err := rapminer.New(rapminer.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: rapminer: %w", err)
+	}
+	return []localize.Localizer{adt, id, fp, sq, rm}, nil
+}
+
+// AllMethods is PaperMethods plus the HotSpot extension.
+func AllMethods() ([]localize.Localizer, error) {
+	methods, err := PaperMethods()
+	if err != nil {
+		return nil, err
+	}
+	hs, err := hotspot.New(hotspot.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: hotspot: %w", err)
+	}
+	return append(methods, hs), nil
+}
+
+// Options controls corpus sizes and determinism for every driver.
+type Options struct {
+	// Seed drives every generator; equal seeds give equal tables.
+	Seed int64
+	// SqueezeCases is the number of cases per (dim, #RAPs) group.
+	SqueezeCases int
+	// RAPMDCases is the number of RAPMD failure cases (paper: 105).
+	RAPMDCases int
+	// IncludeHotSpot adds the HotSpot extension to the method set.
+	IncludeHotSpot bool
+	// IncludeEnsemble adds the rank-fusion ensemble of RAPMiner,
+	// FP-growth and Squeeze to the method set.
+	IncludeEnsemble bool
+	// Repeats runs the RAPMD evaluation over this many independently
+	// seeded corpora (seed, seed+1000, ...) and aggregates the metrics,
+	// tightening the confidence intervals. 0 behaves as 1.
+	Repeats int
+}
+
+// repeats normalizes the Repeats option.
+func (o Options) repeats() int {
+	if o.Repeats < 1 {
+		return 1
+	}
+	return o.Repeats
+}
+
+// DefaultOptions returns a configuration sized like the paper's study but
+// small enough to run in seconds-to-minutes.
+func DefaultOptions() Options {
+	return Options{
+		Seed:         2022,
+		SqueezeCases: 10,
+		RAPMDCases:   105,
+	}
+}
+
+func (o Options) validate() error {
+	if o.SqueezeCases < 1 {
+		return fmt.Errorf("experiments: SqueezeCases %d, want >= 1", o.SqueezeCases)
+	}
+	if o.RAPMDCases < 1 {
+		return fmt.Errorf("experiments: RAPMDCases %d, want >= 1", o.RAPMDCases)
+	}
+	if o.Repeats < 0 {
+		return fmt.Errorf("experiments: Repeats %d, want >= 0", o.Repeats)
+	}
+	return nil
+}
+
+func (o Options) methods() ([]localize.Localizer, error) {
+	methods, err := PaperMethods()
+	if err != nil {
+		return nil, err
+	}
+	if o.IncludeHotSpot {
+		hs, err := hotspot.New(hotspot.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: hotspot: %w", err)
+		}
+		methods = append(methods, hs)
+	}
+	if o.IncludeEnsemble {
+		ens, err := NewEnsemble()
+		if err != nil {
+			return nil, err
+		}
+		methods = append(methods, ens)
+	}
+	return methods, nil
+}
+
+// NewEnsemble builds the extension ensemble: rank fusion over RAPMiner,
+// FP-growth and Squeeze (the three strongest individual methods).
+func NewEnsemble() (localize.Localizer, error) {
+	rm, err := rapminer.New(rapminer.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ensemble rapminer: %w", err)
+	}
+	fp, err := fpgrowth.New(fpgrowth.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ensemble fpgrowth: %w", err)
+	}
+	sq, err := squeeze.New(squeeze.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ensemble squeeze: %w", err)
+	}
+	return ensemble.New(rm, fp, sq)
+}

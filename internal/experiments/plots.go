@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/svgplot"
+)
+
+// PlotFig8a renders the F1 comparison as a grouped bar chart.
+func PlotFig8a(w io.Writer, rows []SqueezeEvalRow) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("experiments: no rows to plot")
+	}
+	chart := &svgplot.BarChart{
+		Title:  "Fig. 8(a) — F1-score on Squeeze-B0",
+		YLabel: "F1-score",
+		YMax:   1.05,
+	}
+	for _, r := range rows {
+		chart.XLabels = append(chart.XLabels, r.Group.String())
+	}
+	for _, m := range methodColumns(rows[0].F1) {
+		s := svgplot.Series{Name: m}
+		for _, r := range rows {
+			s.Values = append(s.Values, r.F1[m])
+		}
+		chart.Series = append(chart.Series, s)
+	}
+	return chart.Render(w)
+}
+
+// PlotFig9a renders the Squeeze-B0 runtime comparison on a log axis.
+func PlotFig9a(w io.Writer, rows []SqueezeEvalRow) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("experiments: no rows to plot")
+	}
+	chart := &svgplot.BarChart{
+		Title:  "Fig. 9(a) — mean running time on Squeeze-B0",
+		YLabel: "seconds (log scale)",
+		LogY:   true,
+	}
+	for _, r := range rows {
+		chart.XLabels = append(chart.XLabels, r.Group.String())
+	}
+	for _, m := range methodColumns(rows[0].MeanSeconds) {
+		s := svgplot.Series{Name: m}
+		for _, r := range rows {
+			s.Values = append(s.Values, r.MeanSeconds[m])
+		}
+		chart.Series = append(chart.Series, s)
+	}
+	return chart.Render(w)
+}
+
+// PlotFig8b renders the RC@k comparison as a grouped bar chart (one group
+// per k).
+func PlotFig8b(w io.Writer, rows []RAPMDEvalRow) error {
+	chart := &svgplot.BarChart{
+		Title:   "Fig. 8(b) — RC@k on RAPMD",
+		YLabel:  "RC@k",
+		YMax:    1.05,
+		XLabels: []string{"RC@3", "RC@4", "RC@5"},
+	}
+	for _, r := range rows {
+		chart.Series = append(chart.Series, svgplot.Series{
+			Name:   r.Method,
+			Values: []float64{r.RC[3], r.RC[4], r.RC[5]},
+		})
+	}
+	return chart.Render(w)
+}
+
+// PlotFig9b renders the RAPMD runtime comparison on a log axis.
+func PlotFig9b(w io.Writer, rows []RAPMDEvalRow) error {
+	chart := &svgplot.BarChart{
+		Title:   "Fig. 9(b) — mean running time on RAPMD",
+		YLabel:  "seconds (log scale)",
+		LogY:    true,
+		XLabels: []string{"RAPMD"},
+	}
+	for _, r := range rows {
+		chart.Series = append(chart.Series, svgplot.Series{
+			Name:   r.Method,
+			Values: []float64{r.MeanSeconds},
+		})
+	}
+	return chart.Render(w)
+}
+
+// PlotFig10 renders a sensitivity sweep as a line chart.
+func PlotFig10(w io.Writer, points []SensitivityPoint, param string) error {
+	chart := &svgplot.LineChart{
+		Title:  fmt.Sprintf("Fig. 10 — sensitivity of %s on RAPMD", param),
+		XLabel: param,
+		YLabel: "RC@3",
+		YMax:   1.05,
+	}
+	s := svgplot.Series{Name: "RAPMiner"}
+	for _, p := range points {
+		chart.X = append(chart.X, p.Threshold)
+		s.Values = append(s.Values, p.RC3)
+	}
+	chart.Series = []svgplot.Series{s}
+	return chart.Render(w)
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/evalmetrics"
+	"repro/internal/gendata"
+	"repro/internal/rapminer"
+)
+
+// TCPGrid holds the t_CP values swept in Fig. 10(a). The paper expresses
+// t_CP as a percentage and sweeps values below 0.1 (percent); these are
+// the corresponding fractions 0.01%..0.1%.
+var TCPGrid = []float64{0.0001, 0.0002, 0.0004, 0.0006, 0.0008, 0.001}
+
+// TConfGrid holds the t_conf values swept in Fig. 10(b); all above 0.5.
+var TConfGrid = []float64{0.55, 0.65, 0.75, 0.85, 0.95}
+
+// SensitivityPoint is one point of a Fig. 10 curve: RC@3 on RAPMD at the
+// given threshold.
+type SensitivityPoint struct {
+	Threshold float64
+	RC3       float64
+}
+
+// RunFig10a sweeps t_CP with t_conf fixed at its default.
+func RunFig10a(opt Options) ([]SensitivityPoint, error) {
+	return runSensitivity(opt, TCPGrid, func(v float64) rapminer.Config {
+		cfg := rapminer.DefaultConfig()
+		cfg.TCP = v
+		return cfg
+	})
+}
+
+// RunFig10b sweeps t_conf with t_CP fixed at its default.
+func RunFig10b(opt Options) ([]SensitivityPoint, error) {
+	return runSensitivity(opt, TConfGrid, func(v float64) rapminer.Config {
+		cfg := rapminer.DefaultConfig()
+		cfg.TConf = v
+		return cfg
+	})
+}
+
+func runSensitivity(opt Options, grid []float64, configure func(float64) rapminer.Config) ([]SensitivityPoint, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	corpus, err := gendata.RAPMD(opt.Seed, opt.RAPMDCases)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: rapmd corpus: %w", err)
+	}
+	points := make([]SensitivityPoint, 0, len(grid))
+	for _, v := range grid {
+		miner, err := rapminer.New(configure(v))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: rapminer at %v: %w", v, err)
+		}
+		rc, err := evalmetrics.NewRCAtK(3)
+		if err != nil {
+			return nil, err
+		}
+		for ci, c := range corpus.Cases {
+			res, err := miner.Localize(c.Snapshot, 3)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sensitivity case %d: %w", ci, err)
+			}
+			rc.Add(res.TopK(3), c.RAPs)
+		}
+		points = append(points, SensitivityPoint{Threshold: v, RC3: rc.Value()})
+	}
+	return points, nil
+}

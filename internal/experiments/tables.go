@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/evalmetrics"
+	"repro/internal/gendata"
+	"repro/internal/kpi"
+	"repro/internal/rapminer"
+)
+
+// Table4Row is one column of Table IV: the guaranteed lower bound and the
+// exact ratio of cuboids no longer searched after deleting k of n
+// attributes.
+type Table4Row struct {
+	K int
+	// LowerBound is (2^k - 1) / 2^k, the value Table IV reports.
+	LowerBound float64
+	// ExactAtN4 is the exact ratio for the paper's 4-attribute CDN.
+	ExactAtN4 float64
+}
+
+// Table4Empirical summarizes measured attribute deletion over the RAPMD
+// corpus at the default t_CP.
+type Table4Empirical struct {
+	// DeletedHistogram[k] counts cases where k attributes were deleted.
+	DeletedHistogram map[int]int
+	// MeanDecreaseRatio is the mean measured search-space reduction.
+	MeanDecreaseRatio float64
+}
+
+// RunTable4 computes the analytic Table IV rows and measures how many
+// attributes the CP criterion actually deletes on RAPMD cases.
+func RunTable4(opt Options) ([]Table4Row, Table4Empirical, error) {
+	if err := opt.validate(); err != nil {
+		return nil, Table4Empirical{}, err
+	}
+	rows := make([]Table4Row, 0, 5)
+	for k := 1; k <= 5; k++ {
+		lb := float64(int64(1)<<uint(k)-1) / float64(int64(1)<<uint(k))
+		rows = append(rows, Table4Row{
+			K:          k,
+			LowerBound: lb,
+			ExactAtN4:  kpi.DecreaseRatio(4, k),
+		})
+	}
+
+	corpus, err := gendata.RAPMD(opt.Seed, opt.RAPMDCases)
+	if err != nil {
+		return nil, Table4Empirical{}, fmt.Errorf("experiments: rapmd corpus: %w", err)
+	}
+	emp := Table4Empirical{DeletedHistogram: make(map[int]int)}
+	tCP := rapminer.DefaultConfig().TCP
+	var sumRatio float64
+	for _, c := range corpus.Cases {
+		n := c.Snapshot.Schema.NumAttributes()
+		cps := rapminer.ClassificationPowers(c.Snapshot)
+		kept := rapminer.SelectAttributes(cps, tCP)
+		deleted := n - len(kept)
+		emp.DeletedHistogram[deleted]++
+		sumRatio += kpi.DecreaseRatio(n, deleted)
+	}
+	emp.MeanDecreaseRatio = sumRatio / float64(len(corpus.Cases))
+	return rows, emp, nil
+}
+
+// Table6Arm is one row of Table VI: RAPMiner with or without redundant
+// attribute deletion.
+type Table6Arm struct {
+	Name        string
+	RC3         float64
+	MeanSeconds float64
+}
+
+// Table6Result reproduces Table VI: the efficiency improvement bought by
+// CP-based redundant attribute deletion and the effectiveness it costs.
+type Table6Result struct {
+	With    Table6Arm
+	Without Table6Arm
+	// EfficiencyImprovement is (t_without - t_with) / t_without.
+	EfficiencyImprovement float64
+	// EffectivenessDecrease is (RC_without - RC_with) / RC_without.
+	EffectivenessDecrease float64
+}
+
+// RunTable6 runs the deletion ablation on the RAPMD corpus.
+func RunTable6(opt Options) (Table6Result, error) {
+	if err := opt.validate(); err != nil {
+		return Table6Result{}, err
+	}
+	corpus, err := gendata.RAPMD(opt.Seed, opt.RAPMDCases)
+	if err != nil {
+		return Table6Result{}, fmt.Errorf("experiments: rapmd corpus: %w", err)
+	}
+
+	run := func(name string, disable bool) (Table6Arm, error) {
+		cfg := rapminer.DefaultConfig()
+		cfg.DisableAttributeDeletion = disable
+		miner, err := rapminer.New(cfg)
+		if err != nil {
+			return Table6Arm{}, err
+		}
+		rc, err := evalmetrics.NewRCAtK(3)
+		if err != nil {
+			return Table6Arm{}, err
+		}
+		var timing evalmetrics.Timing
+		for ci, c := range corpus.Cases {
+			start := time.Now()
+			res, err := miner.Localize(c.Snapshot, 3)
+			if err != nil {
+				return Table6Arm{}, fmt.Errorf("experiments: table6 case %d: %w", ci, err)
+			}
+			timing.Add(time.Since(start))
+			rc.Add(res.TopK(3), c.RAPs)
+		}
+		return Table6Arm{Name: name, RC3: rc.Value(), MeanSeconds: timing.Mean().Seconds()}, nil
+	}
+
+	with, err := run("RAPMiner with Redundant Attribute Deletion", false)
+	if err != nil {
+		return Table6Result{}, err
+	}
+	without, err := run("RAPMiner without Redundant Attribute Deletion", true)
+	if err != nil {
+		return Table6Result{}, err
+	}
+	out := Table6Result{With: with, Without: without}
+	if without.MeanSeconds > 0 {
+		out.EfficiencyImprovement = (without.MeanSeconds - with.MeanSeconds) / without.MeanSeconds
+	}
+	if without.RC3 > 0 {
+		out.EffectivenessDecrease = (without.RC3 - with.RC3) / without.RC3
+	}
+	return out, nil
+}

@@ -1,0 +1,318 @@
+package gendata
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/anomaly"
+	"repro/internal/inject"
+	"repro/internal/kpi"
+)
+
+// The external corpus layout follows the published Squeeze dataset: a
+// directory of per-case CSV files named {case}.csv with the attribute
+// columns followed by "real" and "predict", plus an injection_info.csv
+// index whose rows name each case file (without extension) and its ground
+// truth patterns. A truth set is written as element names joined by "&"
+// within one pattern and ";" between patterns, e.g. "a1&b3;c2" — element
+// names are unique across attributes in that dataset, so each name
+// identifies its attribute.
+const (
+	externalIndexFile  = "injection_info.csv"
+	externalRealCol    = "real"
+	externalPredictCol = "predict"
+)
+
+// WriteExternal exports a corpus in the external layout, so generated data
+// can feed tooling written against the published dataset.
+func WriteExternal(dir string, corpus *Corpus) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	index, err := os.Create(filepath.Join(dir, externalIndexFile))
+	if err != nil {
+		return err
+	}
+	defer index.Close()
+	iw := csv.NewWriter(index)
+	if err := iw.Write([]string{"timestamp", "set"}); err != nil {
+		return err
+	}
+
+	for i, c := range corpus.Cases {
+		name := fmt.Sprintf("%06d", i)
+		if err := writeExternalCase(filepath.Join(dir, name+".csv"), c.Snapshot); err != nil {
+			return err
+		}
+		var raps []string
+		for _, rap := range c.RAPs {
+			var elems []string
+			for a, code := range rap {
+				if code != kpi.Wildcard {
+					elems = append(elems, corpus.Schema.Value(a, code))
+				}
+			}
+			raps = append(raps, strings.Join(elems, "&"))
+		}
+		if err := iw.Write([]string{name, strings.Join(raps, ";")}); err != nil {
+			return err
+		}
+	}
+	iw.Flush()
+	return iw.Error()
+}
+
+func writeExternalCase(path string, snap *kpi.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := append(snap.Schema.AttributeNames(), externalRealCol, externalPredictCol)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	n := snap.Schema.NumAttributes()
+	row := make([]string, n+2)
+	for _, l := range snap.Leaves {
+		for a, code := range l.Combo {
+			row[a] = snap.Schema.Value(a, code)
+		}
+		row[n] = strconv.FormatFloat(l.Actual, 'g', -1, 64)
+		row[n+1] = strconv.FormatFloat(l.Forecast, 'g', -1, 64)
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// LoadExternal reads a corpus in the external layout. Leaves are labeled
+// with the given detector (the external files carry values, not labels).
+func LoadExternal(dir string, detector anomaly.Detector) (*Corpus, error) {
+	if detector == nil {
+		return nil, fmt.Errorf("gendata: nil detector")
+	}
+	index, err := os.Open(filepath.Join(dir, externalIndexFile))
+	if err != nil {
+		return nil, fmt.Errorf("gendata: open index: %w", err)
+	}
+	defer index.Close()
+	entries, err := readExternalIndex(index)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("gendata: %s lists no cases", externalIndexFile)
+	}
+
+	// First pass: build a schema spanning every case file so all
+	// snapshots share one attribute space.
+	schema, err := externalSchema(dir, entries)
+	if err != nil {
+		return nil, err
+	}
+	elemIndex, err := externalElementIndex(schema)
+	if err != nil {
+		return nil, err
+	}
+
+	corpus := &Corpus{Name: "external:" + filepath.Base(dir), Schema: schema}
+	for _, e := range entries {
+		snap, err := loadExternalCase(filepath.Join(dir, e.name+".csv"), schema)
+		if err != nil {
+			return nil, err
+		}
+		anomaly.Label(snap, detector)
+		raps, err := parseExternalSet(e.set, schema, elemIndex)
+		if err != nil {
+			return nil, fmt.Errorf("gendata: case %s: %w", e.name, err)
+		}
+		corpus.Cases = append(corpus.Cases, inject.Case{Snapshot: snap, RAPs: raps})
+	}
+	return corpus, nil
+}
+
+type externalEntry struct {
+	name string
+	set  string
+}
+
+func readExternalIndex(r io.Reader) ([]externalEntry, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("gendata: read index: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("gendata: empty index")
+	}
+	header := records[0]
+	nameCol, setCol := -1, -1
+	for i, h := range header {
+		switch strings.ToLower(strings.TrimSpace(h)) {
+		case "timestamp", "case", "name":
+			nameCol = i
+		case "set", "root_cause", "cuboid":
+			if setCol < 0 {
+				setCol = i
+			}
+		}
+	}
+	if nameCol < 0 || setCol < 0 {
+		return nil, fmt.Errorf("gendata: index header %v needs timestamp and set columns", header)
+	}
+	var out []externalEntry
+	for _, rec := range records[1:] {
+		if len(rec) <= nameCol || len(rec) <= setCol {
+			continue
+		}
+		out = append(out, externalEntry{name: rec[nameCol], set: rec[setCol]})
+	}
+	return out, nil
+}
+
+// externalSchema infers one schema across all case files: attribute names
+// from the first header, element domains from the union of observed values
+// (sorted for determinism).
+func externalSchema(dir string, entries []externalEntry) (*kpi.Schema, error) {
+	var (
+		names  []string
+		values []map[string]struct{}
+	)
+	for _, e := range entries {
+		f, err := os.Open(filepath.Join(dir, e.name+".csv"))
+		if err != nil {
+			return nil, fmt.Errorf("gendata: open case: %w", err)
+		}
+		cr := csv.NewReader(f)
+		records, err := cr.ReadAll()
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("gendata: read case %s: %w", e.name, err)
+		}
+		if len(records) == 0 {
+			return nil, fmt.Errorf("gendata: case %s is empty", e.name)
+		}
+		header := records[0]
+		nAttr := len(header) - 2
+		if nAttr < 1 || header[nAttr] != externalRealCol || header[nAttr+1] != externalPredictCol {
+			return nil, fmt.Errorf("gendata: case %s header %v must end with %s,%s",
+				e.name, header, externalRealCol, externalPredictCol)
+		}
+		if names == nil {
+			names = append([]string(nil), header[:nAttr]...)
+			values = make([]map[string]struct{}, nAttr)
+			for i := range values {
+				values[i] = make(map[string]struct{})
+			}
+		} else if len(names) != nAttr {
+			return nil, fmt.Errorf("gendata: case %s has %d attributes, earlier cases have %d",
+				e.name, nAttr, len(names))
+		}
+		for _, rec := range records[1:] {
+			if len(rec) != nAttr+2 {
+				return nil, fmt.Errorf("gendata: case %s has a row with %d fields", e.name, len(rec))
+			}
+			for a := 0; a < nAttr; a++ {
+				values[a][rec[a]] = struct{}{}
+			}
+		}
+	}
+	attrs := make([]kpi.Attribute, len(names))
+	for a, name := range names {
+		domain := make([]string, 0, len(values[a]))
+		for v := range values[a] {
+			domain = append(domain, v)
+		}
+		sort.Strings(domain)
+		attrs[a] = kpi.Attribute{Name: name, Values: domain}
+	}
+	return kpi.NewSchema(attrs...)
+}
+
+// externalElementIndex maps element names to their attribute, requiring
+// global uniqueness (as in the published dataset).
+func externalElementIndex(schema *kpi.Schema) (map[string]int, error) {
+	out := make(map[string]int)
+	for a := 0; a < schema.NumAttributes(); a++ {
+		for _, v := range schema.Attribute(a).Values {
+			if prev, dup := out[v]; dup {
+				return nil, fmt.Errorf("gendata: element %q appears in attributes %s and %s; truth sets would be ambiguous",
+					v, schema.Attribute(prev).Name, schema.Attribute(a).Name)
+			}
+			out[v] = a
+		}
+	}
+	return out, nil
+}
+
+func loadExternalCase(path string, schema *kpi.Schema) (*kpi.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("gendata: read %s: %w", path, err)
+	}
+	n := schema.NumAttributes()
+	leaves := make([]kpi.Leaf, 0, len(records)-1)
+	for i, rec := range records[1:] {
+		combo := make(kpi.Combination, n)
+		for a := 0; a < n; a++ {
+			code, ok := schema.Code(a, rec[a])
+			if !ok {
+				return nil, fmt.Errorf("gendata: %s row %d: unknown element %q", path, i+2, rec[a])
+			}
+			combo[a] = code
+		}
+		real, err := strconv.ParseFloat(rec[n], 64)
+		if err != nil {
+			return nil, fmt.Errorf("gendata: %s row %d: bad real value %q", path, i+2, rec[n])
+		}
+		predict, err := strconv.ParseFloat(rec[n+1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("gendata: %s row %d: bad predict value %q", path, i+2, rec[n+1])
+		}
+		leaves = append(leaves, kpi.Leaf{Combo: combo, Actual: real, Forecast: predict})
+	}
+	return kpi.NewSnapshot(schema, leaves)
+}
+
+// parseExternalSet parses "a1&b3;c2" into combinations.
+func parseExternalSet(set string, schema *kpi.Schema, elemIndex map[string]int) ([]kpi.Combination, error) {
+	set = strings.TrimSpace(set)
+	if set == "" {
+		return nil, fmt.Errorf("empty truth set")
+	}
+	var raps []kpi.Combination
+	for _, rapText := range strings.Split(set, ";") {
+		rap := kpi.NewRoot(schema.NumAttributes())
+		for _, elem := range strings.Split(rapText, "&") {
+			elem = strings.TrimSpace(elem)
+			attr, ok := elemIndex[elem]
+			if !ok {
+				return nil, fmt.Errorf("unknown truth element %q", elem)
+			}
+			code, _ := schema.Code(attr, elem)
+			if rap[attr] != kpi.Wildcard {
+				return nil, fmt.Errorf("truth pattern %q constrains attribute %s twice",
+					rapText, schema.Attribute(attr).Name)
+			}
+			rap[attr] = code
+		}
+		raps = append(raps, rap)
+	}
+	return raps, nil
+}

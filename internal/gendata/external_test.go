@@ -1,0 +1,134 @@
+package gendata
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/anomaly"
+	"repro/internal/rapminer"
+)
+
+func TestExternalRoundTrip(t *testing.T) {
+	corpus, err := SqueezeB0(13, SqueezeGroup{Dim: 2, NumRAPs: 2}, 3)
+	if err != nil {
+		t.Fatalf("SqueezeB0: %v", err)
+	}
+	dir := t.TempDir()
+	if err := WriteExternal(dir, corpus); err != nil {
+		t.Fatalf("WriteExternal: %v", err)
+	}
+
+	loaded, err := LoadExternal(dir, anomaly.DefaultRelativeDeviation())
+	if err != nil {
+		t.Fatalf("LoadExternal: %v", err)
+	}
+	if len(loaded.Cases) != len(corpus.Cases) {
+		t.Fatalf("loaded %d cases, want %d", len(loaded.Cases), len(corpus.Cases))
+	}
+	for i := range corpus.Cases {
+		orig, got := corpus.Cases[i], loaded.Cases[i]
+		if got.Snapshot.Len() != orig.Snapshot.Len() {
+			t.Fatalf("case %d: %d leaves, want %d", i, got.Snapshot.Len(), orig.Snapshot.Len())
+		}
+		if len(got.RAPs) != len(orig.RAPs) {
+			t.Fatalf("case %d: %d RAPs, want %d", i, len(got.RAPs), len(orig.RAPs))
+		}
+		// Truth sets compare by element names: schemas may renumber.
+		origSet := make(map[string]bool)
+		for _, rap := range orig.RAPs {
+			origSet[rap.Format(corpus.Schema)] = true
+		}
+		for _, rap := range got.RAPs {
+			if !origSet[rap.Format(loaded.Schema)] {
+				t.Fatalf("case %d: loaded RAP %s not injected", i, rap.Format(loaded.Schema))
+			}
+		}
+		// Labels from the detector match the injection magnitudes.
+		if got.Snapshot.NumAnomalous() == 0 {
+			t.Fatalf("case %d: no anomalies after relabeling", i)
+		}
+	}
+}
+
+func TestExternalLocalizationEndToEnd(t *testing.T) {
+	corpus, err := SqueezeB0(21, SqueezeGroup{Dim: 1, NumRAPs: 1}, 2)
+	if err != nil {
+		t.Fatalf("SqueezeB0: %v", err)
+	}
+	dir := t.TempDir()
+	if err := WriteExternal(dir, corpus); err != nil {
+		t.Fatalf("WriteExternal: %v", err)
+	}
+	loaded, err := LoadExternal(dir, anomaly.DefaultRelativeDeviation())
+	if err != nil {
+		t.Fatalf("LoadExternal: %v", err)
+	}
+	miner := rapminer.MustNew(rapminer.DefaultConfig())
+	for i, c := range loaded.Cases {
+		res, err := miner.Localize(c.Snapshot, len(c.RAPs))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(res.Patterns) != 1 || !res.Patterns[0].Combo.Equal(c.RAPs[0]) {
+			t.Fatalf("case %d: localized %s, want %s",
+				i, res.Format(loaded.Schema), c.RAPs[0].Format(loaded.Schema))
+		}
+	}
+}
+
+func TestLoadExternalErrors(t *testing.T) {
+	if _, err := LoadExternal(t.TempDir(), anomaly.DefaultRelativeDeviation()); err == nil {
+		t.Error("missing index accepted")
+	}
+	if _, err := LoadExternal(t.TempDir(), nil); err == nil {
+		t.Error("nil detector accepted")
+	}
+
+	// Malformed index header.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, externalIndexFile), []byte("x,y\n1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadExternal(dir, anomaly.DefaultRelativeDeviation()); err == nil {
+		t.Error("bad index header accepted")
+	}
+
+	// Index referencing a missing case file.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, externalIndexFile), []byte("timestamp,set\n000001,a1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadExternal(dir2, anomaly.DefaultRelativeDeviation()); err == nil {
+		t.Error("missing case file accepted")
+	}
+}
+
+func TestParseExternalSetErrors(t *testing.T) {
+	corpus, err := SqueezeB0(3, SqueezeGroup{Dim: 1, NumRAPs: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elemIndex := map[string]int{"a1": 0, "b1": 1}
+	if _, err := parseExternalSet("", corpus.Schema, elemIndex); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := parseExternalSet("zz9", corpus.Schema, elemIndex); err == nil {
+		t.Error("unknown element accepted")
+	}
+	if _, err := parseExternalSet("a1&a1", corpus.Schema, elemIndex); err == nil ||
+		!strings.Contains(err.Error(), "twice") {
+		t.Errorf("double-constrained pattern: %v", err)
+	}
+}
+
+func TestExternalElementIndexAmbiguity(t *testing.T) {
+	corpus, err := SqueezeB0(3, SqueezeGroup{Dim: 1, NumRAPs: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := externalElementIndex(corpus.Schema); err != nil {
+		t.Fatalf("unique elements rejected: %v", err)
+	}
+}

@@ -1,0 +1,246 @@
+package gendata
+
+import (
+	"testing"
+)
+
+func TestSqueezeGroupsEnumeration(t *testing.T) {
+	groups := SqueezeGroups()
+	if len(groups) != 9 {
+		t.Fatalf("got %d groups, want 9", len(groups))
+	}
+	if groups[0].String() != "(1,1)" || groups[8].String() != "(3,3)" {
+		t.Errorf("group labels wrong: %v ... %v", groups[0], groups[8])
+	}
+}
+
+func TestSqueezeSchemaShape(t *testing.T) {
+	s := SqueezeSchema()
+	if s.NumAttributes() != 4 {
+		t.Fatalf("NumAttributes = %d, want 4", s.NumAttributes())
+	}
+	if s.NumLeaves() != 10*12*8*15 {
+		t.Errorf("NumLeaves = %d, want 14400", s.NumLeaves())
+	}
+}
+
+func TestSqueezeB0GeneratesConsistentGroups(t *testing.T) {
+	corpus, err := SqueezeB0(1, SqueezeGroup{Dim: 2, NumRAPs: 3}, 4)
+	if err != nil {
+		t.Fatalf("SqueezeB0: %v", err)
+	}
+	if len(corpus.Cases) != 4 {
+		t.Fatalf("got %d cases, want 4", len(corpus.Cases))
+	}
+	for i, c := range corpus.Cases {
+		if len(c.RAPs) != 3 {
+			t.Errorf("case %d: %d RAPs, want 3", i, len(c.RAPs))
+		}
+		for _, rap := range c.RAPs {
+			if rap.Layer() != 2 {
+				t.Errorf("case %d: RAP %v has dimension %d, want 2", i, rap, rap.Layer())
+			}
+		}
+		if c.Snapshot.NumAnomalous() == 0 {
+			t.Errorf("case %d has no anomalous leaves", i)
+		}
+	}
+}
+
+func TestSqueezeB0Deterministic(t *testing.T) {
+	a, err := SqueezeB0(7, SqueezeGroup{Dim: 1, NumRAPs: 1}, 2)
+	if err != nil {
+		t.Fatalf("SqueezeB0: %v", err)
+	}
+	b, err := SqueezeB0(7, SqueezeGroup{Dim: 1, NumRAPs: 1}, 2)
+	if err != nil {
+		t.Fatalf("SqueezeB0: %v", err)
+	}
+	for i := range a.Cases {
+		if !a.Cases[i].RAPs[0].Equal(b.Cases[i].RAPs[0]) {
+			t.Fatal("same seed produced different RAPs")
+		}
+	}
+}
+
+func TestSqueezeB0Validation(t *testing.T) {
+	if _, err := SqueezeB0(1, SqueezeGroup{Dim: 1, NumRAPs: 1}, 0); err == nil {
+		t.Error("nCases 0 accepted")
+	}
+	if _, err := SqueezeB0(1, SqueezeGroup{Dim: 0, NumRAPs: 1}, 1); err == nil {
+		t.Error("dim 0 accepted")
+	}
+}
+
+func TestRAPMDGeneratesCDNCases(t *testing.T) {
+	corpus, err := RAPMD(3, 5)
+	if err != nil {
+		t.Fatalf("RAPMD: %v", err)
+	}
+	if len(corpus.Cases) != 5 {
+		t.Fatalf("got %d cases, want 5", len(corpus.Cases))
+	}
+	if corpus.Schema.NumLeaves() != 10560 {
+		t.Errorf("schema leaves = %d, want 10560 (Table I)", corpus.Schema.NumLeaves())
+	}
+	for i, c := range corpus.Cases {
+		if n := len(c.RAPs); n < 1 || n > 3 {
+			t.Errorf("case %d: %d RAPs, want 1-3", i, n)
+		}
+		// Labels track the RAP scopes up to the configured detector
+		// noise (0.5% false positives, 2% false negatives).
+		var mismatched, total int
+		for _, leaf := range c.Snapshot.Leaves {
+			under := false
+			for _, rap := range c.RAPs {
+				if rap.Matches(leaf.Combo) {
+					under = true
+					break
+				}
+			}
+			total++
+			if leaf.Anomalous != under {
+				mismatched++
+			}
+		}
+		if frac := float64(mismatched) / float64(total); frac > 0.05 {
+			t.Fatalf("case %d: %.1f%% of labels disagree with RAP scopes", i, 100*frac)
+		}
+	}
+}
+
+func TestRAPMDDimensionDiversity(t *testing.T) {
+	corpus, err := RAPMD(11, 20)
+	if err != nil {
+		t.Fatalf("RAPMD: %v", err)
+	}
+	dims := make(map[int]int)
+	for _, c := range corpus.Cases {
+		for _, rap := range c.RAPs {
+			dims[rap.Layer()]++
+		}
+	}
+	// Randomness 1: dimensions 1-3 should all occur over 20 cases.
+	for d := 1; d <= 3; d++ {
+		if dims[d] == 0 {
+			t.Errorf("no RAPs of dimension %d across 20 cases (got %v)", d, dims)
+		}
+	}
+}
+
+func TestRAPMDValidation(t *testing.T) {
+	if _, err := RAPMD(1, 0); err == nil {
+		t.Error("nCases 0 accepted")
+	}
+}
+
+func TestSqueezeBackgroundPositiveVolumes(t *testing.T) {
+	corpus, err := SqueezeB0(5, SqueezeGroup{Dim: 1, NumRAPs: 2}, 1)
+	if err != nil {
+		t.Fatalf("SqueezeB0: %v", err)
+	}
+	snap := corpus.Cases[0].Snapshot
+	if snap.Len() != SqueezeSchema().NumLeaves() {
+		t.Errorf("background has %d leaves, want dense %d", snap.Len(), SqueezeSchema().NumLeaves())
+	}
+	for _, l := range snap.Leaves {
+		if l.Forecast <= 0 {
+			t.Fatalf("non-positive forecast %v", l.Forecast)
+		}
+	}
+}
+
+func TestNoiseLevels(t *testing.T) {
+	if B0.Std() != 0 || B1.Std() <= 0 || B2.Std() <= B1.Std() || B3.Std() <= B2.Std() {
+		t.Errorf("noise stds not increasing: %v %v %v %v", B0.Std(), B1.Std(), B2.Std(), B3.Std())
+	}
+	if B0.String() != "B0" || B3.String() != "B3" {
+		t.Errorf("labels: %s %s", B0, B3)
+	}
+	if NoiseLevel(9).String() == "B9" {
+		t.Error("out-of-range level got a clean label")
+	}
+}
+
+func TestSqueezeNoisyCorpus(t *testing.T) {
+	corpus, err := Squeeze(3, SqueezeGroup{Dim: 1, NumRAPs: 1}, 2, B2)
+	if err != nil {
+		t.Fatalf("Squeeze: %v", err)
+	}
+	if corpus.Name != "squeeze-B2(1,1)" {
+		t.Errorf("corpus name = %q", corpus.Name)
+	}
+	// Noise perturbs normal leaves away from their forecasts.
+	perturbed := 0
+	for _, l := range corpus.Cases[0].Snapshot.Leaves {
+		if !l.Anomalous && l.Actual != l.Forecast {
+			perturbed++
+		}
+	}
+	if perturbed == 0 {
+		t.Error("B2 level left all normal leaves exact")
+	}
+	if _, err := Squeeze(3, SqueezeGroup{Dim: 1, NumRAPs: 1}, 2, NoiseLevel(7)); err == nil {
+		t.Error("unknown noise level accepted")
+	}
+}
+
+func TestRAPMDParallelDeterministicAcrossWorkerCounts(t *testing.T) {
+	a, err := RAPMDParallel(9, 8, 1)
+	if err != nil {
+		t.Fatalf("RAPMDParallel(1): %v", err)
+	}
+	b, err := RAPMDParallel(9, 8, 8)
+	if err != nil {
+		t.Fatalf("RAPMDParallel(8): %v", err)
+	}
+	for i := range a.Cases {
+		if len(a.Cases[i].RAPs) != len(b.Cases[i].RAPs) {
+			t.Fatalf("case %d: RAP counts differ", i)
+		}
+		for j := range a.Cases[i].RAPs {
+			if !a.Cases[i].RAPs[j].Equal(b.Cases[i].RAPs[j]) {
+				t.Fatalf("case %d RAP %d differs across worker counts", i, j)
+			}
+		}
+		for li := range a.Cases[i].Snapshot.Leaves {
+			la, lb := a.Cases[i].Snapshot.Leaves[li], b.Cases[i].Snapshot.Leaves[li]
+			if la.Actual != lb.Actual || la.Forecast != lb.Forecast || la.Anomalous != lb.Anomalous {
+				t.Fatalf("case %d leaf %d differs across worker counts", i, li)
+			}
+		}
+	}
+}
+
+func TestRAPMDParallelValidation(t *testing.T) {
+	if _, err := RAPMDParallel(1, 2, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+}
+
+func TestRAPMDDerivedCorpus(t *testing.T) {
+	corpus, err := RAPMDDerived(5, 4)
+	if err != nil {
+		t.Fatalf("RAPMDDerived: %v", err)
+	}
+	if corpus.Name != "RAPMD-hitratio" {
+		t.Errorf("name = %q", corpus.Name)
+	}
+	for i, c := range corpus.Cases {
+		if n := len(c.RAPs); n < 1 || n > 3 {
+			t.Errorf("case %d: %d RAPs", i, n)
+		}
+		if c.Snapshot.NumAnomalous() == 0 {
+			t.Errorf("case %d: no anomalies", i)
+		}
+		// Hit ratios live in [0, 1]; forecasts are the healthy ratio.
+		for _, l := range c.Snapshot.Leaves {
+			if l.Actual < 0 || l.Actual > 1 || l.Forecast <= 0 || l.Forecast > 1 {
+				t.Fatalf("case %d: ratio out of range: %+v", i, l)
+			}
+		}
+	}
+	if _, err := RAPMDDerived(5, 0); err == nil {
+		t.Error("nCases 0 accepted")
+	}
+}

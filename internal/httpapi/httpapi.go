@@ -1,0 +1,208 @@
+// Package httpapi exposes anomaly localization as an HTTP service: clients
+// POST a KPI snapshot (the Table III layout as JSON or CSV) and receive the
+// ranked root anomaly patterns. The service is stateless — every request
+// carries its snapshot — so it scales horizontally behind any load
+// balancer.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/anomaly"
+	"repro/internal/baseline/adtributor"
+	"repro/internal/baseline/fpgrowth"
+	"repro/internal/baseline/hotspot"
+	"repro/internal/baseline/idice"
+	"repro/internal/baseline/squeeze"
+	"repro/internal/ensemble"
+	"repro/internal/kpi"
+	"repro/internal/localize"
+	"repro/internal/rapminer"
+)
+
+// maxBodyBytes bounds request snapshots (a dense Table I CDN snapshot in
+// JSON is ~2 MB).
+const maxBodyBytes = 64 << 20
+
+// methodBuilders constructs a fresh localizer per request; all methods are
+// cheap to build and the resulting values are safe to discard.
+var methodBuilders = map[string]func() (localize.Localizer, error){
+	"rapminer": func() (localize.Localizer, error) { return rapminer.New(rapminer.DefaultConfig()) },
+	"adtributor": func() (localize.Localizer, error) {
+		return adtributor.New(adtributor.DefaultConfig())
+	},
+	"idice":    func() (localize.Localizer, error) { return idice.New(idice.DefaultConfig()) },
+	"fpgrowth": func() (localize.Localizer, error) { return fpgrowth.New(fpgrowth.DefaultConfig()) },
+	"squeeze":  func() (localize.Localizer, error) { return squeeze.New(squeeze.DefaultConfig()) },
+	"hotspot":  func() (localize.Localizer, error) { return hotspot.New(hotspot.DefaultConfig()) },
+	"ensemble": func() (localize.Localizer, error) {
+		rm, err := rapminer.New(rapminer.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		fp, err := fpgrowth.New(fpgrowth.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		sq, err := squeeze.New(squeeze.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		return ensemble.New(rm, fp, sq)
+	},
+}
+
+// MethodNames lists the accepted ?method= values in sorted order.
+func MethodNames() []string {
+	return []string{"adtributor", "ensemble", "fpgrowth", "hotspot", "idice", "rapminer", "squeeze"}
+}
+
+// NewHandler builds the service's HTTP routes. The localization endpoint
+// is stateless; the observe/incidents pair shares one tracked monitor per
+// handler instance (its schema is fixed by the first observation — stream
+// the JSON snapshot document, whose attribute domains are explicit, so
+// every tick declares the same schema).
+func NewHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", handleHealthz)
+	mux.HandleFunc("GET /v1/methods", handleMethods)
+	mux.HandleFunc("POST /v1/localize", handleLocalize)
+	monitor := newMonitorAPI()
+	mux.HandleFunc("POST /v1/observe", monitor.handleObserve)
+	mux.HandleFunc("GET /v1/incidents", monitor.handleIncidents)
+	return mux
+}
+
+func handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func handleMethods(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"methods": MethodNames()})
+}
+
+// localizeResponse is the POST /v1/localize reply.
+type localizeResponse struct {
+	Method    string            `json:"method"`
+	K         int               `json:"k"`
+	Anomalous int               `json:"anomalous_leaves"`
+	Leaves    int               `json:"leaves"`
+	ElapsedMS float64           `json:"elapsed_ms"`
+	Patterns  []patternResponse `json:"patterns"`
+}
+
+type patternResponse struct {
+	Combination []string `json:"combination"`
+	Score       float64  `json:"score"`
+}
+
+func handleLocalize(w http.ResponseWriter, r *http.Request) {
+	methodName := strings.ToLower(r.URL.Query().Get("method"))
+	if methodName == "" {
+		methodName = "rapminer"
+	}
+	build, ok := methodBuilders[methodName]
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown method %q; see /v1/methods", methodName))
+		return
+	}
+	k := 3
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid k %q", raw))
+			return
+		}
+		k = parsed
+	}
+
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	defer body.Close()
+	var (
+		snap *kpi.Snapshot
+		err  error
+	)
+	switch mediaType(r.Header.Get("Content-Type")) {
+	case "text/csv":
+		snap, err = kpi.ReadCSV(body, nil)
+	case "", "application/json":
+		snap, err = kpi.ReadJSON(body)
+	default:
+		writeError(w, http.StatusUnsupportedMediaType, "content type must be application/json or text/csv")
+		return
+	}
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("snapshot exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// Label with the default detector unless the snapshot already
+	// carries labels (or ?relabel=true forces it).
+	if snap.NumAnomalous() == 0 || r.URL.Query().Get("relabel") == "true" {
+		anomaly.Label(snap, anomaly.DefaultRelativeDeviation())
+	}
+
+	m, err := build()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	start := time.Now()
+	res, err := m.Localize(snap, k)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	resp := localizeResponse{
+		Method:    m.Name(),
+		K:         k,
+		Anomalous: snap.NumAnomalous(),
+		Leaves:    snap.Len(),
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Patterns:  make([]patternResponse, 0, len(res.Patterns)),
+	}
+	for _, p := range res.Patterns {
+		combo := make([]string, len(p.Combo))
+		for a, code := range p.Combo {
+			if code == kpi.Wildcard {
+				combo[a] = kpi.WildcardToken
+			} else {
+				combo[a] = snap.Schema.Value(a, code)
+			}
+		}
+		resp.Patterns = append(resp.Patterns, patternResponse{Combination: combo, Score: p.Score})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// mediaType strips parameters like "; charset=utf-8".
+func mediaType(contentType string) string {
+	if i := strings.IndexByte(contentType, ';'); i >= 0 {
+		contentType = contentType[:i]
+	}
+	return strings.TrimSpace(strings.ToLower(contentType))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past the header cannot be reported to the client.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,203 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/kpi"
+)
+
+// observeBody renders a 2x2 snapshot as the JSON document, with the leaves
+// under (L1, *) dropped by the given fraction.
+func observeBody(t *testing.T, drop float64) string {
+	t.Helper()
+	schema := kpi.MustSchema(
+		kpi.Attribute{Name: "Location", Values: []string{"L1", "L2"}},
+		kpi.Attribute{Name: "Website", Values: []string{"Site1", "Site2"}},
+	)
+	scope := kpi.MustParseCombination(schema, "(L1, *)")
+	var leaves []kpi.Leaf
+	for l := int32(0); l < 2; l++ {
+		for w := int32(0); w < 2; w++ {
+			combo := kpi.Combination{l, w}
+			leaf := kpi.Leaf{Combo: combo, Actual: 100}
+			if drop > 0 && scope.Matches(combo) {
+				leaf.Actual = 100 * (1 - drop)
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	snap, err := kpi.NewSnapshot(schema, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := kpi.WriteJSON(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func observe(t *testing.T, srv *httptest.Server, tick int, drop float64) observeResponse {
+	t.Helper()
+	ts := time.Date(2026, 3, 6, 10, 0, 0, 0, time.UTC).Add(time.Duration(tick) * time.Minute)
+	url := fmt.Sprintf("%s/v1/observe?ts=%s", srv.URL, ts.Format(time.RFC3339))
+	resp, err := http.Post(url, "application/json", strings.NewReader(observeBody(t, drop)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tick %d: status %d", tick, resp.StatusCode)
+	}
+	var out observeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestObserveIncidentLifecycle(t *testing.T) {
+	srv := newServer(t)
+
+	// Warm-up ticks: the cold tracker keeps everything quiet.
+	tick := 0
+	for ; tick < 8; tick++ {
+		if ev := observe(t, srv, tick, 0); ev.Event != "tick" {
+			t.Fatalf("warm-up tick %d = %s", tick, ev.Event)
+		}
+	}
+	// Failure ticks: debounce (2 ticks) then an incident with the right
+	// scope.
+	if ev := observe(t, srv, tick, 0.6); ev.Event != "arming" {
+		t.Fatalf("first failing tick = %s", ev.Event)
+	}
+	tick++
+	ev := observe(t, srv, tick, 0.6)
+	tick++
+	if ev.Event != "opened" || ev.Incident == nil {
+		t.Fatalf("second failing tick = %s", ev.Event)
+	}
+	if len(ev.Incident.Scopes) == 0 ||
+		strings.Join(ev.Incident.Scopes[0].Combination, ",") != "L1,*" {
+		t.Fatalf("incident scopes = %v", ev.Incident.Scopes)
+	}
+
+	// Incidents endpoint reflects the open incident.
+	resp, err := http.Get(srv.URL + "/v1/incidents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var state struct {
+		Ticks    int                `json:"ticks"`
+		Current  *incidentResponse  `json:"current"`
+		Resolved []incidentResponse `json:"resolved"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&state); err != nil {
+		t.Fatal(err)
+	}
+	if state.Current == nil || state.Current.ID != 1 {
+		t.Fatalf("incidents state = %+v", state)
+	}
+	if state.Ticks != tick {
+		t.Errorf("ticks = %d, want %d", state.Ticks, tick)
+	}
+
+	// Recovery: resolve after 3 clean ticks, then history shows it.
+	var last observeResponse
+	for i := 0; i < 3; i++ {
+		last = observe(t, srv, tick, 0)
+		tick++
+	}
+	if last.Event != "resolved" {
+		t.Fatalf("final recovery tick = %s", last.Event)
+	}
+	resp2, err := http.Get(srv.URL + "/v1/incidents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var after struct {
+		Current  *incidentResponse  `json:"current"`
+		Resolved []incidentResponse `json:"resolved"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Current != nil || len(after.Resolved) != 1 {
+		t.Fatalf("post-resolve state = %+v", after)
+	}
+	if after.Resolved[0].ResolvedAt == nil {
+		t.Error("resolved incident missing ResolvedAt")
+	}
+}
+
+func TestObserveSchemaConflict(t *testing.T) {
+	srv := newServer(t)
+	observe(t, srv, 0, 0)
+	// A different schema on a later tick is rejected.
+	other := `{"attributes":[{"name":"X","values":["x1"]}],"leaves":[{"combination":["x1"],"actual":1,"forecast":0}]}`
+	resp, err := http.Post(srv.URL+"/v1/observe", "application/json", strings.NewReader(other))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("status = %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestObserveBadInputs(t *testing.T) {
+	srv := newServer(t)
+	resp, err := http.Post(srv.URL+"/v1/observe?ts=not-a-time", "application/json",
+		strings.NewReader(observeBody(t, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad ts status = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/v1/observe", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body status = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/v1/observe", "application/xml", strings.NewReader("<x/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Errorf("bad content type status = %d", resp.StatusCode)
+	}
+}
+
+func TestIncidentsBeforeFirstObservation(t *testing.T) {
+	srv := newServer(t)
+	resp, err := http.Get(srv.URL + "/v1/incidents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var state map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&state); err != nil {
+		t.Fatal(err)
+	}
+	if state["ticks"].(float64) != 0 {
+		t.Errorf("ticks = %v, want 0", state["ticks"])
+	}
+}

@@ -1,0 +1,364 @@
+package inject
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kpi"
+)
+
+func background(t *testing.T) *kpi.Snapshot {
+	t.Helper()
+	s := kpi.MustSchema(
+		kpi.Attribute{Name: "A", Values: []string{"a1", "a2", "a3", "a4", "a5"}},
+		kpi.Attribute{Name: "B", Values: []string{"b1", "b2", "b3"}},
+		kpi.Attribute{Name: "C", Values: []string{"c1", "c2", "c3"}},
+		kpi.Attribute{Name: "D", Values: []string{"d1", "d2"}},
+	)
+	r := rand.New(rand.NewSource(77))
+	var leaves []kpi.Leaf
+	for a := int32(0); a < 5; a++ {
+		for b := int32(0); b < 3; b++ {
+			for c := int32(0); c < 3; c++ {
+				for d := int32(0); d < 2; d++ {
+					v := 50 + 200*r.Float64()
+					leaves = append(leaves, kpi.Leaf{
+						Combo:    kpi.Combination{a, b, c, d},
+						Actual:   v,
+						Forecast: v,
+					})
+				}
+			}
+		}
+	}
+	snap, err := kpi.NewSnapshot(s, leaves)
+	if err != nil {
+		t.Fatalf("NewSnapshot: %v", err)
+	}
+	return snap
+}
+
+// noiselessRAPMDConfig disables detector noise so label/scope identities
+// can be asserted exactly.
+func noiselessRAPMDConfig() RAPMDConfig {
+	cfg := DefaultRAPMDConfig()
+	cfg.FalsePositiveRate = 0
+	cfg.FalseNegativeRate = 0
+	return cfg
+}
+
+func TestInjectRAPMDGroundTruthConsistency(t *testing.T) {
+	bg := background(t)
+	r := rand.New(rand.NewSource(1))
+	cfg := noiselessRAPMDConfig()
+	for trial := 0; trial < 40; trial++ {
+		c, err := InjectRAPMD(r, bg, cfg)
+		if err != nil {
+			t.Fatalf("InjectRAPMD: %v", err)
+		}
+		if len(c.RAPs) < 1 || len(c.RAPs) > 3 {
+			t.Fatalf("got %d RAPs, want 1-3", len(c.RAPs))
+		}
+		// A leaf is labeled anomalous iff it is under some RAP.
+		for _, leaf := range c.Snapshot.Leaves {
+			under := false
+			for _, rap := range c.RAPs {
+				if rap.Matches(leaf.Combo) {
+					under = true
+					break
+				}
+			}
+			if leaf.Anomalous != under {
+				t.Fatalf("leaf %v label %v, under-RAP %v", leaf.Combo, leaf.Anomalous, under)
+			}
+		}
+	}
+}
+
+func TestInjectRAPMDDevRanges(t *testing.T) {
+	bg := background(t)
+	r := rand.New(rand.NewSource(2))
+	cfg := noiselessRAPMDConfig()
+	c, err := InjectRAPMD(r, bg, cfg)
+	if err != nil {
+		t.Fatalf("InjectRAPMD: %v", err)
+	}
+	for _, leaf := range c.Snapshot.Leaves {
+		// Eq. 4 recovers the drawn Dev.
+		dev := (leaf.Forecast - leaf.Actual) / (leaf.Forecast + cfg.Eps)
+		if leaf.Anomalous {
+			if dev < cfg.AnomDevLo-1e-9 || dev > cfg.AnomDevHi+1e-9 {
+				t.Fatalf("anomalous leaf Dev = %v outside [%v, %v]", dev, cfg.AnomDevLo, cfg.AnomDevHi)
+			}
+		} else {
+			if dev < cfg.NormDevLo-1e-9 || dev > cfg.NormDevHi+1e-9 {
+				t.Fatalf("normal leaf Dev = %v outside [%v, %v]", dev, cfg.NormDevLo, cfg.NormDevHi)
+			}
+		}
+	}
+}
+
+func TestInjectRAPMDPreservesActuals(t *testing.T) {
+	bg := background(t)
+	r := rand.New(rand.NewSource(3))
+	c, err := InjectRAPMD(r, bg, DefaultRAPMDConfig())
+	if err != nil {
+		t.Fatalf("InjectRAPMD: %v", err)
+	}
+	for i := range bg.Leaves {
+		if c.Snapshot.Leaves[i].Actual != bg.Leaves[i].Actual {
+			t.Fatal("injection modified the observed actual values")
+		}
+	}
+	// And the background itself is untouched.
+	for i := range bg.Leaves {
+		if bg.Leaves[i].Anomalous {
+			t.Fatal("injection mutated the background snapshot")
+		}
+	}
+}
+
+func TestInjectRAPMDRAPsAreAntichainWithSupport(t *testing.T) {
+	bg := background(t)
+	r := rand.New(rand.NewSource(4))
+	cfg := DefaultRAPMDConfig()
+	for trial := 0; trial < 30; trial++ {
+		c, err := InjectRAPMD(r, bg, cfg)
+		if err != nil {
+			t.Fatalf("InjectRAPMD: %v", err)
+		}
+		for i := range c.RAPs {
+			if total, _ := c.Snapshot.SupportCount(c.RAPs[i]); total < cfg.MinSupport {
+				t.Fatalf("RAP %v has support %d < %d", c.RAPs[i], total, cfg.MinSupport)
+			}
+			if dim := c.RAPs[i].Layer(); dim < 1 || dim > cfg.MaxDim {
+				t.Fatalf("RAP %v has dimension %d", c.RAPs[i], dim)
+			}
+			for j := range c.RAPs {
+				if i != j && (c.RAPs[i].Equal(c.RAPs[j]) || c.RAPs[i].IsAncestorOf(c.RAPs[j])) {
+					t.Fatalf("RAPs %v and %v are related", c.RAPs[i], c.RAPs[j])
+				}
+			}
+		}
+	}
+}
+
+func TestInjectRAPMDValidation(t *testing.T) {
+	bg := background(t)
+	r := rand.New(rand.NewSource(5))
+	bad := []RAPMDConfig{
+		func() RAPMDConfig { c := DefaultRAPMDConfig(); c.MinRAPs = 0; return c }(),
+		func() RAPMDConfig { c := DefaultRAPMDConfig(); c.FalsePositiveRate = -1; return c }(),
+		func() RAPMDConfig { c := DefaultRAPMDConfig(); c.FalseNegativeRate = 0.7; return c }(),
+		func() RAPMDConfig { c := DefaultRAPMDConfig(); c.MaxRAPs = 0; return c }(),
+		func() RAPMDConfig { c := DefaultRAPMDConfig(); c.MaxDim = 9; return c }(),
+		func() RAPMDConfig { c := DefaultRAPMDConfig(); c.AnomDevLo = 0.05; return c }(),
+		func() RAPMDConfig { c := DefaultRAPMDConfig(); c.AnomDevHi = 1.0; return c }(),
+		func() RAPMDConfig { c := DefaultRAPMDConfig(); c.MinSupport = 0; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := InjectRAPMD(r, bg, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	s := kpi.MustSchema(kpi.Attribute{Name: "A", Values: []string{"x"}})
+	empty, _ := kpi.NewSnapshot(s, nil)
+	cfg := DefaultRAPMDConfig()
+	cfg.MaxDim = 1
+	if _, err := InjectRAPMD(r, empty, cfg); err == nil {
+		t.Error("empty background accepted")
+	}
+}
+
+func TestInjectSqueezeVerticalAssumption(t *testing.T) {
+	bg := background(t)
+	r := rand.New(rand.NewSource(6))
+	cfg := DefaultSqueezeConfig(2, 2)
+	c, err := InjectSqueeze(r, bg, cfg)
+	if err != nil {
+		t.Fatalf("InjectSqueeze: %v", err)
+	}
+	if len(c.RAPs) != 2 {
+		t.Fatalf("got %d RAPs, want 2", len(c.RAPs))
+	}
+	// All RAPs in the same cuboid.
+	attrsOf := func(c kpi.Combination) string {
+		out := ""
+		for _, a := range c.Attrs() {
+			out += string(rune('A' + a))
+		}
+		return out
+	}
+	if attrsOf(c.RAPs[0]) != attrsOf(c.RAPs[1]) {
+		t.Errorf("RAPs in different cuboids: %v vs %v", c.RAPs[0], c.RAPs[1])
+	}
+	// Same relative deviation for every anomalous leaf (B0: exactly).
+	var dev float64
+	first := true
+	for _, leaf := range c.Snapshot.Leaves {
+		if !leaf.Anomalous {
+			if leaf.Actual != leaf.Forecast {
+				t.Fatal("normal leaf perturbed in B0 setting")
+			}
+			continue
+		}
+		d := (leaf.Forecast - leaf.Actual) / leaf.Forecast
+		if first {
+			dev = d
+			first = false
+		} else if math.Abs(d-dev) > 1e-9 {
+			t.Fatalf("vertical assumption violated: %v vs %v", d, dev)
+		}
+	}
+	if first {
+		t.Fatal("no anomalous leaves injected")
+	}
+	if dev < cfg.MagnitudeLo || dev > cfg.MagnitudeHi {
+		t.Errorf("magnitude %v outside [%v, %v]", dev, cfg.MagnitudeLo, cfg.MagnitudeHi)
+	}
+}
+
+func TestInjectSqueezeHorizontalAssumption(t *testing.T) {
+	// Across cases, magnitudes differ (almost surely).
+	bg := background(t)
+	r := rand.New(rand.NewSource(7))
+	cfg := DefaultSqueezeConfig(1, 1)
+	mags := make(map[float64]struct{})
+	for i := 0; i < 5; i++ {
+		c, err := InjectSqueeze(r, bg, cfg)
+		if err != nil {
+			t.Fatalf("InjectSqueeze: %v", err)
+		}
+		for _, leaf := range c.Snapshot.Leaves {
+			if leaf.Anomalous {
+				mags[math.Round(1e6*(leaf.Forecast-leaf.Actual)/leaf.Forecast)/1e6] = struct{}{}
+				break
+			}
+		}
+	}
+	if len(mags) < 4 {
+		t.Errorf("only %d distinct magnitudes across 5 cases", len(mags))
+	}
+}
+
+func TestInjectSqueezeLabelsMatchThreshold(t *testing.T) {
+	bg := background(t)
+	r := rand.New(rand.NewSource(8))
+	cfg := DefaultSqueezeConfig(2, 3)
+	c, err := InjectSqueeze(r, bg, cfg)
+	if err != nil {
+		t.Fatalf("InjectSqueeze: %v", err)
+	}
+	for _, leaf := range c.Snapshot.Leaves {
+		dev := 0.0
+		if leaf.Forecast > 0 {
+			dev = math.Abs(leaf.Forecast-leaf.Actual) / leaf.Forecast
+		}
+		want := dev >= cfg.AnomalyThreshold
+		if leaf.Anomalous != want {
+			t.Fatalf("leaf label %v, deviation %v, threshold %v", leaf.Anomalous, dev, cfg.AnomalyThreshold)
+		}
+	}
+}
+
+func TestInjectSqueezeValidation(t *testing.T) {
+	bg := background(t)
+	r := rand.New(rand.NewSource(9))
+	bad := []SqueezeConfig{
+		func() SqueezeConfig { c := DefaultSqueezeConfig(0, 1); return c }(),
+		func() SqueezeConfig { c := DefaultSqueezeConfig(9, 1); return c }(),
+		func() SqueezeConfig { c := DefaultSqueezeConfig(1, 0); return c }(),
+		func() SqueezeConfig { c := DefaultSqueezeConfig(1, 1); c.MagnitudeLo = 0; return c }(),
+		func() SqueezeConfig { c := DefaultSqueezeConfig(1, 1); c.MagnitudeHi = 1; return c }(),
+		func() SqueezeConfig { c := DefaultSqueezeConfig(1, 1); c.MagnitudeLo = 0.05; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := InjectSqueeze(r, bg, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestInjectSqueezeNoise(t *testing.T) {
+	bg := background(t)
+	r := rand.New(rand.NewSource(10))
+	cfg := DefaultSqueezeConfig(1, 1)
+	cfg.NoiseStd = 0.02
+	c, err := InjectSqueeze(r, bg, cfg)
+	if err != nil {
+		t.Fatalf("InjectSqueeze: %v", err)
+	}
+	perturbedNormals := 0
+	for _, leaf := range c.Snapshot.Leaves {
+		if !leaf.Anomalous && leaf.Actual != leaf.Forecast {
+			perturbedNormals++
+		}
+	}
+	if perturbedNormals == 0 {
+		t.Error("noise setting left all normal leaves exact")
+	}
+}
+
+func TestInjectRAPMDLabelNoiseRates(t *testing.T) {
+	bg := background(t)
+	r := rand.New(rand.NewSource(12))
+	cfg := DefaultRAPMDConfig()
+	cfg.FalsePositiveRate = 0.1
+	cfg.FalseNegativeRate = 0.1
+	var flippedFP, flippedFN, normals, anoms int
+	for trial := 0; trial < 50; trial++ {
+		c, err := InjectRAPMD(r, bg, cfg)
+		if err != nil {
+			t.Fatalf("InjectRAPMD: %v", err)
+		}
+		for _, leaf := range c.Snapshot.Leaves {
+			under := false
+			for _, rap := range c.RAPs {
+				if rap.Matches(leaf.Combo) {
+					under = true
+					break
+				}
+			}
+			if under {
+				anoms++
+				if !leaf.Anomalous {
+					flippedFN++
+				}
+			} else {
+				normals++
+				if leaf.Anomalous {
+					flippedFP++
+				}
+			}
+		}
+	}
+	fpRate := float64(flippedFP) / float64(normals)
+	fnRate := float64(flippedFN) / float64(anoms)
+	if fpRate < 0.05 || fpRate > 0.15 {
+		t.Errorf("false positive rate = %v, want near 0.1", fpRate)
+	}
+	if fnRate < 0.05 || fnRate > 0.15 {
+		t.Errorf("false negative rate = %v, want near 0.1", fnRate)
+	}
+}
+
+func TestInjectDeterministicPerSeed(t *testing.T) {
+	bg := background(t)
+	a, err := InjectRAPMD(rand.New(rand.NewSource(42)), bg, DefaultRAPMDConfig())
+	if err != nil {
+		t.Fatalf("InjectRAPMD: %v", err)
+	}
+	b, err := InjectRAPMD(rand.New(rand.NewSource(42)), bg, DefaultRAPMDConfig())
+	if err != nil {
+		t.Fatalf("InjectRAPMD: %v", err)
+	}
+	if len(a.RAPs) != len(b.RAPs) {
+		t.Fatal("seeded injection not deterministic")
+	}
+	for i := range a.RAPs {
+		if !a.RAPs[i].Equal(b.RAPs[i]) {
+			t.Fatal("seeded injection drew different RAPs")
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package kpi
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes the snapshot in the Table III layout: one row per
+// leaf with the attribute element names, the actual value, the forecast
+// value and the anomaly label.
+func WriteCSV(w io.Writer, s *Snapshot) error {
+	cw := csv.NewWriter(w)
+	header := append(s.Schema.AttributeNames(), "actual", "forecast", "anomalous")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("kpi: write csv header: %w", err)
+	}
+	row := make([]string, len(header))
+	for _, l := range s.Leaves {
+		for a, code := range l.Combo {
+			row[a] = s.Schema.Value(a, code)
+		}
+		n := s.Schema.NumAttributes()
+		row[n] = strconv.FormatFloat(l.Actual, 'g', -1, 64)
+		row[n+1] = strconv.FormatFloat(l.Forecast, 'g', -1, 64)
+		row[n+2] = strconv.FormatBool(l.Anomalous)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("kpi: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a snapshot written by WriteCSV. When schema is nil a new
+// schema is inferred from the header and the observed elements (in order of
+// first appearance); otherwise rows are validated against the given schema,
+// whose attribute names must match the header. The trailing "anomalous"
+// column is optional; absent labels default to false so a detector can be
+// applied afterwards.
+func ReadCSV(r io.Reader, schema *Schema) (*Snapshot, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("kpi: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("kpi: read csv: empty input")
+	}
+	header := records[0]
+	nAttr, hasLabel, err := csvLayout(header)
+	if err != nil {
+		return nil, err
+	}
+	rows := records[1:]
+	if schema == nil {
+		schema, err = inferSchema(header[:nAttr], rows, nAttr)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if schema.NumAttributes() != nAttr {
+			return nil, fmt.Errorf("kpi: read csv: header has %d attributes, schema has %d",
+				nAttr, schema.NumAttributes())
+		}
+		for i, name := range header[:nAttr] {
+			if schema.Attribute(i).Name != name {
+				return nil, fmt.Errorf("kpi: read csv: header attribute %q does not match schema attribute %q",
+					name, schema.Attribute(i).Name)
+			}
+		}
+	}
+	leaves := make([]Leaf, 0, len(rows))
+	for i, rec := range rows {
+		want := nAttr + 2
+		if hasLabel {
+			want++
+		}
+		if len(rec) != want {
+			return nil, fmt.Errorf("kpi: read csv: row %d has %d fields, want %d", i+2, len(rec), want)
+		}
+		combo := make(Combination, nAttr)
+		for a := 0; a < nAttr; a++ {
+			code, ok := schema.Code(a, rec[a])
+			if !ok {
+				return nil, fmt.Errorf("kpi: read csv: row %d: attribute %q has no element %q",
+					i+2, schema.Attribute(a).Name, rec[a])
+			}
+			combo[a] = code
+		}
+		actual, err := strconv.ParseFloat(rec[nAttr], 64)
+		if err != nil {
+			return nil, fmt.Errorf("kpi: read csv: row %d: bad actual value %q", i+2, rec[nAttr])
+		}
+		forecast, err := strconv.ParseFloat(rec[nAttr+1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("kpi: read csv: row %d: bad forecast value %q", i+2, rec[nAttr+1])
+		}
+		leaf := Leaf{Combo: combo, Actual: actual, Forecast: forecast}
+		if hasLabel {
+			leaf.Anomalous, err = strconv.ParseBool(rec[nAttr+2])
+			if err != nil {
+				return nil, fmt.Errorf("kpi: read csv: row %d: bad anomalous value %q", i+2, rec[nAttr+2])
+			}
+		}
+		leaves = append(leaves, leaf)
+	}
+	return NewSnapshot(schema, leaves)
+}
+
+// csvLayout locates the actual/forecast(/anomalous) suffix in the header and
+// returns the number of leading attribute columns.
+func csvLayout(header []string) (nAttr int, hasLabel bool, err error) {
+	for i, h := range header {
+		if h != "actual" {
+			continue
+		}
+		if i+1 >= len(header) || header[i+1] != "forecast" {
+			break
+		}
+		switch {
+		case i+2 == len(header):
+			return i, false, nil
+		case i+3 == len(header) && header[i+2] == "anomalous":
+			return i, true, nil
+		}
+	}
+	return 0, false, fmt.Errorf("kpi: read csv: header must end with actual,forecast[,anomalous]")
+}
+
+func inferSchema(names []string, rows [][]string, nAttr int) (*Schema, error) {
+	attrs := make([]Attribute, nAttr)
+	seen := make([]map[string]struct{}, nAttr)
+	for a := range attrs {
+		attrs[a].Name = names[a]
+		seen[a] = make(map[string]struct{})
+	}
+	for _, rec := range rows {
+		if len(rec) < nAttr {
+			continue // length validated later against the schema
+		}
+		for a := 0; a < nAttr; a++ {
+			if _, ok := seen[a][rec[a]]; ok {
+				continue
+			}
+			seen[a][rec[a]] = struct{}{}
+			attrs[a].Values = append(attrs[a].Values, rec[a])
+		}
+	}
+	return NewSchema(attrs...)
+}

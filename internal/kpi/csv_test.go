@@ -1,0 +1,112 @@
+package kpi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTripWithSchema(t *testing.T) {
+	snap := buildTestSnapshot(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, snap); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf, snap.Schema)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.Len() != snap.Len() {
+		t.Fatalf("round trip len = %d, want %d", got.Len(), snap.Len())
+	}
+	for i := range snap.Leaves {
+		a, b := snap.Leaves[i], got.Leaves[i]
+		if !a.Combo.Equal(b.Combo) || a.Actual != b.Actual ||
+			a.Forecast != b.Forecast || a.Anomalous != b.Anomalous {
+			t.Fatalf("leaf %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestCSVRoundTripInferredSchema(t *testing.T) {
+	snap := buildTestSnapshot(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, snap); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf, nil)
+	if err != nil {
+		t.Fatalf("ReadCSV(inferred): %v", err)
+	}
+	if got.Schema.NumAttributes() != 4 {
+		t.Fatalf("inferred %d attributes, want 4", got.Schema.NumAttributes())
+	}
+	if got.Len() != snap.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), snap.Len())
+	}
+	// Element names survive even though codes may be renumbered.
+	for i := range snap.Leaves {
+		want := snap.Leaves[i].Combo.Format(snap.Schema)
+		if gotTxt := got.Leaves[i].Combo.Format(got.Schema); gotTxt != want {
+			t.Fatalf("leaf %d: %s, want %s", i, gotTxt, want)
+		}
+	}
+}
+
+func TestReadCSVWithoutLabelColumn(t *testing.T) {
+	in := strings.Join([]string{
+		"Location,Website,actual,forecast",
+		"L1,Site1,10,5",
+		"L1,Site2,23,20.5",
+	}, "\n")
+	snap, err := ReadCSV(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if snap.Len() != 2 {
+		t.Fatalf("len = %d, want 2", snap.Len())
+	}
+	if snap.Leaves[0].Anomalous || snap.Leaves[1].Anomalous {
+		t.Error("labels should default to false")
+	}
+	if snap.Leaves[1].Forecast != 20.5 {
+		t.Errorf("forecast = %v, want 20.5", snap.Leaves[1].Forecast)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad header", "a,b,c\n1,2,3"},
+		{"short row", "A,actual,forecast\nx,1"},
+		{"bad actual", "A,actual,forecast\nx,notanum,2"},
+		{"bad forecast", "A,actual,forecast\nx,1,notanum"},
+		{"bad label", "A,actual,forecast,anomalous\nx,1,2,maybe"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.in), nil); err == nil {
+				t.Error("ReadCSV succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestReadCSVSchemaMismatch(t *testing.T) {
+	s := testSchema(t)
+	in := "Location,actual,forecast\nL1,1,2"
+	if _, err := ReadCSV(strings.NewReader(in), s); err == nil {
+		t.Error("ReadCSV accepted a schema with different arity")
+	}
+	in2 := "X,Y,Z,W,actual,forecast\nL1,Wireless,Android,Site1,1,2"
+	if _, err := ReadCSV(strings.NewReader(in2), s); err == nil {
+		t.Error("ReadCSV accepted mismatched attribute names")
+	}
+	in3 := "Location,AccessType,OS,Website,actual,forecast\nL99,Wireless,Android,Site1,1,2"
+	if _, err := ReadCSV(strings.NewReader(in3), s); err == nil {
+		t.Error("ReadCSV accepted an unknown element under a fixed schema")
+	}
+}

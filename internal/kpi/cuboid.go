@@ -1,0 +1,70 @@
+package kpi
+
+// Cuboid identifies one cuboid of the lattice by the sorted indexes of the
+// attributes it constrains; e.g. {0, 3} is Cub_{Location,Website} in the CDN
+// schema. There are 2^n - 1 cuboids for n attributes, arranged in n layers
+// by |Cuboid| (Fig. 2 of the paper).
+type Cuboid []int
+
+// CuboidsAtLayer enumerates all size-layer subsets of attrs, in
+// lexicographic order of the attr slice. attrs need not be contiguous: after
+// redundant attribute deletion the search runs on the surviving attributes
+// only.
+func CuboidsAtLayer(attrs []int, layer int) []Cuboid {
+	if layer <= 0 || layer > len(attrs) {
+		return nil
+	}
+	var (
+		out  []Cuboid
+		pick = make([]int, 0, layer)
+	)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(pick) == layer {
+			out = append(out, append(Cuboid(nil), pick...))
+			return
+		}
+		// Not enough attributes left to complete the pick.
+		for i := start; i <= len(attrs)-(layer-len(pick)); i++ {
+			pick = append(pick, attrs[i])
+			rec(i + 1)
+			pick = pick[:len(pick)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// AllCuboids enumerates every non-empty cuboid over attrs, layer by layer
+// from coarse (single attribute) to fine.
+func AllCuboids(attrs []int) []Cuboid {
+	var out []Cuboid
+	for layer := 1; layer <= len(attrs); layer++ {
+		out = append(out, CuboidsAtLayer(attrs, layer)...)
+	}
+	return out
+}
+
+// NumCuboids returns 2^n - 1, the number of cuboids over n attributes.
+func NumCuboids(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return 1<<uint(n) - 1
+}
+
+// DecreaseRatio returns the fraction of cuboids no longer traversed after
+// deleting k of n attributes (Eq. 2 / Table IV of the paper):
+//
+//	(2^n - 2^(n-k)) / (2^n - 1)
+func DecreaseRatio(n, k int) float64 {
+	if n <= 0 || k <= 0 {
+		return 0
+	}
+	if k > n {
+		k = n
+	}
+	total := float64(int64(1)<<uint(n)) - 1
+	left := float64(int64(1)<<uint(n-k)) - 1
+	return (total - left) / total
+}

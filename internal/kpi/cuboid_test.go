@@ -1,0 +1,122 @@
+package kpi
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCuboidsAtLayer(t *testing.T) {
+	attrs := []int{0, 1, 2, 3}
+	tests := []struct {
+		layer int
+		want  []Cuboid
+	}{
+		{1, []Cuboid{{0}, {1}, {2}, {3}}},
+		{2, []Cuboid{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}},
+		{3, []Cuboid{{0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}}},
+		{4, []Cuboid{{0, 1, 2, 3}}},
+		{5, nil},
+		{0, nil},
+	}
+	for _, tt := range tests {
+		got := CuboidsAtLayer(attrs, tt.layer)
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("CuboidsAtLayer(%v, %d) = %v, want %v", attrs, tt.layer, got, tt.want)
+		}
+	}
+}
+
+func TestCuboidsWithGaps(t *testing.T) {
+	// After redundant attribute deletion the surviving attribute indexes
+	// are not contiguous.
+	attrs := []int{0, 3}
+	got := AllCuboids(attrs)
+	want := []Cuboid{{0}, {3}, {0, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("AllCuboids(%v) = %v, want %v", attrs, got, want)
+	}
+}
+
+func TestAllCuboidsCountMatchesFormula(t *testing.T) {
+	// The 4-attribute CDN system has 15 cuboids (Fig. 2 of the paper).
+	for n := 1; n <= 8; n++ {
+		attrs := make([]int, n)
+		for i := range attrs {
+			attrs[i] = i
+		}
+		got := len(AllCuboids(attrs))
+		if want := NumCuboids(n); got != want {
+			t.Errorf("n=%d: len(AllCuboids) = %d, want %d", n, got, want)
+		}
+	}
+	if NumCuboids(0) != 0 || NumCuboids(-1) != 0 {
+		t.Error("NumCuboids of non-positive n should be 0")
+	}
+}
+
+func TestDecreaseRatioTableIV(t *testing.T) {
+	// Table IV of the paper, lower bound (2^k-1)/2^k; the exact values
+	// for large n converge to these. The paper reports the bound values.
+	wantLower := map[int]float64{1: 0.5, 2: 0.75, 3: 0.875, 4: 0.9375, 5: 0.96875}
+	for k, lower := range wantLower {
+		// The exact ratio for any n > k must exceed the bound.
+		for n := k + 1; n <= 10; n++ {
+			got := DecreaseRatio(n, k)
+			if got <= lower {
+				t.Errorf("DecreaseRatio(%d, %d) = %v, want > %v", n, k, got, lower)
+			}
+			if got >= 1 {
+				t.Errorf("DecreaseRatio(%d, %d) = %v, want < 1", n, k, got)
+			}
+		}
+	}
+}
+
+func TestDecreaseRatioEdgeCases(t *testing.T) {
+	if got := DecreaseRatio(4, 0); got != 0 {
+		t.Errorf("DecreaseRatio(4, 0) = %v, want 0", got)
+	}
+	if got := DecreaseRatio(0, 1); got != 0 {
+		t.Errorf("DecreaseRatio(0, 1) = %v, want 0", got)
+	}
+	// Deleting all attributes (k = n) leaves zero cuboids: ratio 1.
+	if got := DecreaseRatio(4, 4); math.Abs(got-1) > 1e-12 {
+		t.Errorf("DecreaseRatio(4, 4) = %v, want 1", got)
+	}
+	// k > n clamps to n.
+	if got := DecreaseRatio(4, 9); math.Abs(got-1) > 1e-12 {
+		t.Errorf("DecreaseRatio(4, 9) = %v, want 1", got)
+	}
+}
+
+func TestDecreaseRatioMonotoneQuick(t *testing.T) {
+	// For fixed n the ratio grows with k; for fixed k it shrinks with n.
+	f := func(n8, k8 uint8) bool {
+		n := int(n8%12) + 2
+		k := int(k8%uint8(n-1)) + 1
+		return DecreaseRatio(n, k+1) > DecreaseRatio(n, k) &&
+			DecreaseRatio(n+1, k) < DecreaseRatio(n, k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCuboidEnumerationAgainstProofOne(t *testing.T) {
+	// Proof 1: deleting k of n attributes leaves 2^(n-k)-1 cuboids.
+	for n := 2; n <= 7; n++ {
+		for k := 1; k < n; k++ {
+			attrs := make([]int, n-k)
+			for i := range attrs {
+				attrs[i] = i
+			}
+			got := len(AllCuboids(attrs))
+			want := NumCuboids(n - k)
+			if got != want {
+				t.Errorf("n=%d k=%d: %d cuboids, want %d", n, k, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,16 @@
+// Package kpi provides the multi-dimensional KPI data model shared by every
+// localization method in this repository.
+//
+// The model follows Section III of the RAPMiner paper (DSN 2022): a Schema
+// declares n categorical attributes, each with a finite element domain; an
+// attribute Combination is an n-tuple in which every position either names a
+// concrete element or is the Wildcard "*"; the most fine-grained
+// combinations (no wildcards) are leaves and carry an actual KPI value v and
+// a forecast value f. Cuboids group combinations that share the same set of
+// concrete attributes; the 2^n-1 cuboids form a lattice of n layers with a
+// parent-child relationship between layers.
+//
+// Fundamental KPIs are additive, so the KPI of a coarse combination is the
+// sum over its leaf descendants (Fig. 4 of the paper); derived KPIs are
+// computed from fundamental ones after aggregation via Table.Derive.
+package kpi

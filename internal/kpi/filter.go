@@ -1,0 +1,53 @@
+package kpi
+
+import (
+	"fmt"
+)
+
+// Filter returns the sub-snapshot of leaves inside the scope of ac — the
+// drill-down operation an operator performs after localization to inspect
+// one root anomaly pattern's blast radius. The returned snapshot shares
+// leaf storage with the receiver; callers that mutate it should Clone
+// first.
+func (s *Snapshot) Filter(ac Combination) (*Snapshot, error) {
+	if len(ac) != s.Schema.NumAttributes() {
+		return nil, fmt.Errorf("kpi: filter scope has %d attributes, schema has %d",
+			len(ac), s.Schema.NumAttributes())
+	}
+	var leaves []Leaf
+	for _, l := range s.Leaves {
+		if ac.Matches(l.Combo) {
+			leaves = append(leaves, l)
+		}
+	}
+	return &Snapshot{Schema: s.Schema, Leaves: leaves}, nil
+}
+
+// Exclude returns the sub-snapshot of leaves outside the scope of ac — the
+// complement of Filter, useful for re-running localization on the residual
+// anomalies after one pattern is explained.
+func (s *Snapshot) Exclude(ac Combination) (*Snapshot, error) {
+	if len(ac) != s.Schema.NumAttributes() {
+		return nil, fmt.Errorf("kpi: exclude scope has %d attributes, schema has %d",
+			len(ac), s.Schema.NumAttributes())
+	}
+	var leaves []Leaf
+	for _, l := range s.Leaves {
+		if !ac.Matches(l.Combo) {
+			leaves = append(leaves, l)
+		}
+	}
+	return &Snapshot{Schema: s.Schema, Leaves: leaves}, nil
+}
+
+// LeafScope returns the set of leaf keys under ac; two patterns can be
+// compared by scope overlap via these sets (see evalmetrics.ScopeOverlap).
+func (s *Snapshot) LeafScope(ac Combination) map[string]struct{} {
+	out := make(map[string]struct{})
+	for _, l := range s.Leaves {
+		if ac.Matches(l.Combo) {
+			out[l.Combo.Key()] = struct{}{}
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package kpi
+
+import (
+	"testing"
+)
+
+func TestFilterAndExcludePartition(t *testing.T) {
+	snap := buildTestSnapshot(t)
+	scope := MustParseCombination(snap.Schema, "(L1, *, *, *)")
+	in, err := snap.Filter(scope)
+	if err != nil {
+		t.Fatalf("Filter: %v", err)
+	}
+	out, err := snap.Exclude(scope)
+	if err != nil {
+		t.Fatalf("Exclude: %v", err)
+	}
+	if in.Len()+out.Len() != snap.Len() {
+		t.Fatalf("partition sizes %d + %d != %d", in.Len(), out.Len(), snap.Len())
+	}
+	for _, l := range in.Leaves {
+		if !scope.Matches(l.Combo) {
+			t.Fatalf("leaf %v escaped the filter", l.Combo)
+		}
+	}
+	for _, l := range out.Leaves {
+		if scope.Matches(l.Combo) {
+			t.Fatalf("leaf %v escaped the exclusion", l.Combo)
+		}
+	}
+}
+
+func TestFilterAritValidation(t *testing.T) {
+	snap := buildTestSnapshot(t)
+	if _, err := snap.Filter(Combination{0}); err == nil {
+		t.Error("Filter accepted wrong arity")
+	}
+	if _, err := snap.Exclude(Combination{0}); err == nil {
+		t.Error("Exclude accepted wrong arity")
+	}
+}
+
+func TestFilterDrillDownConfidence(t *testing.T) {
+	// Drilling into the RAP of buildTestSnapshot gives a fully anomalous
+	// sub-snapshot.
+	snap := buildTestSnapshot(t)
+	rap := MustParseCombination(snap.Schema, "(L1, *, *, Site1)")
+	sub, err := snap.Filter(rap)
+	if err != nil {
+		t.Fatalf("Filter: %v", err)
+	}
+	if sub.Len() != 4 || sub.NumAnomalous() != 4 {
+		t.Fatalf("drill-down = %d leaves, %d anomalous; want 4, 4", sub.Len(), sub.NumAnomalous())
+	}
+	// The residual after exclusion has no anomalies left.
+	rest, err := snap.Exclude(rap)
+	if err != nil {
+		t.Fatalf("Exclude: %v", err)
+	}
+	if rest.NumAnomalous() != 0 {
+		t.Fatalf("residual still has %d anomalies", rest.NumAnomalous())
+	}
+}
+
+func TestLeafScope(t *testing.T) {
+	snap := buildTestSnapshot(t)
+	scope := MustParseCombination(snap.Schema, "(L2, *, *, *)")
+	set := snap.LeafScope(scope)
+	if len(set) != 8 {
+		t.Fatalf("scope size = %d, want 8", len(set))
+	}
+	for _, l := range snap.Leaves {
+		_, in := set[l.Combo.Key()]
+		if in != scope.Matches(l.Combo) {
+			t.Fatalf("membership mismatch for %v", l.Combo)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package kpi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseCombination checks that the combination parser never panics and
+// that whatever it accepts round-trips through Format.
+func FuzzParseCombination(f *testing.F) {
+	schema := MustSchema(
+		Attribute{Name: "A", Values: []string{"a1", "a2"}},
+		Attribute{Name: "B", Values: []string{"b1", "b2"}},
+	)
+	for _, seed := range []string{
+		"(a1, *)", "(*, b2)", "(a1, b1)", "(*, *)",
+		"", "(", "(a1)", "(a1, b1, c1)", "a1,*", "(,*)", "(a9, *)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		combo, err := ParseCombination(schema, text)
+		if err != nil {
+			return
+		}
+		formatted := combo.Format(schema)
+		again, err := ParseCombination(schema, formatted)
+		if err != nil {
+			t.Fatalf("Format output %q does not re-parse: %v", formatted, err)
+		}
+		if !again.Equal(combo) {
+			t.Fatalf("round trip changed %v to %v", combo, again)
+		}
+	})
+}
+
+// FuzzReadCSV checks the CSV reader never panics and that accepted
+// snapshots survive a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("Location,Website,actual,forecast\nL1,S1,1,2\n")
+	f.Add("Location,Website,actual,forecast,anomalous\nL1,S1,1,2,true\n")
+	f.Add("A,actual,forecast\nx,1,notanum\n")
+	f.Add("")
+	f.Add("a,b\n1")
+	f.Add("A,actual,forecast\n*,1,2\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		snap, err := ReadCSV(strings.NewReader(data), nil)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, snap); err != nil {
+			t.Fatalf("WriteCSV of accepted snapshot: %v", err)
+		}
+		again, err := ReadCSV(&buf, snap.Schema)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if again.Len() != snap.Len() {
+			t.Fatalf("round trip lost leaves: %d -> %d", snap.Len(), again.Len())
+		}
+	})
+}
+
+// FuzzReadJSON checks the JSON reader never panics and round-trips.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"attributes":[{"name":"A","values":["x","y"]}],"leaves":[{"combination":["x"],"actual":1,"forecast":2}]}`)
+	f.Add(`{"attributes":[],"leaves":[]}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Fuzz(func(t *testing.T, data string) {
+		snap, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, snap); err != nil {
+			t.Fatalf("WriteJSON of accepted snapshot: %v", err)
+		}
+		if _, err := ReadJSON(&buf); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+	})
+}

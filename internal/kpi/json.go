@@ -1,0 +1,97 @@
+package kpi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// snapshotJSON is the wire form of a Snapshot: the schema plus one row per
+// leaf, with attribute elements by name.
+type snapshotJSON struct {
+	Attributes []attributeJSON `json:"attributes"`
+	Leaves     []leafJSON      `json:"leaves"`
+}
+
+type attributeJSON struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+type leafJSON struct {
+	Combination []string `json:"combination"`
+	Actual      float64  `json:"actual"`
+	Forecast    float64  `json:"forecast"`
+	Anomalous   bool     `json:"anomalous,omitempty"`
+}
+
+// WriteJSON serializes the snapshot as JSON: schema first, then one row per
+// leaf with element names.
+func WriteJSON(w io.Writer, s *Snapshot) error {
+	doc := snapshotJSON{
+		Attributes: make([]attributeJSON, s.Schema.NumAttributes()),
+		Leaves:     make([]leafJSON, len(s.Leaves)),
+	}
+	for i := range doc.Attributes {
+		a := s.Schema.Attribute(i)
+		doc.Attributes[i] = attributeJSON{Name: a.Name, Values: a.Values}
+	}
+	for i, l := range s.Leaves {
+		row := leafJSON{
+			Combination: make([]string, len(l.Combo)),
+			Actual:      l.Actual,
+			Forecast:    l.Forecast,
+			Anomalous:   l.Anomalous,
+		}
+		for a, code := range l.Combo {
+			row.Combination[a] = s.Schema.Value(a, code)
+		}
+		doc.Leaves[i] = row
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("kpi: write json: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a snapshot written by WriteJSON, rebuilding the schema
+// from the document.
+func ReadJSON(r io.Reader) (*Snapshot, error) {
+	var doc snapshotJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("kpi: read json: %w", err)
+	}
+	attrs := make([]Attribute, len(doc.Attributes))
+	for i, a := range doc.Attributes {
+		attrs[i] = Attribute{Name: a.Name, Values: a.Values}
+	}
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("kpi: read json: %w", err)
+	}
+	leaves := make([]Leaf, 0, len(doc.Leaves))
+	for i, row := range doc.Leaves {
+		if len(row.Combination) != schema.NumAttributes() {
+			return nil, fmt.Errorf("kpi: read json: leaf %d has %d elements, schema has %d attributes",
+				i, len(row.Combination), schema.NumAttributes())
+		}
+		combo := make(Combination, len(row.Combination))
+		for a, name := range row.Combination {
+			code, ok := schema.Code(a, name)
+			if !ok {
+				return nil, fmt.Errorf("kpi: read json: leaf %d: attribute %q has no element %q",
+					i, schema.Attribute(a).Name, name)
+			}
+			combo[a] = code
+		}
+		leaves = append(leaves, Leaf{
+			Combo:     combo,
+			Actual:    row.Actual,
+			Forecast:  row.Forecast,
+			Anomalous: row.Anomalous,
+		})
+	}
+	return NewSnapshot(schema, leaves)
+}

@@ -1,0 +1,72 @@
+package kpi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	snap := buildTestSnapshot(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, snap); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got.Len() != snap.Len() {
+		t.Fatalf("round trip len = %d, want %d", got.Len(), snap.Len())
+	}
+	for i := range snap.Leaves {
+		a, b := snap.Leaves[i], got.Leaves[i]
+		if a.Combo.Format(snap.Schema) != b.Combo.Format(got.Schema) ||
+			a.Actual != b.Actual || a.Forecast != b.Forecast || a.Anomalous != b.Anomalous {
+			t.Fatalf("leaf %d differs after round trip", i)
+		}
+	}
+	if got.Schema.NumAttributes() != snap.Schema.NumAttributes() {
+		t.Fatal("schema arity lost")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"garbage", "{nope"},
+		{"empty schema", `{"attributes": [], "leaves": []}`},
+		{"arity mismatch", `{"attributes": [{"name":"A","values":["x","y"]}], "leaves": [{"combination":["x","y"],"actual":1,"forecast":1}]}`},
+		{"unknown element", `{"attributes": [{"name":"A","values":["x"]}], "leaves": [{"combination":["z"],"actual":1,"forecast":1}]}`},
+		{"duplicate leaf", `{"attributes": [{"name":"A","values":["x"]}], "leaves": [{"combination":["x"],"actual":1,"forecast":1},{"combination":["x"],"actual":2,"forecast":2}]}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(tt.in)); err == nil {
+				t.Error("ReadJSON succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestReadJSONMinimalDocument(t *testing.T) {
+	in := `{
+		"attributes": [
+			{"name": "Location", "values": ["L1", "L2"]},
+			{"name": "Website", "values": ["S1"]}
+		],
+		"leaves": [
+			{"combination": ["L1", "S1"], "actual": 10, "forecast": 20, "anomalous": true},
+			{"combination": ["L2", "S1"], "actual": 20, "forecast": 20}
+		]
+	}`
+	snap, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if snap.Len() != 2 || snap.NumAnomalous() != 1 {
+		t.Fatalf("snapshot = %d leaves, %d anomalous", snap.Len(), snap.NumAnomalous())
+	}
+}

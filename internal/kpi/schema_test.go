@@ -1,0 +1,163 @@
+package kpi
+
+import (
+	"strings"
+	"testing"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Attribute{Name: "Location", Values: []string{"L1", "L2", "L3"}},
+		Attribute{Name: "AccessType", Values: []string{"Wireless", "Fixed"}},
+		Attribute{Name: "OS", Values: []string{"Android", "IOS"}},
+		Attribute{Name: "Website", Values: []string{"Site1", "Site2"}},
+	)
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	return s
+}
+
+func TestNewSchemaValid(t *testing.T) {
+	s := testSchema(t)
+	if got := s.NumAttributes(); got != 4 {
+		t.Errorf("NumAttributes = %d, want 4", got)
+	}
+	if got := s.NumLeaves(); got != 3*2*2*2 {
+		t.Errorf("NumLeaves = %d, want 24", got)
+	}
+	if got := s.Cardinality(0); got != 3 {
+		t.Errorf("Cardinality(0) = %d, want 3", got)
+	}
+	i, ok := s.AttributeIndex("OS")
+	if !ok || i != 2 {
+		t.Errorf("AttributeIndex(OS) = %d, %v; want 2, true", i, ok)
+	}
+	if _, ok := s.AttributeIndex("Nope"); ok {
+		t.Error("AttributeIndex(Nope) reported ok")
+	}
+}
+
+func TestNewSchemaErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		attrs []Attribute
+		want  string
+	}{
+		{
+			name:  "empty",
+			attrs: nil,
+			want:  "at least one attribute",
+		},
+		{
+			name:  "empty name",
+			attrs: []Attribute{{Name: "", Values: []string{"a"}}},
+			want:  "empty name",
+		},
+		{
+			name: "duplicate attribute",
+			attrs: []Attribute{
+				{Name: "A", Values: []string{"a"}},
+				{Name: "A", Values: []string{"b"}},
+			},
+			want: "duplicate attribute",
+		},
+		{
+			name:  "no elements",
+			attrs: []Attribute{{Name: "A", Values: nil}},
+			want:  "no elements",
+		},
+		{
+			name:  "duplicate element",
+			attrs: []Attribute{{Name: "A", Values: []string{"a", "a"}}},
+			want:  "duplicate element",
+		},
+		{
+			name:  "wildcard element",
+			attrs: []Attribute{{Name: "A", Values: []string{"*"}}},
+			want:  "invalid",
+		},
+		{
+			name:  "wildcard in attribute name",
+			attrs: []Attribute{{Name: "A*", Values: []string{"a"}}},
+			want:  "must not contain",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewSchema(tt.attrs...)
+			if err == nil {
+				t.Fatal("NewSchema succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not contain %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestSchemaCodeRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	for a := 0; a < s.NumAttributes(); a++ {
+		for _, v := range s.Attribute(a).Values {
+			code, ok := s.Code(a, v)
+			if !ok {
+				t.Fatalf("Code(%d, %q) not found", a, v)
+			}
+			if got := s.Value(a, code); got != v {
+				t.Errorf("Value(%d, %d) = %q, want %q", a, code, got, v)
+			}
+			if !s.ValidCode(a, code) {
+				t.Errorf("ValidCode(%d, %d) = false", a, code)
+			}
+		}
+	}
+	if _, ok := s.Code(0, "missing"); ok {
+		t.Error("Code found a missing element")
+	}
+	if _, ok := s.Code(-1, "L1"); ok {
+		t.Error("Code accepted a negative attribute index")
+	}
+	if s.ValidCode(0, 99) {
+		t.Error("ValidCode accepted an out-of-range code")
+	}
+	if s.ValidCode(0, -1) {
+		t.Error("ValidCode accepted the wildcard code")
+	}
+}
+
+func TestSchemaIsolatedFromCallerMutation(t *testing.T) {
+	vals := []string{"x", "y"}
+	s, err := NewSchema(Attribute{Name: "A", Values: vals})
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	vals[0] = "mutated"
+	if got := s.Value(0, 0); got != "x" {
+		t.Errorf("schema shares caller slice: Value(0,0) = %q", got)
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema did not panic on invalid input")
+		}
+	}()
+	MustSchema()
+}
+
+func TestAttributeNames(t *testing.T) {
+	s := testSchema(t)
+	want := []string{"Location", "AccessType", "OS", "Website"}
+	got := s.AttributeNames()
+	if len(got) != len(want) {
+		t.Fatalf("AttributeNames len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("AttributeNames[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package kpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Leaf is one most fine-grained attribute combination at a single timestamp,
+// carrying the actual value v, the forecast value f and the anomaly label
+// produced by a leaf-level detector (Table III of the paper plus the label
+// column consumed by RAPMiner).
+type Leaf struct {
+	Combo     Combination
+	Actual    float64
+	Forecast  float64
+	Anomalous bool
+}
+
+// Dev returns the relative deviation (f - v) / f used by the paper's
+// failure-injection procedure (Eq. 4). eps guards the division for zero
+// forecasts.
+func (l Leaf) Dev(eps float64) float64 {
+	return (l.Forecast - l.Actual) / (l.Forecast + eps)
+}
+
+// Snapshot is the basic dataset D: the leaves of Cub_{A,B,...} observed at
+// one timestamp. A snapshot may be sparse — leaves with no traffic are
+// simply absent — matching the paper's support_count semantics, which are
+// defined over the observed dataset D rather than the full Cartesian
+// product.
+type Snapshot struct {
+	Schema *Schema
+	Leaves []Leaf
+}
+
+// NewSnapshot validates that every leaf is fully constrained, carries valid
+// codes, and appears at most once.
+func NewSnapshot(schema *Schema, leaves []Leaf) (*Snapshot, error) {
+	seen := make(map[string]struct{}, len(leaves))
+	for i, l := range leaves {
+		if len(l.Combo) != schema.NumAttributes() {
+			return nil, fmt.Errorf("kpi: leaf %d has %d attributes, schema has %d",
+				i, len(l.Combo), schema.NumAttributes())
+		}
+		for a, code := range l.Combo {
+			if code == Wildcard {
+				return nil, fmt.Errorf("kpi: leaf %d is not fully constrained (attribute %s)",
+					i, schema.Attribute(a).Name)
+			}
+			if !schema.ValidCode(a, code) {
+				return nil, fmt.Errorf("kpi: leaf %d has invalid code %d for attribute %s",
+					i, code, schema.Attribute(a).Name)
+			}
+		}
+		k := l.Combo.Key()
+		if _, dup := seen[k]; dup {
+			return nil, fmt.Errorf("kpi: duplicate leaf %s", l.Combo.Format(schema))
+		}
+		seen[k] = struct{}{}
+	}
+	return &Snapshot{Schema: schema, Leaves: leaves}, nil
+}
+
+// Len returns the number of observed leaves |D|.
+func (s *Snapshot) Len() int { return len(s.Leaves) }
+
+// NumAnomalous returns the number of leaves labeled anomalous.
+func (s *Snapshot) NumAnomalous() int {
+	n := 0
+	for _, l := range s.Leaves {
+		if l.Anomalous {
+			n++
+		}
+	}
+	return n
+}
+
+// SupportCount returns support_count_D(ac) and support_count_D(ac, Anomaly):
+// the number of leaf descendants of ac in D, and how many of them are
+// anomalous (Criteria 2 of the paper).
+func (s *Snapshot) SupportCount(ac Combination) (total, anomalous int) {
+	for _, l := range s.Leaves {
+		if !ac.Matches(l.Combo) {
+			continue
+		}
+		total++
+		if l.Anomalous {
+			anomalous++
+		}
+	}
+	return total, anomalous
+}
+
+// Confidence returns Confidence(ac => Anomaly): the anomalous fraction of
+// ac's leaf descendants, or 0 when ac has no descendants in D.
+func (s *Snapshot) Confidence(ac Combination) float64 {
+	total, anomalous := s.SupportCount(ac)
+	if total == 0 {
+		return 0
+	}
+	return float64(anomalous) / float64(total)
+}
+
+// Sum aggregates the fundamental KPI of ac from its leaf descendants
+// (Fig. 4): the summed actual and forecast values.
+func (s *Snapshot) Sum(ac Combination) (actual, forecast float64) {
+	for _, l := range s.Leaves {
+		if ac.Matches(l.Combo) {
+			actual += l.Actual
+			forecast += l.Forecast
+		}
+	}
+	return actual, forecast
+}
+
+// GroupStats holds the aggregate of one group of a cuboid group-by.
+type GroupStats struct {
+	Combo     Combination
+	Total     int
+	Anomalous int
+	Actual    float64
+	Forecast  float64
+}
+
+// Confidence returns the anomaly confidence of the group.
+func (g GroupStats) Confidence() float64 {
+	if g.Total == 0 {
+		return 0
+	}
+	return float64(g.Anomalous) / float64(g.Total)
+}
+
+// GroupBy projects every leaf onto the cuboid's attributes and accumulates
+// per-combination statistics in a single pass over D. Only combinations that
+// actually occur in D are returned; the order is deterministic (ascending
+// mixed-radix group index, which equals lexicographic code order).
+//
+// Dense cuboids are accumulated in flat arrays indexed by CuboidIndexer;
+// when the cuboid's Cartesian size dwarfs the observed leaf count (very
+// sparse data over a huge domain) a map-based path avoids allocating the
+// full domain.
+func (s *Snapshot) GroupBy(c Cuboid) []GroupStats {
+	ix := NewCuboidIndexer(s.Schema, c)
+	if size := ix.Size(); size < 0 || size > denseGroupByLimit(len(s.Leaves)) {
+		return s.groupBySparse(c, ix)
+	}
+	var (
+		total     = make([]int, ix.Size())
+		anomalous = make([]int, ix.Size())
+		actual    = make([]float64, ix.Size())
+		forecast  = make([]float64, ix.Size())
+		nonEmpty  int
+	)
+	for i := range s.Leaves {
+		l := &s.Leaves[i]
+		g := ix.Index(l.Combo)
+		if total[g] == 0 {
+			nonEmpty++
+		}
+		total[g]++
+		if l.Anomalous {
+			anomalous[g]++
+		}
+		actual[g] += l.Actual
+		forecast[g] += l.Forecast
+	}
+	out := make([]GroupStats, 0, nonEmpty)
+	for g, n := range total {
+		if n == 0 {
+			continue
+		}
+		out = append(out, GroupStats{
+			Combo:     ix.Combination(g),
+			Total:     n,
+			Anomalous: anomalous[g],
+			Actual:    actual[g],
+			Forecast:  forecast[g],
+		})
+	}
+	return out
+}
+
+// denseGroupByLimit bounds the flat-array domain size relative to the
+// observed leaf count: past it the dense path wastes more memory zeroing
+// empty groups than the map path costs in hashing.
+func denseGroupByLimit(leaves int) int {
+	const floor = 1 << 16
+	if limit := 64 * leaves; limit > floor {
+		return limit
+	}
+	return floor
+}
+
+// groupBySparse is the map-based group-by used for huge sparse domains.
+func (s *Snapshot) groupBySparse(c Cuboid, ix *CuboidIndexer) []GroupStats {
+	groups := make(map[int]*GroupStats)
+	var order []int
+	for i := range s.Leaves {
+		l := &s.Leaves[i]
+		g := ix.Index(l.Combo)
+		st, ok := groups[g]
+		if !ok {
+			st = &GroupStats{Combo: l.Combo.Project(c)}
+			groups[g] = st
+			order = append(order, g)
+		}
+		st.Total++
+		if l.Anomalous {
+			st.Anomalous++
+		}
+		st.Actual += l.Actual
+		st.Forecast += l.Forecast
+	}
+	sort.Ints(order)
+	out := make([]GroupStats, 0, len(order))
+	for _, g := range order {
+		out = append(out, *groups[g])
+	}
+	return out
+}
+
+// AnomalousLeafSet returns the index positions (into Leaves) of the
+// anomalous leaves; used by the early-stop coverage check.
+func (s *Snapshot) AnomalousLeafSet() []int {
+	var idx []int
+	for i, l := range s.Leaves {
+		if l.Anomalous {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Clone returns a deep copy of the snapshot (leaves and combinations).
+func (s *Snapshot) Clone() *Snapshot {
+	leaves := make([]Leaf, len(s.Leaves))
+	for i, l := range s.Leaves {
+		leaves[i] = Leaf{
+			Combo:     l.Combo.Clone(),
+			Actual:    l.Actual,
+			Forecast:  l.Forecast,
+			Anomalous: l.Anomalous,
+		}
+	}
+	return &Snapshot{Schema: s.Schema, Leaves: leaves}
+}

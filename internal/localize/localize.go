@@ -1,0 +1,74 @@
+// Package localize defines the interface shared by every anomaly
+// localization method in this repository (RAPMiner and the four baselines),
+// so that the experiment harness, benchmarks and examples can drive them
+// uniformly.
+package localize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/kpi"
+)
+
+// ScoredPattern is one root-anomaly-pattern candidate with the method's
+// internal ranking score (higher is better).
+type ScoredPattern struct {
+	Combo kpi.Combination
+	Score float64
+}
+
+// Result is the ranked output of a localization run.
+type Result struct {
+	// Patterns is sorted by descending score.
+	Patterns []ScoredPattern
+}
+
+// TopK returns the first k combinations (or all when fewer are available).
+func (r Result) TopK(k int) []kpi.Combination {
+	if k > len(r.Patterns) {
+		k = len(r.Patterns)
+	}
+	out := make([]kpi.Combination, k)
+	for i := 0; i < k; i++ {
+		out[i] = r.Patterns[i].Combo
+	}
+	return out
+}
+
+// Format renders the result one pattern per line in the paper's notation.
+func (r Result) Format(s *kpi.Schema) string {
+	var b strings.Builder
+	for i, p := range r.Patterns {
+		fmt.Fprintf(&b, "%2d. %s  score=%.4f\n", i+1, p.Combo.Format(s), p.Score)
+	}
+	return b.String()
+}
+
+// Localizer mines root anomaly patterns from a labeled snapshot. k is the
+// number of patterns the caller wants returned; methods that cannot honor k
+// (e.g. Squeeze, see Section V-E2 of the paper) may return a different
+// count.
+type Localizer interface {
+	// Localize returns up to k ranked root-anomaly-pattern candidates.
+	Localize(snapshot *kpi.Snapshot, k int) (Result, error)
+	// Name identifies the method in reports ("RAPMiner", "Squeeze", ...).
+	Name() string
+}
+
+// SortPatterns sorts candidates by descending score, breaking ties first by
+// shallower layer (coarser pattern wins) and then by combination order so
+// results are deterministic.
+func SortPatterns(ps []ScoredPattern) {
+	sort.SliceStable(ps, func(i, j int) bool {
+		if ps[i].Score != ps[j].Score {
+			return ps[i].Score > ps[j].Score
+		}
+		li, lj := ps[i].Combo.Layer(), ps[j].Combo.Layer()
+		if li != lj {
+			return li < lj
+		}
+		return ps[i].Combo.Key() < ps[j].Combo.Key()
+	})
+}

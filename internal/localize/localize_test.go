@@ -1,0 +1,122 @@
+package localize
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kpi"
+)
+
+func testSchema() *kpi.Schema {
+	return kpi.MustSchema(
+		kpi.Attribute{Name: "A", Values: []string{"a1", "a2", "a3"}},
+		kpi.Attribute{Name: "B", Values: []string{"b1", "b2"}},
+	)
+}
+
+func TestTopK(t *testing.T) {
+	r := Result{Patterns: []ScoredPattern{
+		{Combo: kpi.Combination{0, kpi.Wildcard}, Score: 0.9},
+		{Combo: kpi.Combination{1, kpi.Wildcard}, Score: 0.5},
+		{Combo: kpi.Combination{2, kpi.Wildcard}, Score: 0.1},
+	}}
+	if got := r.TopK(2); len(got) != 2 || got[0][0] != 0 || got[1][0] != 1 {
+		t.Errorf("TopK(2) = %v", got)
+	}
+	if got := r.TopK(10); len(got) != 3 {
+		t.Errorf("TopK(10) returned %d", len(got))
+	}
+	if got := r.TopK(0); len(got) != 0 {
+		t.Errorf("TopK(0) returned %d", len(got))
+	}
+	var empty Result
+	if got := empty.TopK(3); len(got) != 0 {
+		t.Errorf("empty TopK = %v", got)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	s := testSchema()
+	r := Result{Patterns: []ScoredPattern{
+		{Combo: kpi.MustParseCombination(s, "(a1, *)"), Score: 0.75},
+	}}
+	out := r.Format(s)
+	if !strings.Contains(out, "(a1, *)") || !strings.Contains(out, "0.7500") {
+		t.Errorf("Format = %q", out)
+	}
+	if got := (Result{}).Format(s); got != "" {
+		t.Errorf("empty Format = %q", got)
+	}
+}
+
+func TestSortPatternsOrdering(t *testing.T) {
+	ps := []ScoredPattern{
+		{Combo: kpi.Combination{0, 0}, Score: 0.5},            // layer 2
+		{Combo: kpi.Combination{0, kpi.Wildcard}, Score: 0.5}, // layer 1, same score
+		{Combo: kpi.Combination{1, kpi.Wildcard}, Score: 0.9}, // best score
+		{Combo: kpi.Combination{2, kpi.Wildcard}, Score: 0.5}, // layer 1, tie with index 1
+	}
+	SortPatterns(ps)
+	if ps[0].Score != 0.9 {
+		t.Fatalf("best score not first: %+v", ps)
+	}
+	if ps[1].Combo.Layer() != 1 || ps[2].Combo.Layer() != 1 {
+		t.Fatalf("layer tie-break failed: %+v", ps)
+	}
+	if ps[1].Combo.Key() > ps[2].Combo.Key() {
+		t.Fatalf("key tie-break failed: %+v", ps)
+	}
+	if ps[3].Combo.Layer() != 2 {
+		t.Fatalf("deeper pattern should sort last on equal score: %+v", ps)
+	}
+}
+
+func TestSortPatternsStableAndDeterministicQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		build := func() []ScoredPattern {
+			ps := make([]ScoredPattern, 12)
+			for i := range ps {
+				c := kpi.Combination{int32(r.Intn(3)), int32(r.Intn(2))}
+				if r.Intn(2) == 0 {
+					c[r.Intn(2)] = kpi.Wildcard
+				}
+				ps[i] = ScoredPattern{Combo: c, Score: float64(r.Intn(3)) / 2}
+			}
+			return ps
+		}
+		a := build()
+		b := append([]ScoredPattern(nil), a...)
+		// Shuffle b differently, then sort both: final order must agree
+		// whenever (score, layer, key) triples are unique; with ties the
+		// comparator is still a strict weak order, so sorted sequences of
+		// the triple must agree.
+		r.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+		SortPatterns(a)
+		SortPatterns(b)
+		key := func(p ScoredPattern) [3]string {
+			return [3]string{
+				string(rune(int('0') + int(p.Score*2))),
+				string(rune(int('0') + p.Combo.Layer())),
+				p.Combo.Key(),
+			}
+		}
+		for i := range a {
+			if key(a[i]) != key(b[i]) {
+				return false
+			}
+		}
+		return sort.SliceIsSorted(a, func(i, j int) bool {
+			if a[i].Score != a[j].Score {
+				return a[i].Score > a[j].Score
+			}
+			return false
+		})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,229 @@
+// Package pipeline assembles the repository's pieces into the IT-operations
+// service of the paper's Fig. 1: a Monitor consumes per-minute KPI
+// snapshots, raises an aggregate anomaly alarm with debouncing, triggers
+// anomaly localization only while the alarm is active, and tracks incident
+// lifecycle (open → update → resolve) so operators receive one coherent
+// incident per failure instead of a per-tick stream of patterns.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/anomaly"
+	"repro/internal/kpi"
+	"repro/internal/localize"
+)
+
+// Config assembles a Monitor.
+type Config struct {
+	// Detector labels the leaves before localization.
+	Detector anomaly.Detector
+	// Localizer mines the root anomaly patterns.
+	Localizer localize.Localizer
+	// K is the number of patterns requested per localization.
+	K int
+	// AlarmThreshold is the relative deviation of the aggregate KPI
+	// (|sum f - sum v| / sum f) that arms the alarm.
+	AlarmThreshold float64
+	// DebounceTicks is how many consecutive alarming ticks are needed
+	// before an incident opens (suppresses single-sample blips).
+	DebounceTicks int
+	// ResolveTicks is how many consecutive clean ticks close an open
+	// incident.
+	ResolveTicks int
+}
+
+// DefaultConfig returns a production-flavored configuration around the
+// given localizer: 2% aggregate alarm, 2-tick debounce, 3-tick resolve.
+func DefaultConfig(det anomaly.Detector, loc localize.Localizer) Config {
+	return Config{
+		Detector:       det,
+		Localizer:      loc,
+		K:              3,
+		AlarmThreshold: 0.02,
+		DebounceTicks:  2,
+		ResolveTicks:   3,
+	}
+}
+
+// EventKind classifies what a processed tick produced.
+type EventKind int
+
+// The event kinds, in lifecycle order.
+const (
+	// EventTick is a quiet tick: no open incident, no alarm.
+	EventTick EventKind = iota + 1
+	// EventArming counts an alarming tick still inside the debounce
+	// window.
+	EventArming
+	// EventOpened reports a new incident with its localized scopes.
+	EventOpened
+	// EventUpdated reports changed scopes on an open incident.
+	EventUpdated
+	// EventOngoing is an open incident whose scopes did not change.
+	EventOngoing
+	// EventResolved closes an incident after ResolveTicks clean ticks.
+	EventResolved
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventTick:
+		return "tick"
+	case EventArming:
+		return "arming"
+	case EventOpened:
+		return "opened"
+	case EventUpdated:
+		return "updated"
+	case EventOngoing:
+		return "ongoing"
+	case EventResolved:
+		return "resolved"
+	default:
+		return fmt.Sprintf("event-%d", int(k))
+	}
+}
+
+// Incident is one tracked failure.
+type Incident struct {
+	ID       int
+	OpenedAt time.Time
+	// ResolvedAt is zero while the incident is open.
+	ResolvedAt time.Time
+	// Scopes is the latest localization result.
+	Scopes []localize.ScoredPattern
+	// Updates counts scope changes after opening.
+	Updates int
+}
+
+// Event is the outcome of one processed tick.
+type Event struct {
+	Kind      EventKind
+	Time      time.Time
+	Deviation float64
+	// Incident is set for Opened/Updated/Ongoing/Resolved events.
+	Incident *Incident
+}
+
+// Monitor is the stateful alarm-and-localize service. It is not safe for
+// concurrent use; drive it from one goroutine (see Runner).
+type Monitor struct {
+	cfg Config
+
+	alarmStreak int
+	cleanStreak int
+	current     *Incident
+	nextID      int
+}
+
+// New validates the configuration.
+func New(cfg Config) (*Monitor, error) {
+	if cfg.Detector == nil {
+		return nil, errors.New("pipeline: nil detector")
+	}
+	if cfg.Localizer == nil {
+		return nil, errors.New("pipeline: nil localizer")
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("pipeline: K %d, want >= 1", cfg.K)
+	}
+	if cfg.AlarmThreshold <= 0 {
+		return nil, fmt.Errorf("pipeline: AlarmThreshold %v, want > 0", cfg.AlarmThreshold)
+	}
+	if cfg.DebounceTicks < 1 || cfg.ResolveTicks < 1 {
+		return nil, fmt.Errorf("pipeline: debounce/resolve ticks (%d, %d), want >= 1",
+			cfg.DebounceTicks, cfg.ResolveTicks)
+	}
+	return &Monitor{cfg: cfg, nextID: 1}, nil
+}
+
+// Current returns the open incident, or nil.
+func (m *Monitor) Current() *Incident { return m.current }
+
+// Process handles one tick. The snapshot is labeled in place with the
+// configured detector when localization runs.
+func (m *Monitor) Process(ts time.Time, snap *kpi.Snapshot) (Event, error) {
+	if snap == nil {
+		return Event{}, errors.New("pipeline: nil snapshot")
+	}
+	v, f := snap.Sum(kpi.NewRoot(snap.Schema.NumAttributes()))
+	dev := 0.0
+	if f != 0 {
+		dev = math.Abs(f-v) / math.Abs(f)
+	}
+	alarming := dev > m.cfg.AlarmThreshold
+
+	if alarming {
+		m.alarmStreak++
+		m.cleanStreak = 0
+	} else {
+		m.cleanStreak++
+		m.alarmStreak = 0
+	}
+
+	switch {
+	case m.current == nil && alarming && m.alarmStreak >= m.cfg.DebounceTicks:
+		scopes, err := m.localize(snap)
+		if err != nil {
+			return Event{}, err
+		}
+		m.current = &Incident{ID: m.nextID, OpenedAt: ts, Scopes: scopes}
+		m.nextID++
+		return Event{Kind: EventOpened, Time: ts, Deviation: dev, Incident: m.current}, nil
+
+	case m.current == nil && alarming:
+		return Event{Kind: EventArming, Time: ts, Deviation: dev}, nil
+
+	case m.current != nil && !alarming && m.cleanStreak >= m.cfg.ResolveTicks:
+		incident := m.current
+		incident.ResolvedAt = ts
+		m.current = nil
+		return Event{Kind: EventResolved, Time: ts, Deviation: dev, Incident: incident}, nil
+
+	case m.current != nil && alarming:
+		scopes, err := m.localize(snap)
+		if err != nil {
+			return Event{}, err
+		}
+		kind := EventOngoing
+		if !sameScopes(m.current.Scopes, scopes) {
+			m.current.Scopes = scopes
+			m.current.Updates++
+			kind = EventUpdated
+		}
+		return Event{Kind: kind, Time: ts, Deviation: dev, Incident: m.current}, nil
+
+	case m.current != nil:
+		// Open incident, clean tick, still inside the resolve window.
+		return Event{Kind: EventOngoing, Time: ts, Deviation: dev, Incident: m.current}, nil
+
+	default:
+		return Event{Kind: EventTick, Time: ts, Deviation: dev}, nil
+	}
+}
+
+func (m *Monitor) localize(snap *kpi.Snapshot) ([]localize.ScoredPattern, error) {
+	anomaly.Label(snap, m.cfg.Detector)
+	res, err := m.cfg.Localizer.Localize(snap, m.cfg.K)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: localize: %w", err)
+	}
+	return res.Patterns, nil
+}
+
+func sameScopes(a, b []localize.ScoredPattern) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Combo.Equal(b[i].Combo) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,72 @@
+package pipeline
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/kpi"
+	"repro/internal/leafforecast"
+)
+
+// TrackedMonitor closes the loop the paper's Fig. 1 implies but leaves to
+// "some prediction methods": it owns a leafforecast.Tracker that learns
+// every leaf's baseline from observed actuals, fills in forecasts on each
+// tick, and feeds the result to a Monitor. While an incident is open the
+// tracker stops observing, so failure data does not contaminate the
+// learned baseline.
+type TrackedMonitor struct {
+	monitor *Monitor
+	tracker *leafforecast.Tracker
+	history []Incident
+	// maxHistory bounds the retained resolved incidents.
+	maxHistory int
+}
+
+// NewTracked assembles the closed-loop monitor.
+func NewTracked(m *Monitor, tr *leafforecast.Tracker) (*TrackedMonitor, error) {
+	if m == nil || tr == nil {
+		return nil, errors.New("pipeline: nil monitor or tracker")
+	}
+	return &TrackedMonitor{monitor: m, tracker: tr, maxHistory: 64}, nil
+}
+
+// Current returns the open incident, or nil.
+func (t *TrackedMonitor) Current() *Incident { return t.monitor.Current() }
+
+// History returns the resolved incidents, oldest first (bounded).
+func (t *TrackedMonitor) History() []Incident {
+	out := make([]Incident, len(t.history))
+	copy(out, t.history)
+	return out
+}
+
+// Process handles one tick of raw observations (forecasts in the snapshot
+// are ignored and replaced by the tracker's own predictions).
+func (t *TrackedMonitor) Process(ts time.Time, snap *kpi.Snapshot) (Event, error) {
+	if snap == nil {
+		return Event{}, errors.New("pipeline: nil snapshot")
+	}
+	withForecasts, _, err := t.tracker.Forecast(snap)
+	if err != nil {
+		return Event{}, err
+	}
+	ev, err := t.monitor.Process(ts, withForecasts)
+	if err != nil {
+		return Event{}, err
+	}
+	switch ev.Kind {
+	case EventTick:
+		// Healthy tick: learn from it.
+		if err := t.tracker.Observe(snap); err != nil {
+			return Event{}, err
+		}
+	case EventResolved:
+		t.history = append(t.history, *ev.Incident)
+		if len(t.history) > t.maxHistory {
+			t.history = t.history[len(t.history)-t.maxHistory:]
+		}
+	}
+	// Arming/open-incident ticks are never observed: the baseline must
+	// describe healthy behavior only.
+	return ev, nil
+}

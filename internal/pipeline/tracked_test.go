@@ -1,0 +1,170 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/anomaly"
+	"repro/internal/cdn"
+	"repro/internal/kpi"
+	"repro/internal/leafforecast"
+	"repro/internal/rapminer"
+	"repro/internal/timeseries"
+)
+
+func newTracked(t *testing.T, sim *cdn.Simulator) *TrackedMonitor {
+	t.Helper()
+	miner := rapminer.MustNew(rapminer.DefaultConfig())
+	cfg := DefaultConfig(anomaly.RelativeDeviation{Threshold: 0.3, Eps: 1e-9}, miner)
+	cfg.AlarmThreshold = 0.01
+	cfg.DebounceTicks = 1
+	cfg.ResolveTicks = 2
+	monitor, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker, err := leafforecast.New(sim.Schema(), leafforecast.Config{
+		Forecaster: timeseries.EWMA{Alpha: 0.4},
+		Window:     32,
+		MinHistory: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := NewTracked(monitor, tracker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func TestNewTrackedValidation(t *testing.T) {
+	if _, err := NewTracked(nil, nil); err == nil {
+		t.Error("nil arguments accepted")
+	}
+}
+
+func TestTrackedMonitorFullLoop(t *testing.T) {
+	sim, err := cdn.NewSimulator(cdn.DefaultConfig(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := newTracked(t, sim)
+	start := time.Date(2026, 3, 3, 21, 0, 0, 0, time.UTC)
+	scope := kpi.MustParseCombination(sim.Schema(), "(*, *, *, Site4)")
+
+	tick := func(m int, failing bool) Event {
+		t.Helper()
+		snap, err := sim.SnapshotAt(start.Add(time.Duration(m) * time.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Raw observations only: wipe the simulator's oracle forecasts.
+		for i := range snap.Leaves {
+			snap.Leaves[i].Forecast = 0
+		}
+		if failing {
+			if err := cdn.ApplyFailures(snap, []cdn.Failure{{
+				Kind: cdn.SiteOutage, Scope: scope, Severity: 0.8,
+			}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ev, err := tm.Process(start.Add(time.Duration(m)*time.Minute), snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev
+	}
+
+	// Warm-up: the cold tracker never alarms.
+	for m := 0; m < 8; m++ {
+		if ev := tick(m, false); ev.Kind != EventTick {
+			t.Fatalf("warm-up tick %d = %v", m, ev.Kind)
+		}
+	}
+	// Failure: incident opens with the right scope (debounce = 1).
+	ev := tick(8, true)
+	if ev.Kind != EventOpened {
+		t.Fatalf("failure tick = %v, want opened", ev.Kind)
+	}
+	if len(ev.Incident.Scopes) == 0 || !ev.Incident.Scopes[0].Combo.Equal(scope) {
+		t.Fatalf("incident scope = %v, want (*, *, *, Site4)", ev.Incident.Scopes)
+	}
+	// Recovery: two clean ticks resolve (resolve = 2); the incident
+	// lands in history.
+	tick(9, false)
+	ev = tick(10, false)
+	if ev.Kind != EventResolved {
+		t.Fatalf("recovery tick = %v, want resolved", ev.Kind)
+	}
+	if got := tm.History(); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("history = %v", got)
+	}
+	if tm.Current() != nil {
+		t.Fatal("incident still open")
+	}
+}
+
+func TestTrackedMonitorDoesNotLearnDuringIncidents(t *testing.T) {
+	sim, err := cdn.NewSimulator(cdn.DefaultConfig(72))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := newTracked(t, sim)
+	start := time.Date(2026, 3, 4, 21, 0, 0, 0, time.UTC)
+	scope := kpi.MustParseCombination(sim.Schema(), "(*, *, *, Site2)")
+
+	process := func(m int, failing bool) Event {
+		t.Helper()
+		snap, err := sim.SnapshotAt(start.Add(time.Duration(m) * time.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range snap.Leaves {
+			snap.Leaves[i].Forecast = 0
+		}
+		if failing {
+			if err := cdn.ApplyFailures(snap, []cdn.Failure{{
+				Kind: cdn.SiteOutage, Scope: scope, Severity: 0.8,
+			}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ev, err := tm.Process(start.Add(time.Duration(m)*time.Minute), snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev
+	}
+
+	for m := 0; m < 8; m++ {
+		process(m, false)
+	}
+	if process(8, true).Kind != EventOpened {
+		t.Fatal("incident did not open")
+	}
+	// A long outage: if the tracker learned failure data, the baseline
+	// would converge to the degraded level and the incident would
+	// resolve spuriously. It must stay open.
+	for m := 9; m < 25; m++ {
+		ev := process(m, true)
+		if ev.Kind == EventResolved {
+			t.Fatalf("incident resolved at minute %d while the failure persists", m)
+		}
+	}
+	if tm.Current() == nil {
+		t.Fatal("incident lost during the outage")
+	}
+}
+
+func TestTrackedMonitorNilSnapshot(t *testing.T) {
+	sim, err := cdn.NewSimulator(cdn.DefaultConfig(73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := newTracked(t, sim)
+	if _, err := tm.Process(time.Now(), nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package rapminer
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/kpi"
+)
+
+// benchCase builds a CDN-scale labeled snapshot with two injected RAPs.
+func benchCase(b *testing.B) *kpi.Snapshot {
+	b.Helper()
+	mk := func(prefix string, n int) kpi.Attribute {
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = prefix + string(rune('a'+i/26)) + string(rune('a'+i%26))
+		}
+		return kpi.Attribute{Name: prefix, Values: vals}
+	}
+	s := kpi.MustSchema(mk("L", 33), mk("A", 4), mk("O", 4), mk("S", 20))
+	raps := []kpi.Combination{
+		{4, kpi.Wildcard, kpi.Wildcard, kpi.Wildcard},
+		{kpi.Wildcard, 1, kpi.Wildcard, 7},
+	}
+	r := rand.New(rand.NewSource(3))
+	leaves := make([]kpi.Leaf, 0, s.NumLeaves())
+	for l := int32(0); l < 33; l++ {
+		for a := int32(0); a < 4; a++ {
+			for o := int32(0); o < 4; o++ {
+				for w := int32(0); w < 20; w++ {
+					combo := kpi.Combination{l, a, o, w}
+					leaf := kpi.Leaf{Combo: combo, Actual: 100, Forecast: 100}
+					for _, rap := range raps {
+						if rap.Matches(combo) {
+							leaf.Anomalous = true
+							leaf.Actual = 100 * (0.1 + 0.8*r.Float64())
+							break
+						}
+					}
+					leaves = append(leaves, leaf)
+				}
+			}
+		}
+	}
+	snap, err := kpi.NewSnapshot(s, leaves)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return snap
+}
+
+func BenchmarkClassificationPowers(b *testing.B) {
+	snap := benchCase(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cps := ClassificationPowers(snap); len(cps) != 4 {
+			b.Fatal("wrong CP count")
+		}
+	}
+}
+
+func BenchmarkLocalizeCDNScale(b *testing.B) {
+	snap := benchCase(b)
+	m := MustNew(DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.Localize(snap, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Patterns) == 0 {
+			b.Fatal("nothing found")
+		}
+	}
+}
+
+func BenchmarkLocalizeWithoutDeletion(b *testing.B) {
+	snap := benchCase(b)
+	cfg := DefaultConfig()
+	cfg.DisableAttributeDeletion = true
+	m := MustNew(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Localize(snap, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

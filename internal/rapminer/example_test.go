@@ -1,0 +1,78 @@
+package rapminer_test
+
+import (
+	"fmt"
+
+	"repro/internal/anomaly"
+	"repro/internal/kpi"
+	"repro/internal/rapminer"
+)
+
+// Example mines the Fig. 3 scenario of the paper: every leaf under
+// (L1, *, Site1) lost most of its traffic, so that combination is the root
+// anomaly pattern.
+func Example() {
+	schema := kpi.MustSchema(
+		kpi.Attribute{Name: "Location", Values: []string{"L1", "L2"}},
+		kpi.Attribute{Name: "Website", Values: []string{"Site1", "Site2"}},
+	)
+	rap := kpi.MustParseCombination(schema, "(L1, Site1)")
+	var leaves []kpi.Leaf
+	for l := int32(0); l < 2; l++ {
+		for w := int32(0); w < 2; w++ {
+			combo := kpi.Combination{l, w}
+			leaf := kpi.Leaf{Combo: combo, Actual: 100, Forecast: 100}
+			if rap.Matches(combo) {
+				leaf.Actual = 30
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	snapshot, err := kpi.NewSnapshot(schema, leaves)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	anomaly.Label(snapshot, anomaly.DefaultRelativeDeviation())
+
+	miner := rapminer.MustNew(rapminer.DefaultConfig())
+	result, err := miner.Localize(snapshot, 3)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, p := range result.Patterns {
+		fmt.Println(p.Combo.Format(schema))
+	}
+	// Output:
+	// (L1, Site1)
+}
+
+// ExampleClassificationPower shows Eq. 1 on the Fig. 6 dataset: attribute A
+// separates the anomalies perfectly while B cannot.
+func ExampleClassificationPower() {
+	schema := kpi.MustSchema(
+		kpi.Attribute{Name: "A", Values: []string{"a1", "a2"}},
+		kpi.Attribute{Name: "B", Values: []string{"b1", "b2"}},
+	)
+	var leaves []kpi.Leaf
+	for a := int32(0); a < 2; a++ {
+		for b := int32(0); b < 2; b++ {
+			leaves = append(leaves, kpi.Leaf{
+				Combo:     kpi.Combination{a, b},
+				Anomalous: a == 0, // everything under a1 is anomalous
+			})
+		}
+	}
+	snapshot, err := kpi.NewSnapshot(schema, leaves)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("CP_A = %.1f\n", rapminer.ClassificationPower(snapshot, 0))
+	fmt.Printf("CP_B = %.1f\n", rapminer.ClassificationPower(snapshot, 1))
+	// Output:
+	// CP_A = 1.0
+	// CP_B = 0.0
+}

@@ -1,0 +1,185 @@
+// Package rapminer implements the paper's primary contribution: the Root
+// Anomaly Pattern Miner (RAPMiner, DSN 2022). It mines the coarsest
+// attribute combinations that are anomalous while none of their parents are
+// (RAPs), in two stages:
+//
+//  1. Classification-Power-based redundant attribute deletion (Algorithm 1)
+//     prunes attributes that cannot appear in any RAP, shrinking the cuboid
+//     lattice from 2^n - 1 to 2^(n-k) - 1 cuboids.
+//  2. Anomaly-Confidence-guided layer-by-layer top-down BFS (Algorithm 2)
+//     walks the remaining lattice from coarse to fine; combinations whose
+//     anomaly confidence exceeds t_conf become RAP candidates, their
+//     descendants are pruned (Criteria 3) and the search early-stops once
+//     the candidates cover every anomalous leaf.
+//
+// Candidates are ranked by RAPScore = Confidence / sqrt(Layer) (Eq. 3).
+package rapminer
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/kpi"
+	"repro/internal/localize"
+)
+
+// Config holds the miner's two thresholds and the ablation switch.
+type Config struct {
+	// TCP is t_CP: attributes with classification power <= TCP are
+	// deleted before the search. The paper expresses this threshold "in
+	// the form of percentage" and requires an attribute's classification
+	// power to be "extremely small" before deletion; its recommended
+	// range below 0.1 (percent) corresponds to fractions below 0.001.
+	TCP float64
+	// TConf is t_conf in (0, 1): an attribute combination whose anomaly
+	// confidence exceeds TConf is anomalous (Criteria 2). The paper
+	// recommends "relatively large" values above 0.5.
+	TConf float64
+	// DisableAttributeDeletion turns off stage 1, searching all 2^n - 1
+	// cuboids. Used by the Table VI ablation.
+	DisableAttributeDeletion bool
+}
+
+// DefaultConfig returns the thresholds used in the paper's experiments:
+// t_CP = 0.05% (fraction 0.0005) and t_conf = 0.8, both well inside the
+// stable regions of Fig. 10.
+func DefaultConfig() Config {
+	return Config{TCP: 0.0005, TConf: 0.8}
+}
+
+// Miner is a configured RAPMiner instance. The zero value is not usable;
+// construct with New.
+type Miner struct {
+	cfg Config
+}
+
+var _ localize.Localizer = (*Miner)(nil)
+
+// New validates the configuration and returns a Miner.
+func New(cfg Config) (*Miner, error) {
+	if cfg.TCP < 0 || cfg.TCP >= 1 {
+		return nil, fmt.Errorf("rapminer: t_CP %v out of [0, 1)", cfg.TCP)
+	}
+	if cfg.TConf <= 0 || cfg.TConf >= 1 {
+		return nil, fmt.Errorf("rapminer: t_conf %v out of (0, 1)", cfg.TConf)
+	}
+	return &Miner{cfg: cfg}, nil
+}
+
+// MustNew is New that panics on error; for tests and static configurations.
+func MustNew(cfg Config) *Miner {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name implements localize.Localizer.
+func (m *Miner) Name() string { return "RAPMiner" }
+
+// ErrNilSnapshot reports a nil snapshot argument.
+var ErrNilSnapshot = errors.New("rapminer: nil snapshot")
+
+// Diagnostics reports what the two stages did on one localization run —
+// the observability a production deployment needs to explain its answers.
+type Diagnostics struct {
+	// CPs holds every attribute's classification power, in attribute
+	// order.
+	CPs []AttributeCP
+	// KeptAttributes are the surviving attributes in search order
+	// (descending CP).
+	KeptAttributes []int
+	// CuboidsTotal is 2^n - 1 for the schema's n attributes;
+	// CuboidsSearchable is 2^len(kept) - 1 after deletion;
+	// CuboidsVisited counts cuboids actually scanned before early stop.
+	CuboidsTotal, CuboidsSearchable, CuboidsVisited int
+	// CombinationsScanned counts group-by rows inspected.
+	CombinationsScanned int
+	// Candidates counts RAP candidates found (before top-k truncation).
+	Candidates int
+	// EarlyStopped reports whether candidate coverage ended the search
+	// before the lattice was exhausted.
+	EarlyStopped bool
+}
+
+// DeletedAttributes returns the attribute indexes removed by stage 1, in
+// attribute order.
+func (d Diagnostics) DeletedAttributes() []int {
+	kept := make(map[int]bool, len(d.KeptAttributes))
+	for _, a := range d.KeptAttributes {
+		kept[a] = true
+	}
+	var deleted []int
+	for _, cp := range d.CPs {
+		if !kept[cp.Attr] {
+			deleted = append(deleted, cp.Attr)
+		}
+	}
+	return deleted
+}
+
+// Localize implements localize.Localizer: it runs both stages and returns
+// the top-k RAPs by RAPScore.
+func (m *Miner) Localize(snapshot *kpi.Snapshot, k int) (localize.Result, error) {
+	res, _, err := m.localize(snapshot, k, nil)
+	return res, err
+}
+
+// LocalizeWithDiagnostics is Localize plus the run's search statistics.
+func (m *Miner) LocalizeWithDiagnostics(snapshot *kpi.Snapshot, k int) (localize.Result, Diagnostics, error) {
+	var diag Diagnostics
+	res, diag, err := m.localize(snapshot, k, &diag)
+	return res, diag, err
+}
+
+func (m *Miner) localize(snapshot *kpi.Snapshot, k int, diag *Diagnostics) (localize.Result, Diagnostics, error) {
+	var zero Diagnostics
+	if snapshot == nil {
+		return localize.Result{}, zero, ErrNilSnapshot
+	}
+	if k <= 0 {
+		return localize.Result{}, zero, fmt.Errorf("rapminer: k = %d, want > 0", k)
+	}
+
+	numAnomalous := snapshot.NumAnomalous()
+	if numAnomalous == 0 {
+		return localize.Result{}, zero, nil
+	}
+	if numAnomalous == snapshot.Len() {
+		// Every observed leaf is anomalous: the root itself is the
+		// coarsest anomalous combination and it has no parents, so it
+		// is the unique RAP by Definition 1.
+		return localize.Result{Patterns: []localize.ScoredPattern{{
+			Combo: kpi.NewRoot(snapshot.Schema.NumAttributes()),
+			Score: 1,
+		}}}, zero, nil
+	}
+
+	cps := ClassificationPowers(snapshot)
+	attrs := m.selectSearchAttributes(cps)
+	if diag != nil {
+		diag.CPs = cps
+		diag.KeptAttributes = attrs
+		diag.CuboidsTotal = kpi.NumCuboids(snapshot.Schema.NumAttributes())
+		diag.CuboidsSearchable = kpi.NumCuboids(len(attrs))
+	}
+	patterns := m.search(snapshot, attrs, diag) // already ranked
+	if k < len(patterns) {
+		patterns = patterns[:k]
+	}
+	out := zero
+	if diag != nil {
+		out = *diag
+	}
+	return localize.Result{Patterns: patterns}, out, nil
+}
+
+// selectSearchAttributes runs stage 1 (or returns all attributes when the
+// ablation switch is set, still ordered by CP so the search order matches).
+func (m *Miner) selectSearchAttributes(cps []AttributeCP) []int {
+	if !m.cfg.DisableAttributeDeletion {
+		return SelectAttributes(cps, m.cfg.TCP)
+	}
+	return SelectAttributes(cps, -1) // keep everything: CP >= 0 > -1
+}

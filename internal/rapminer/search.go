@@ -1,0 +1,150 @@
+package rapminer
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/kpi"
+	"repro/internal/localize"
+)
+
+// candidate is one RAP candidate found by the search, carrying the
+// statistics used for ranking.
+type candidate struct {
+	combo     kpi.Combination
+	score     float64
+	layer     int
+	anomalous int
+}
+
+// search implements Algorithm 2: the anomaly-confidence-guided
+// layer-by-layer top-down BFS over the cuboids of the surviving attributes.
+// The result is ranked by RAPScore (Eq. 3); ties are broken toward coarser
+// candidates and then toward larger anomalous support, so a genuine RAP
+// always precedes a stray false-alarm leaf that happens to share its score.
+// diag, when non-nil, accumulates search statistics.
+func (m *Miner) search(snapshot *kpi.Snapshot, attrs []int, diag *Diagnostics) []localize.ScoredPattern {
+	var (
+		candidates []candidate
+		// candidateCombos mirrors candidates for the descendant-pruning
+		// test (Criteria 3).
+		candidateCombos []kpi.Combination
+		covered         = newCoverage(snapshot)
+	)
+
+layers:
+	for layer := 1; layer <= len(attrs); layer++ {
+		for _, cuboid := range kpi.CuboidsAtLayer(attrs, layer) {
+			if diag != nil {
+				diag.CuboidsVisited++
+			}
+			for _, g := range snapshot.GroupBy(cuboid) {
+				if diag != nil {
+					diag.CombinationsScanned++
+				}
+				// Criteria 3: descendants of an accepted RAP cannot be
+				// RAPs; skip them without computing confidence.
+				if hasAncestor(candidateCombos, g.Combo) {
+					continue
+				}
+				conf := g.Confidence()
+				// Criteria 2: the combination is anomalous iff its
+				// confidence exceeds t_conf.
+				if conf <= m.cfg.TConf {
+					continue
+				}
+				// Definition 1 holds: all shallower cuboids were fully
+				// searched before this layer, so no anomalous parent
+				// exists (it would have become a candidate and pruned
+				// this combination above).
+				candidates = append(candidates, candidate{
+					combo:     g.Combo,
+					score:     rapScore(conf, layer),
+					layer:     layer,
+					anomalous: g.Anomalous,
+				})
+				candidateCombos = append(candidateCombos, g.Combo)
+				// Early stop: quit as soon as the candidate set covers
+				// every anomalous leaf of D.
+				if covered.add(g.Combo) {
+					if diag != nil {
+						diag.EarlyStopped = true
+					}
+					break layers
+				}
+			}
+		}
+	}
+	if diag != nil {
+		diag.Candidates = len(candidates)
+	}
+	sort.SliceStable(candidates, func(i, j int) bool {
+		a, b := candidates[i], candidates[j]
+		if a.score != b.score {
+			return a.score > b.score
+		}
+		if a.layer != b.layer {
+			return a.layer < b.layer
+		}
+		if a.anomalous != b.anomalous {
+			return a.anomalous > b.anomalous
+		}
+		return a.combo.Key() < b.combo.Key()
+	})
+	out := make([]localize.ScoredPattern, len(candidates))
+	for i, c := range candidates {
+		out[i] = localize.ScoredPattern{Combo: c.combo, Score: c.score}
+	}
+	return out
+}
+
+// rapScore computes Eq. 3: Confidence / sqrt(Layer). Coarser candidates win
+// ties because the likelihood of being a root cause falls with depth.
+func rapScore(conf float64, layer int) float64 {
+	return conf / math.Sqrt(float64(layer))
+}
+
+// hasAncestor reports whether any accepted candidate is an ancestor of c.
+func hasAncestor(candidates []kpi.Combination, c kpi.Combination) bool {
+	for _, cand := range candidates {
+		if cand.IsAncestorOf(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// coverage tracks which anomalous leaves are covered by the candidate set,
+// powering the early-stop check of Algorithm 2 (line 9).
+type coverage struct {
+	snapshot *kpi.Snapshot
+	// anomIdx lists the indexes of anomalous leaves in the snapshot.
+	anomIdx []int
+	covered []bool
+	left    int
+}
+
+func newCoverage(s *kpi.Snapshot) *coverage {
+	idx := s.AnomalousLeafSet()
+	return &coverage{
+		snapshot: s,
+		anomIdx:  idx,
+		covered:  make([]bool, len(idx)),
+		left:     len(idx),
+	}
+}
+
+// add marks the anomalous leaves under c as covered and reports whether the
+// whole anomalous set is now covered.
+func (cv *coverage) add(c kpi.Combination) bool {
+	for i, leafIdx := range cv.anomIdx {
+		if cv.covered[i] {
+			continue
+		}
+		if c.Matches(cv.snapshot.Leaves[leafIdx].Combo) {
+			cv.covered[i] = true
+			cv.left--
+		}
+	}
+	return cv.left == 0
+}

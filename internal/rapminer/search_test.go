@@ -1,0 +1,473 @@
+package rapminer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kpi"
+	"repro/internal/localize"
+)
+
+// tableVSchema is the 4-attribute schema behind Table V / Fig. 7 of the
+// paper: A{a1,a2,a3}, B{b1,b2}, C{c1,c2} plus a fourth attribute D that the
+// walkthrough leaves unconstrained.
+func tableVSchema() *kpi.Schema {
+	return kpi.MustSchema(
+		kpi.Attribute{Name: "A", Values: []string{"a1", "a2", "a3"}},
+		kpi.Attribute{Name: "B", Values: []string{"b1", "b2"}},
+		kpi.Attribute{Name: "C", Values: []string{"c1", "c2"}},
+		kpi.Attribute{Name: "D", Values: []string{"d1", "d2"}},
+	)
+}
+
+// denseSnapshot builds a dense snapshot over schema s, labeling anomalous
+// exactly the leaves matched by one of the raps.
+func denseSnapshot(t *testing.T, s *kpi.Schema, raps ...kpi.Combination) *kpi.Snapshot {
+	t.Helper()
+	var leaves []kpi.Leaf
+	n := s.NumAttributes()
+	combo := make(kpi.Combination, n)
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == n {
+			c := combo.Clone()
+			anom := false
+			for _, r := range raps {
+				if r.Matches(c) {
+					anom = true
+					break
+				}
+			}
+			leaves = append(leaves, kpi.Leaf{Combo: c, Actual: 100, Forecast: 100, Anomalous: anom})
+			return
+		}
+		for v := int32(0); v < int32(s.Cardinality(depth)); v++ {
+			combo[depth] = v
+			rec(depth + 1)
+		}
+	}
+	rec(0)
+	snap, err := kpi.NewSnapshot(s, leaves)
+	if err != nil {
+		t.Fatalf("NewSnapshot: %v", err)
+	}
+	return snap
+}
+
+func combosEqualAsSet(got []kpi.Combination, want []kpi.Combination) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	used := make([]bool, len(want))
+outer:
+	for _, g := range got {
+		for i, w := range want {
+			if !used[i] && g.Equal(w) {
+				used[i] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
+
+func TestSearchWalkthroughTableV(t *testing.T) {
+	// Fig. 7: the RAPs are (a1, *, *, *) and (a2, b2, *, *). The search
+	// must find exactly those, pruning every descendant.
+	s := tableVSchema()
+	raps := []kpi.Combination{
+		kpi.MustParseCombination(s, "(a1, *, *, *)"),
+		kpi.MustParseCombination(s, "(a2, b2, *, *)"),
+	}
+	snap := denseSnapshot(t, s, raps...)
+
+	m := MustNew(DefaultConfig())
+	res, err := m.Localize(snap, 10)
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if !combosEqualAsSet(res.TopK(len(res.Patterns)), raps) {
+		t.Fatalf("found %s, want the Table V RAPs", res.Format(s))
+	}
+	// RAPScore ranks the layer-1 candidate first: 1/sqrt(1) > 1/sqrt(2).
+	if !res.Patterns[0].Combo.Equal(raps[0]) {
+		t.Errorf("first result = %s, want (a1, *, *, *)", res.Patterns[0].Combo.Format(s))
+	}
+	if math.Abs(res.Patterns[0].Score-1) > 1e-12 {
+		t.Errorf("score of layer-1 RAP = %v, want 1", res.Patterns[0].Score)
+	}
+	if math.Abs(res.Patterns[1].Score-1/math.Sqrt(2)) > 1e-12 {
+		t.Errorf("score of layer-2 RAP = %v, want 1/sqrt(2)", res.Patterns[1].Score)
+	}
+}
+
+func TestSearchFig3CDNScenario(t *testing.T) {
+	// Fig. 3: (L1, *, *, Site1) is the RAP; its descendants are anomalous
+	// but must not be reported.
+	s := kpi.MustSchema(
+		kpi.Attribute{Name: "Location", Values: []string{"L1", "L2", "L3"}},
+		kpi.Attribute{Name: "AccessType", Values: []string{"Wireless", "Fixed"}},
+		kpi.Attribute{Name: "OS", Values: []string{"Android", "IOS"}},
+		kpi.Attribute{Name: "Website", Values: []string{"Site1", "Site2"}},
+	)
+	rap := kpi.MustParseCombination(s, "(L1, *, *, Site1)")
+	snap := denseSnapshot(t, s, rap)
+
+	m := MustNew(DefaultConfig())
+	res, err := m.Localize(snap, 5)
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if len(res.Patterns) != 1 || !res.Patterns[0].Combo.Equal(rap) {
+		t.Fatalf("got %s, want exactly (L1, *, *, Site1)", res.Format(s))
+	}
+}
+
+func TestSearchThreeDimensionalRAP(t *testing.T) {
+	s := tableVSchema()
+	rap := kpi.MustParseCombination(s, "(a3, b1, c2, *)")
+	snap := denseSnapshot(t, s, rap)
+	m := MustNew(DefaultConfig())
+	res, err := m.Localize(snap, 3)
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if len(res.Patterns) != 1 || !res.Patterns[0].Combo.Equal(rap) {
+		t.Fatalf("got %s, want (a3, b1, c2, *)", res.Format(s))
+	}
+}
+
+func TestSearchLeafLevelRAP(t *testing.T) {
+	s := tableVSchema()
+	rap := kpi.MustParseCombination(s, "(a1, b1, c1, d1)")
+	snap := denseSnapshot(t, s, rap)
+	m := MustNew(DefaultConfig())
+	res, err := m.Localize(snap, 3)
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if len(res.Patterns) != 1 || !res.Patterns[0].Combo.Equal(rap) {
+		t.Fatalf("got %s, want the single leaf RAP", res.Format(s))
+	}
+}
+
+func TestSearchMultipleRAPsAcrossCuboids(t *testing.T) {
+	// RAPMD Randomness 1: RAP dimensions may differ within one failure.
+	s := tableVSchema()
+	raps := []kpi.Combination{
+		kpi.MustParseCombination(s, "(*, b1, *, *)"),
+		kpi.MustParseCombination(s, "(a2, *, c2, d1)"),
+	}
+	snap := denseSnapshot(t, s, raps...)
+	// The 3-D RAP covers only 2 of 24 leaves, so its attributes carry
+	// little classification power; a small t_CP keeps them searchable
+	// (larger t_CP trades exactly this kind of RAP for speed, Fig. 10a).
+	m := MustNew(Config{TCP: 0.005, TConf: 0.8})
+	res, err := m.Localize(snap, 10)
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	got := res.TopK(len(res.Patterns))
+	// (*, b1, *, *) must be found. (a2, *, c2, d1) overlaps it; the part
+	// of its scope outside b1 must also be covered by some candidate that
+	// is not a descendant of (*, b1, *, *).
+	found := false
+	for _, g := range got {
+		if g.Equal(raps[0]) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("1-D RAP missing from %s", res.Format(s))
+	}
+	// Every anomalous leaf is covered by the returned set.
+	for _, l := range snap.Leaves {
+		if !l.Anomalous {
+			continue
+		}
+		covered := false
+		for _, g := range got {
+			if g.Matches(l.Combo) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("anomalous leaf %s not covered by %s", l.Combo.Format(s), res.Format(s))
+		}
+	}
+}
+
+func TestSearchToleratesLabelNoise(t *testing.T) {
+	// With t_conf = 0.8 a RAP whose scope is 90% anomalous is still
+	// found ("a relatively large t_conf will achieve a good
+	// error-tolerant rate").
+	s := kpi.MustSchema(
+		kpi.Attribute{Name: "A", Values: []string{"a1", "a2"}},
+		kpi.Attribute{Name: "B", Values: []string{"b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8", "b9", "b10"}},
+	)
+	rap := kpi.MustParseCombination(s, "(a1, *)")
+	snap := denseSnapshot(t, s, rap)
+	// Flip one of the ten anomalous leaves back to normal.
+	for i := range snap.Leaves {
+		if snap.Leaves[i].Anomalous {
+			snap.Leaves[i].Anomalous = false
+			break
+		}
+	}
+	m := MustNew(DefaultConfig())
+	res, err := m.Localize(snap, 3)
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if len(res.Patterns) == 0 || !res.Patterns[0].Combo.Equal(rap) {
+		t.Fatalf("noisy RAP not recovered: %s", res.Format(s))
+	}
+}
+
+func TestLocalizeNoAnomalies(t *testing.T) {
+	s := tableVSchema()
+	snap := denseSnapshot(t, s) // no RAPs: nothing anomalous
+	m := MustNew(DefaultConfig())
+	res, err := m.Localize(snap, 3)
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if len(res.Patterns) != 0 {
+		t.Errorf("got %d patterns on a clean snapshot", len(res.Patterns))
+	}
+}
+
+func TestLocalizeAllAnomalous(t *testing.T) {
+	s := tableVSchema()
+	snap := denseSnapshot(t, s, kpi.NewRoot(4))
+	m := MustNew(DefaultConfig())
+	res, err := m.Localize(snap, 3)
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if len(res.Patterns) != 1 || !res.Patterns[0].Combo.Equal(kpi.NewRoot(4)) {
+		t.Fatalf("got %v, want the root pattern", res.Patterns)
+	}
+}
+
+func TestLocalizeArgumentValidation(t *testing.T) {
+	m := MustNew(DefaultConfig())
+	if _, err := m.Localize(nil, 3); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+	s := tableVSchema()
+	snap := denseSnapshot(t, s)
+	if _, err := m.Localize(snap, 0); err == nil {
+		t.Error("k = 0 accepted")
+	}
+}
+
+func TestNewConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{TCP: -0.1, TConf: 0.8},
+		{TCP: 1.0, TConf: 0.8},
+		{TCP: 0.02, TConf: 0},
+		{TCP: 0.02, TConf: 1},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted invalid config", cfg)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Errorf("New(DefaultConfig()) = %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic")
+		}
+	}()
+	MustNew(Config{TCP: -1, TConf: 2})
+}
+
+func TestLocalizeTopKTruncation(t *testing.T) {
+	// Three disjoint 1-D RAPs on attribute A; ask for k = 2.
+	s := kpi.MustSchema(
+		kpi.Attribute{Name: "A", Values: []string{"a1", "a2", "a3", "a4", "a5"}},
+		kpi.Attribute{Name: "B", Values: []string{"b1", "b2"}},
+	)
+	raps := []kpi.Combination{
+		kpi.MustParseCombination(s, "(a1, *)"),
+		kpi.MustParseCombination(s, "(a2, *)"),
+		kpi.MustParseCombination(s, "(a3, *)"),
+	}
+	snap := denseSnapshot(t, s, raps...)
+	m := MustNew(DefaultConfig())
+	res, err := m.Localize(snap, 2)
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if len(res.Patterns) != 2 {
+		t.Fatalf("got %d patterns, want 2", len(res.Patterns))
+	}
+}
+
+func TestSearchResultsAreAntichain(t *testing.T) {
+	// No returned RAP may be an ancestor of another (Criteria 3), under
+	// random injected RAP sets.
+	s := tableVSchema()
+	r := rand.New(rand.NewSource(11))
+	m := MustNew(DefaultConfig())
+	for trial := 0; trial < 50; trial++ {
+		nRAPs := 1 + r.Intn(3)
+		var raps []kpi.Combination
+		for i := 0; i < nRAPs; i++ {
+			c := kpi.NewRoot(4)
+			dims := 1 + r.Intn(3)
+			perm := r.Perm(4)
+			for _, a := range perm[:dims] {
+				c[a] = int32(r.Intn(s.Cardinality(a)))
+			}
+			raps = append(raps, c)
+		}
+		snap := denseSnapshot(t, s, raps...)
+		res, err := m.Localize(snap, 10)
+		if err != nil {
+			t.Fatalf("Localize: %v", err)
+		}
+		got := res.TopK(len(res.Patterns))
+		for i := range got {
+			for j := range got {
+				if i != j && got[i].IsAncestorOf(got[j]) {
+					t.Fatalf("trial %d: %s is ancestor of %s",
+						trial, got[i].Format(s), got[j].Format(s))
+				}
+			}
+		}
+		// Confidence of every returned pattern exceeds t_conf.
+		for _, g := range got {
+			if conf := snap.Confidence(g); conf <= 0.8 {
+				t.Fatalf("trial %d: returned pattern %s has confidence %v",
+					trial, g.Format(s), conf)
+			}
+		}
+	}
+}
+
+func TestDisableAttributeDeletionStillFindsRAPs(t *testing.T) {
+	s := tableVSchema()
+	rap := kpi.MustParseCombination(s, "(a2, b2, *, *)")
+	snap := denseSnapshot(t, s, rap)
+	m := MustNew(Config{TCP: 0.02, TConf: 0.8, DisableAttributeDeletion: true})
+	res, err := m.Localize(snap, 3)
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if len(res.Patterns) != 1 || !res.Patterns[0].Combo.Equal(rap) {
+		t.Fatalf("ablated miner got %s, want (a2, b2, *, *)", res.Format(s))
+	}
+}
+
+func TestAttributeDeletionAgreesWithFullSearch(t *testing.T) {
+	// On clean labels, deleting redundant attributes must not change the
+	// result set (the deleted attributes are not in any RAP).
+	s := tableVSchema()
+	r := rand.New(rand.NewSource(23))
+	fast := MustNew(DefaultConfig())
+	slow := MustNew(Config{TCP: 0.02, TConf: 0.8, DisableAttributeDeletion: true})
+	for trial := 0; trial < 30; trial++ {
+		c := kpi.NewRoot(4)
+		dims := 1 + r.Intn(2)
+		perm := r.Perm(4)
+		for _, a := range perm[:dims] {
+			c[a] = int32(r.Intn(s.Cardinality(a)))
+		}
+		snap := denseSnapshot(t, s, c)
+		a, err := fast.Localize(snap, 5)
+		if err != nil {
+			t.Fatalf("fast: %v", err)
+		}
+		b, err := slow.Localize(snap, 5)
+		if err != nil {
+			t.Fatalf("slow: %v", err)
+		}
+		if !combosEqualAsSet(a.TopK(len(a.Patterns)), b.TopK(len(b.Patterns))) {
+			t.Fatalf("trial %d: results differ:\nwith deletion: %s\nwithout: %s",
+				trial, a.Format(s), b.Format(s))
+		}
+	}
+}
+
+func TestSortPatternsTieBreaks(t *testing.T) {
+	ps := []localize.ScoredPattern{
+		{Combo: kpi.Combination{0, 1, kpi.Wildcard}, Score: 0.5},
+		{Combo: kpi.Combination{0, kpi.Wildcard, kpi.Wildcard}, Score: 0.5},
+		{Combo: kpi.Combination{1, kpi.Wildcard, kpi.Wildcard}, Score: 0.9},
+	}
+	localize.SortPatterns(ps)
+	if ps[0].Score != 0.9 {
+		t.Errorf("highest score not first: %+v", ps)
+	}
+	if ps[1].Combo.Layer() != 1 {
+		t.Errorf("tie not broken by layer: %+v", ps)
+	}
+}
+
+func TestDefinitionOneInvariantQuick(t *testing.T) {
+	// Definition 1 on arbitrary random labelings: no returned RAP has an
+	// anomalous parent (confidence above t_conf), and every returned RAP
+	// is itself anomalous.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := kpi.MustSchema(
+			kpi.Attribute{Name: "A", Values: []string{"a1", "a2", "a3"}},
+			kpi.Attribute{Name: "B", Values: []string{"b1", "b2"}},
+			kpi.Attribute{Name: "C", Values: []string{"c1", "c2"}},
+		)
+		var leaves []kpi.Leaf
+		for a := int32(0); a < 3; a++ {
+			for b := int32(0); b < 2; b++ {
+				for c := int32(0); c < 2; c++ {
+					leaves = append(leaves, kpi.Leaf{
+						Combo:     kpi.Combination{a, b, c},
+						Actual:    1,
+						Forecast:  1,
+						Anomalous: r.Intn(3) == 0,
+					})
+				}
+			}
+		}
+		snap, err := kpi.NewSnapshot(s, leaves)
+		if err != nil {
+			return false
+		}
+		m := MustNew(DefaultConfig())
+		res, err := m.Localize(snap, 10)
+		if err != nil {
+			return false
+		}
+		for _, p := range res.Patterns {
+			if p.Combo.Layer() == 0 {
+				// The all-anomalous special case returns the root,
+				// which has no parents by construction.
+				continue
+			}
+			if snap.Confidence(p.Combo) <= 0.8 {
+				return false // not anomalous itself
+			}
+			for _, parent := range p.Combo.Parents() {
+				if parent.Layer() == 0 {
+					continue // the root is outside the cuboid lattice
+				}
+				if snap.Confidence(parent) > 0.8 {
+					return false // anomalous parent: not a RAP
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

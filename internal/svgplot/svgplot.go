@@ -1,0 +1,335 @@
+// Package svgplot renders the repository's experiment results as
+// standalone SVG figures using only the standard library, so
+// cmd/experiments can regenerate the paper's figures as actual images:
+// grouped bar charts for Fig. 8/9 and line charts for Fig. 10.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// palette holds the series colors (color-blind-safe Okabe-Ito).
+var palette = []string{
+	"#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7", "#56B4E9", "#F0E442",
+}
+
+// geometry shared by both chart kinds.
+const (
+	chartWidth   = 860
+	chartHeight  = 420
+	marginLeft   = 70
+	marginRight  = 20
+	marginTop    = 50
+	marginBottom = 70
+	plotWidth    = chartWidth - marginLeft - marginRight
+	plotHeight   = chartHeight - marginTop - marginBottom
+)
+
+// BarChart is a grouped bar chart: one group per X label, one bar per
+// series inside each group.
+type BarChart struct {
+	Title  string
+	YLabel string
+	// XLabels name the groups.
+	XLabels []string
+	// Series maps a legend name to one value per X label.
+	Series []Series
+	// YMax fixes the Y axis; 0 auto-scales.
+	YMax float64
+	// LogY renders a log10 Y axis (for runtime charts). All values must
+	// be positive.
+	LogY bool
+}
+
+// Series is one named value sequence.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Validate checks shape consistency.
+func (c *BarChart) Validate() error {
+	if len(c.XLabels) == 0 {
+		return fmt.Errorf("svgplot: no x labels")
+	}
+	if len(c.Series) == 0 {
+		return fmt.Errorf("svgplot: no series")
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.XLabels) {
+			return fmt.Errorf("svgplot: series %q has %d values, want %d",
+				s.Name, len(s.Values), len(c.XLabels))
+		}
+		if c.LogY {
+			for _, v := range s.Values {
+				if v <= 0 {
+					return fmt.Errorf("svgplot: series %q has non-positive value on a log axis", s.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Render writes the chart as an SVG document.
+func (c *BarChart) Render(w io.Writer) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	b := newBuilder()
+	b.header(c.Title)
+
+	yMax := c.YMax
+	if yMax == 0 {
+		for _, s := range c.Series {
+			for _, v := range s.Values {
+				yMax = math.Max(yMax, v)
+			}
+		}
+		if yMax == 0 {
+			yMax = 1
+		}
+		yMax *= 1.05
+	}
+	var yMin float64
+	toY := func(v float64) float64 {
+		if c.LogY {
+			lo, hi := math.Log10(yMin), math.Log10(yMax)
+			return marginTop + plotHeight*(1-(math.Log10(v)-lo)/(hi-lo))
+		}
+		return marginTop + plotHeight*(1-v/yMax)
+	}
+	if c.LogY {
+		yMin = math.Inf(1)
+		for _, s := range c.Series {
+			for _, v := range s.Values {
+				yMin = math.Min(yMin, v)
+			}
+		}
+		yMin /= 2
+	}
+
+	// Y axis with ticks.
+	b.line(marginLeft, marginTop, marginLeft, marginTop+plotHeight)
+	if c.LogY {
+		for e := math.Ceil(math.Log10(yMin)); math.Pow(10, e) <= yMax; e++ {
+			v := math.Pow(10, e)
+			y := toY(v)
+			b.tick(y, fmt.Sprintf("1e%d", int(e)))
+		}
+	} else {
+		for i := 0; i <= 5; i++ {
+			v := yMax * float64(i) / 5
+			b.tick(toY(v), trimFloat(v))
+		}
+	}
+	b.yLabel(c.YLabel)
+
+	// X axis and grouped bars.
+	b.line(marginLeft, marginTop+plotHeight, marginLeft+plotWidth, marginTop+plotHeight)
+	groupWidth := float64(plotWidth) / float64(len(c.XLabels))
+	barSlot := groupWidth * 0.8 / float64(len(c.Series))
+	for gi, label := range c.XLabels {
+		gx := marginLeft + groupWidth*float64(gi)
+		b.xLabel(gx+groupWidth/2, label)
+		for si, s := range c.Series {
+			v := s.Values[gi]
+			x := gx + groupWidth*0.1 + barSlot*float64(si)
+			y := toY(math.Max(v, yMinFor(c, yMin)))
+			h := float64(marginTop+plotHeight) - y
+			if h < 0 {
+				h = 0
+			}
+			b.rect(x, y, barSlot*0.9, h, palette[si%len(palette)])
+		}
+	}
+	b.legend(seriesNames(c.Series))
+	b.footer()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func yMinFor(c *BarChart, yMin float64) float64 {
+	if c.LogY {
+		return yMin
+	}
+	return 0
+}
+
+// LineChart is a multi-series line chart over numeric X values.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+	// YMax fixes the Y axis; 0 auto-scales.
+	YMax float64
+}
+
+// Validate checks shape consistency.
+func (c *LineChart) Validate() error {
+	if len(c.X) < 2 {
+		return fmt.Errorf("svgplot: need at least 2 x values")
+	}
+	if len(c.Series) == 0 {
+		return fmt.Errorf("svgplot: no series")
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.X) {
+			return fmt.Errorf("svgplot: series %q has %d values, want %d",
+				s.Name, len(s.Values), len(c.X))
+		}
+	}
+	return nil
+}
+
+// Render writes the chart as an SVG document.
+func (c *LineChart) Render(w io.Writer) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	b := newBuilder()
+	b.header(c.Title)
+
+	yMax := c.YMax
+	if yMax == 0 {
+		for _, s := range c.Series {
+			for _, v := range s.Values {
+				yMax = math.Max(yMax, v)
+			}
+		}
+		if yMax == 0 {
+			yMax = 1
+		}
+		yMax *= 1.05
+	}
+	xLo, xHi := c.X[0], c.X[len(c.X)-1]
+	if xHi == xLo {
+		return fmt.Errorf("svgplot: degenerate x range")
+	}
+	toX := func(v float64) float64 {
+		return marginLeft + float64(plotWidth)*(v-xLo)/(xHi-xLo)
+	}
+	toY := func(v float64) float64 {
+		return marginTop + plotHeight*(1-v/yMax)
+	}
+
+	b.line(marginLeft, marginTop, marginLeft, marginTop+plotHeight)
+	b.line(marginLeft, marginTop+plotHeight, marginLeft+plotWidth, marginTop+plotHeight)
+	for i := 0; i <= 5; i++ {
+		v := yMax * float64(i) / 5
+		b.tick(toY(v), trimFloat(v))
+	}
+	for _, x := range c.X {
+		b.xLabel(toX(x), trimFloat(x))
+	}
+	b.yLabel(c.YLabel)
+	b.xAxisLabel(c.XLabel)
+
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var points []string
+		for i, v := range s.Values {
+			points = append(points, fmt.Sprintf("%.1f,%.1f", toX(c.X[i]), toY(v)))
+		}
+		b.polyline(points, color)
+		for i, v := range s.Values {
+			b.circle(toX(c.X[i]), toY(v), color)
+		}
+	}
+	b.legend(seriesNames(c.Series))
+	b.footer()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func seriesNames(series []Series) []string {
+	names := make([]string, len(series))
+	for i, s := range series {
+		names[i] = s.Name
+	}
+	return names
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4g", v)
+	return s
+}
+
+// builder accumulates SVG elements.
+type builder struct {
+	strings.Builder
+}
+
+func newBuilder() *builder { return &builder{} }
+
+func (b *builder) header(title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n",
+		chartWidth, chartHeight)
+	fmt.Fprintf(b, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	fmt.Fprintf(b, `<text x="%d" y="28" font-size="17" text-anchor="middle">%s</text>`+"\n",
+		chartWidth/2, escape(title))
+}
+
+func (b *builder) footer() { b.WriteString("</svg>\n") }
+
+func (b *builder) line(x1, y1, x2, y2 int) {
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n", x1, y1, x2, y2)
+}
+
+func (b *builder) tick(y float64, label string) {
+	fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc"/>`+"\n",
+		marginLeft, y, marginLeft+plotWidth, y)
+	fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+		marginLeft-6, y+4, escape(label))
+}
+
+func (b *builder) xLabel(x float64, label string) {
+	fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		x, marginTop+plotHeight+18, escape(label))
+}
+
+func (b *builder) xAxisLabel(label string) {
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="13" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotWidth/2, chartHeight-14, escape(label))
+}
+
+func (b *builder) yLabel(label string) {
+	fmt.Fprintf(b, `<text x="16" y="%d" font-size="13" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		marginTop+plotHeight/2, marginTop+plotHeight/2, escape(label))
+}
+
+func (b *builder) rect(x, y, w, h float64, fill string) {
+	fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+		x, y, w, h, fill)
+}
+
+func (b *builder) polyline(points []string, stroke string) {
+	fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+		strings.Join(points, " "), stroke)
+}
+
+func (b *builder) circle(x, y float64, fill string) {
+	fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s"/>`+"\n", x, y, fill)
+}
+
+func (b *builder) legend(names []string) {
+	x := marginLeft + 8
+	y := marginTop - 14
+	for i, name := range names {
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n",
+			x, y, palette[i%len(palette)])
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n",
+			x+16, y+10, escape(name))
+		x += 16 + 8*len(name) + 24
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

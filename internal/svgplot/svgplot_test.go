@@ -1,0 +1,142 @@
+package svgplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func validBar() *BarChart {
+	return &BarChart{
+		Title:   "F1 by group",
+		YLabel:  "F1",
+		XLabels: []string{"(1,1)", "(1,2)"},
+		Series: []Series{
+			{Name: "RAPMiner", Values: []float64{1, 0.99}},
+			{Name: "Squeeze", Values: []float64{0.9, 0.95}},
+		},
+		YMax: 1,
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	var b strings.Builder
+	if err := validBar().Render(&b); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "F1 by group", "RAPMiner", "Squeeze", "(1,1)", "<rect",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two series x two groups = four data bars (plus background + legend
+	// rects).
+	if got := strings.Count(out, "<rect"); got < 4+1+2 {
+		t.Errorf("only %d rects", got)
+	}
+}
+
+func TestBarChartLogAxis(t *testing.T) {
+	c := validBar()
+	c.LogY = true
+	c.YMax = 0
+	c.Series = []Series{
+		{Name: "fast", Values: []float64{0.0004, 0.0005}},
+		{Name: "slow", Values: []float64{0.04, 0.02}},
+	}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(b.String(), "1e-") {
+		t.Error("log axis has no decade labels")
+	}
+}
+
+func TestBarChartValidation(t *testing.T) {
+	bad := []*BarChart{
+		{YLabel: "y", Series: []Series{{Name: "s", Values: []float64{1}}}},
+		{XLabels: []string{"a"}},
+		{XLabels: []string{"a"}, Series: []Series{{Name: "s", Values: []float64{1, 2}}}},
+		{XLabels: []string{"a"}, Series: []Series{{Name: "s", Values: []float64{0}}}, LogY: true},
+	}
+	for i, c := range bad {
+		var b strings.Builder
+		if err := c.Render(&b); err == nil {
+			t.Errorf("chart %d accepted", i)
+		}
+	}
+}
+
+func TestLineChartRender(t *testing.T) {
+	c := &LineChart{
+		Title:  "sensitivity",
+		XLabel: "t_conf",
+		YLabel: "RC@3",
+		X:      []float64{0.55, 0.65, 0.75},
+		Series: []Series{{Name: "RAPMiner", Values: []float64{0.98, 0.98, 0.97}}},
+		YMax:   1,
+	}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"<polyline", "<circle", "t_conf", "0.55"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<circle"); got != 3 {
+		t.Errorf("%d markers, want 3", got)
+	}
+}
+
+func TestLineChartValidation(t *testing.T) {
+	bad := []*LineChart{
+		{X: []float64{1}, Series: []Series{{Name: "s", Values: []float64{1}}}},
+		{X: []float64{1, 2}},
+		{X: []float64{1, 2}, Series: []Series{{Name: "s", Values: []float64{1}}}},
+		{X: []float64{2, 2}, Series: []Series{{Name: "s", Values: []float64{1, 2}}}},
+	}
+	for i, c := range bad {
+		var b strings.Builder
+		if err := c.Render(&b); err == nil {
+			t.Errorf("chart %d accepted", i)
+		}
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := validBar()
+	c.Title = `a <b> & "c"`
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if strings.Contains(b.String(), "<b>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(b.String(), "&lt;b&gt; &amp; &quot;c&quot;") {
+		t.Error("escaped entities missing")
+	}
+}
+
+func TestAutoScale(t *testing.T) {
+	c := validBar()
+	c.YMax = 0
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	// All-zero series still renders with a sane axis.
+	z := validBar()
+	z.YMax = 0
+	z.Series = []Series{{Name: "zero", Values: []float64{0, 0}}}
+	b.Reset()
+	if err := z.Render(&b); err != nil {
+		t.Fatalf("Render zero: %v", err)
+	}
+}

@@ -1,0 +1,37 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+)
+
+func benchSeries(n, period int) []float64 {
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = 100 + 20*math.Sin(2*math.Pi*float64(i%period)/float64(period))
+	}
+	return values
+}
+
+func BenchmarkHoltWinters(b *testing.B) {
+	hw := HoltWinters{Period: 1440, Alpha: 0.4, Beta: 0.05, Gamma: 0.3}
+	values := benchSeries(5*1440, 1440)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hw.Forecast(values); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompose(b *testing.B) {
+	values := benchSeries(5*1440, 1440)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(values, 1440); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecomposeValidation(t *testing.T) {
+	if _, err := Decompose(make([]float64, 10), 1); err == nil {
+		t.Error("period 1 accepted")
+	}
+	if _, err := Decompose(make([]float64, 5), 4); !errors.Is(err, ErrShortHistory) {
+		t.Errorf("short series error = %v", err)
+	}
+}
+
+func TestDecomposeRecoversKnownComponents(t *testing.T) {
+	const period = 12
+	n := 8 * period
+	values := make([]float64, n)
+	trueSeason := func(i int) float64 { return 10 * math.Sin(2*math.Pi*float64(i%period)/period) }
+	for i := range values {
+		trend := 100 + 0.5*float64(i)
+		values[i] = trend + trueSeason(i)
+	}
+	d, err := Decompose(values, period)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	// Seasonal component approximates the sine (interior phases).
+	for p := 0; p < period; p++ {
+		if math.Abs(d.Seasonal[p]-trueSeason(p)) > 1.0 {
+			t.Errorf("seasonal[%d] = %v, want about %v", p, d.Seasonal[p], trueSeason(p))
+		}
+	}
+	// Interior residuals are near zero for a noiseless series.
+	for i := period; i < n-period; i++ {
+		if math.Abs(d.Residual[i]) > 1.0 {
+			t.Errorf("residual[%d] = %v, want near 0", i, d.Residual[i])
+		}
+	}
+	// Trend is increasing on the interior.
+	if d.Trend[n/2] <= d.Trend[period] {
+		t.Error("trend not increasing")
+	}
+}
+
+func TestDecomposeOddPeriod(t *testing.T) {
+	const period = 7
+	values := make([]float64, 6*period)
+	for i := range values {
+		values[i] = 50 + 5*math.Cos(2*math.Pi*float64(i%period)/period)
+	}
+	d, err := Decompose(values, period)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	recon := d.Reconstruct()
+	for i := range values {
+		if math.Abs(recon[i]-values[i]) > 1e-9 {
+			t.Fatalf("reconstruction differs at %d: %v vs %v", i, recon[i], values[i])
+		}
+	}
+}
+
+func TestDecomposeSeasonalZeroMean(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = 10*math.Sin(2*math.Pi*float64(i%10)/10) + r.NormFloat64()
+	}
+	d, err := Decompose(values, 10)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	var sum float64
+	for p := 0; p < d.Period; p++ {
+		sum += d.Seasonal[p]
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Errorf("seasonal component mean = %v, want 0", sum/float64(d.Period))
+	}
+}
+
+func TestDecomposeReconstructExactQuick(t *testing.T) {
+	// Reconstruction is exact for any input: the residual absorbs
+	// whatever trend+seasonal miss.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		values := make([]float64, 48)
+		for i := range values {
+			values[i] = 100 * r.Float64()
+		}
+		d, err := Decompose(values, 6)
+		if err != nil {
+			return false
+		}
+		recon := d.Reconstruct()
+		for i := range values {
+			if math.Abs(recon[i]-values[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeseasonalize(t *testing.T) {
+	const period = 4
+	values := make([]float64, 5*period)
+	for i := range values {
+		values[i] = 20 + []float64{5, -5, 3, -3}[i%period]
+	}
+	d, err := Decompose(values, period)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	flat, err := d.Deseasonalize(values)
+	if err != nil {
+		t.Fatalf("Deseasonalize: %v", err)
+	}
+	st := Summarize(flat[period : len(flat)-period])
+	if st.Std > 0.5 {
+		t.Errorf("deseasonalized interior std = %v, want near 0", st.Std)
+	}
+	if _, err := d.Deseasonalize(values[:3]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
