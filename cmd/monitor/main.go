@@ -7,7 +7,13 @@
 // Usage:
 //
 //	monitor [-seed 7] [-minutes 25] [-failure-at 8] [-severity 0.6]
-//	        [-kind site-outage] [-interval 0s]
+//	        [-kind site-outage] [-interval 0s] [-metrics-addr ""]
+//	        [-log-level warn]
+//
+// With -metrics-addr set (e.g. :9090), the run exposes its live pipeline
+// and miner metrics over HTTP — GET /metrics (Prometheus text format),
+// GET /debug/vars (JSON) and GET /debug/spans (recent trace spans) — so a
+// long monitoring session can be scraped like the serve binary.
 package main
 
 import (
@@ -15,12 +21,15 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"repro/internal/anomaly"
 	"repro/internal/cdn"
 	"repro/internal/kpi"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/rapminer"
 )
@@ -58,16 +67,25 @@ func (f *failingSource) SnapshotAt(ts time.Time) (*kpi.Snapshot, error) {
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("monitor", flag.ContinueOnError)
 	var (
-		seed      = fs.Int64("seed", 7, "simulation seed")
-		minutes   = fs.Int("minutes", 25, "simulated minutes to monitor")
-		failureAt = fs.Int("failure-at", 8, "minute at which the failure starts")
-		severity  = fs.Float64("severity", 0.6, "fraction of traffic lost inside the failure scope")
-		kindName  = fs.String("kind", "site-outage", "failure kind: node-outage, site-outage, regional-site-failure, access-degradation, client-bug")
-		interval  = fs.Duration("interval", 0, "real time per simulated minute (0 = as fast as possible)")
+		seed        = fs.Int64("seed", 7, "simulation seed")
+		minutes     = fs.Int("minutes", 25, "simulated minutes to monitor")
+		failureAt   = fs.Int("failure-at", 8, "minute at which the failure starts")
+		severity    = fs.Float64("severity", 0.6, "fraction of traffic lost inside the failure scope")
+		kindName    = fs.String("kind", "site-outage", "failure kind: node-outage, site-outage, regional-site-failure, access-degradation, client-bug")
+		interval    = fs.Duration("interval", 0, "real time per simulated minute (0 = as fast as possible)")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/spans on this address (empty = off)")
+		logLevel    = fs.String("log-level", "warn", "log level: debug, info, warn, error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// The incident stream goes to w; structured logs (pipeline component
+	// logger, spans at debug) go to stderr at the chosen level.
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	obs.ConfigureLogging(os.Stderr, level, false)
 	if *minutes < 1 || *failureAt < 0 || *failureAt >= *minutes {
 		return fmt.Errorf("need 0 <= failure-at < minutes (got %d, %d)", *failureAt, *minutes)
 	}
@@ -102,6 +120,20 @@ func run(w io.Writer, args []string) error {
 	monitor, err := pipeline.New(cfg)
 	if err != nil {
 		return err
+	}
+
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", obs.Default().Handler())
+		mux.Handle("GET /debug/vars", obs.Default().VarsHandler())
+		mux.Handle("GET /debug/spans", obs.SpansHandler())
+		go func() { _ = http.Serve(ln, mux) }()
+		fmt.Fprintf(w, "metrics on http://%s/metrics\n", ln.Addr())
 	}
 
 	fmt.Fprintf(w, "monitoring simulated CDN from %s (%d minutes)\n", start.Format("15:04"), *minutes)

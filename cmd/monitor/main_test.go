@@ -1,8 +1,15 @@
 package main
 
 import (
+	"io"
+	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"repro/internal/obs"
 )
 
 func TestRunDetectsScheduledOutage(t *testing.T) {
@@ -45,6 +52,80 @@ func TestRunValidation(t *testing.T) {
 	if err := run(&out, []string{"-kind", "bogus"}); err == nil {
 		t.Error("unknown kind accepted")
 	}
+}
+
+// syncBuffer lets the test read run's output while run still writes it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestRunServesMetricsWhileMonitoring(t *testing.T) {
+	// The default registry is shared across this package's tests, so wait
+	// for the counter to move past its current value, not to an absolute.
+	baseline := obs.Default().Counter("pipeline_incidents_opened_total", "").Value()
+	var out syncBuffer
+	done := make(chan error, 1)
+	// Slow the ticks enough to scrape mid-run.
+	go func() {
+		done <- run(&out, []string{"-minutes", "120", "-failure-at", "3",
+			"-interval", "25ms", "-metrics-addr", "127.0.0.1:0"})
+	}()
+
+	// Find the advertised metrics URL.
+	var url string
+	deadline := time.Now().Add(5 * time.Second)
+	for url == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics URL never printed:\n%s", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "metrics on "); ok {
+				url = strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Scrape until the failure (minute 3 + 2-tick debounce) shows up.
+	opened := func(body string) bool {
+		for _, line := range strings.Split(body, "\n") {
+			if v, ok := strings.CutPrefix(line, "pipeline_incidents_opened_total "); ok {
+				f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+				return err == nil && f > baseline
+			}
+		}
+		return false
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("scrape: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if opened(string(body)) && strings.Contains(string(body), "rapminer_cuboids_visited") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("incident metrics never appeared:\n%s", body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// The run finishes on its own a few seconds later; don't wait for it.
 }
 
 func TestParseKindRoundTrip(t *testing.T) {

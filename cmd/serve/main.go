@@ -1,12 +1,18 @@
 // Command serve exposes anomaly localization over HTTP.
 //
-//	serve [-addr :8080]
+//	serve [-addr :8080] [-pprof] [-log-level info] [-log-json]
 //
 // Endpoints:
 //
 //	GET  /healthz       liveness probe
 //	GET  /v1/methods    available localization methods
 //	POST /v1/localize   localize a snapshot
+//	POST /v1/observe    stream observations into the tracked monitor
+//	GET  /v1/incidents  incident lifecycle of the tracked monitor
+//	GET  /metrics       Prometheus text-format metrics
+//	GET  /debug/vars    metrics as JSON
+//	GET  /debug/spans   recent trace spans (ring buffer)
+//	GET  /debug/pprof/  Go profiler (only with -pprof)
 //
 // POST /v1/localize accepts the Table III snapshot layout as
 // application/json (the kpi JSON document) or text/csv, with query
@@ -15,6 +21,10 @@
 //
 //	curl -X POST --data-binary @snapshot.csv -H 'Content-Type: text/csv' \
 //	     'localhost:8080/v1/localize?method=rapminer&k=3'
+//
+// Logs are structured (text by default, JSON with -log-json) and every
+// line carries a component attribute; see the README's "Operating in
+// production" section for the metric and log schema.
 package main
 
 import (
@@ -22,49 +32,83 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
 
 	"repro/internal/httpapi"
+	"repro/internal/obs"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run parses flags, serves until the context is canceled, then shuts down
+// gracefully. It prints the bound address to w once listening, so callers
+// (and tests) binding port 0 can find the server.
+func run(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	addr := fs.String("addr", ":8080", "listen address")
+	var (
+		addr            = fs.String("addr", ":8080", "listen address")
+		pprofOn         = fs.Bool("pprof", false, "mount the Go profiler under /debug/pprof/")
+		logLevel        = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		logJSON         = fs.Bool("log-json", false, "log JSON instead of text")
+		shutdownTimeout = fs.Duration("shutdown-timeout", 5*time.Second, "graceful shutdown deadline")
+	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	obs.ConfigureLogging(os.Stderr, level, *logJSON)
+	log := obs.Logger("serve")
 
+	mux := http.NewServeMux()
+	mux.Handle("/", httpapi.NewHandler())
+	if *pprofOn {
+		// Mounted on the outer mux so profiler traffic skips the API
+		// middleware (profiles can stream for seconds and would skew the
+		// latency histogram).
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           httpapi.NewHandler(),
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	fmt.Fprintf(w, "listening on %s\n", ln.Addr())
+	log.Info("listening", "addr", ln.Addr().String(), "pprof", *pprofOn)
 
 	errCh := make(chan error, 1)
-	go func() {
-		log.Printf("listening on %s", *addr)
-		errCh <- srv.ListenAndServe()
-	}()
+	go func() { errCh <- srv.Serve(ln) }()
 
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		log.Info("shutting down", "timeout", *shutdownTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
@@ -72,6 +116,7 @@ func run(args []string) error {
 		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
+		log.Info("stopped")
 		return nil
 	}
 }

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe strings.Builder for capturing run output
+// while the server goroutine writes to it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestRunFlagParsing(t *testing.T) {
+	ctx := context.Background()
+	var out syncBuffer
+	if err := run(ctx, &out, []string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run(ctx, &out, []string{"-addr", "not-an-address"}); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}
+
+// startServer runs the server on an ephemeral port and returns its base
+// URL plus a cancel to trigger graceful shutdown and a channel with run's
+// result.
+func startServer(t *testing.T, args ...string) (string, context.CancelFunc, <-chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var out syncBuffer
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(ctx, &out, append([]string{"-addr", "127.0.0.1:0"}, args...)) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s := out.String(); strings.Contains(s, "listening on ") {
+			addr := strings.TrimSpace(strings.TrimPrefix(s, "listening on "))
+			return "http://" + addr, cancel, errCh
+		}
+		select {
+		case err := <-errCh:
+			cancel()
+			t.Fatalf("server exited before listening: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatal("server never reported its address")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRunServesAndShutsDownGracefully(t *testing.T) {
+	base, cancel, errCh := startServer(t)
+	defer cancel()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz = %d %s", resp.StatusCode, body)
+	}
+
+	// The observability endpoints are mounted.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"rapminer_cuboids_visited",
+		"http_request_duration_seconds",
+		"pipeline_incidents_opened_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Interrupt → graceful exit with nil error.
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Errorf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("server did not shut down")
+	}
+}
+
+func TestRunPprofFlag(t *testing.T) {
+	for _, tt := range []struct {
+		args       []string
+		wantStatus int
+	}{
+		{[]string{"-pprof"}, http.StatusOK},
+		{nil, http.StatusNotFound},
+	} {
+		t.Run(fmt.Sprint(tt.args), func(t *testing.T) {
+			base, cancel, errCh := startServer(t, tt.args...)
+			defer cancel()
+			resp, err := http.Get(base + "/debug/pprof/cmdline")
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tt.wantStatus {
+				t.Errorf("pprof status = %d, want %d", resp.StatusCode, tt.wantStatus)
+			}
+			cancel()
+			<-errCh
+		})
+	}
+}

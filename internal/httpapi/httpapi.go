@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -23,6 +24,8 @@ import (
 	"repro/internal/ensemble"
 	"repro/internal/kpi"
 	"repro/internal/localize"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/rapminer"
 )
 
@@ -63,20 +66,48 @@ func MethodNames() []string {
 	return []string{"adtributor", "ensemble", "fpgrowth", "hotspot", "idice", "rapminer", "squeeze"}
 }
 
-// NewHandler builds the service's HTTP routes. The localization endpoint
-// is stateless; the observe/incidents pair shares one tracked monitor per
-// handler instance (its schema is fixed by the first observation — stream
-// the JSON snapshot document, whose attribute domains are explicit, so
-// every tick declares the same schema).
+// api carries the service's observability plumbing into the handlers.
+type api struct {
+	reg *obs.Registry
+	log *slog.Logger
+}
+
+// NewHandler builds the service's HTTP routes against the default metrics
+// registry and the shared "httpapi" component logger. The localization
+// endpoint is stateless; the observe/incidents pair shares one tracked
+// monitor per handler instance (its schema is fixed by the first
+// observation — stream the JSON snapshot document, whose attribute domains
+// are explicit, so every tick declares the same schema).
 func NewHandler() http.Handler {
+	return NewHandlerObs(obs.Default(), obs.Logger("httpapi"))
+}
+
+// NewHandlerObs is NewHandler with an explicit registry and logger, for
+// embedders and tests that need isolation. A nil registry means
+// obs.Default(); a nil logger means the shared component logger.
+func NewHandlerObs(reg *obs.Registry, log *slog.Logger) http.Handler {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	if log == nil {
+		log = obs.Logger("httpapi")
+	}
+	a := &api{reg: reg, log: log}
+	// Expose the full metric schema at zero from the first scrape, before
+	// any localization or incident has happened.
+	rapminer.RegisterMetrics(reg)
+	pipeline.RegisterMetrics(reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", handleHealthz)
 	mux.HandleFunc("GET /v1/methods", handleMethods)
-	mux.HandleFunc("POST /v1/localize", handleLocalize)
-	monitor := newMonitorAPI()
+	mux.HandleFunc("POST /v1/localize", a.handleLocalize)
+	monitor := newMonitorAPI(reg)
 	mux.HandleFunc("POST /v1/observe", monitor.handleObserve)
 	mux.HandleFunc("GET /v1/incidents", monitor.handleIncidents)
-	return mux
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("GET /debug/vars", reg.VarsHandler())
+	mux.Handle("GET /debug/spans", obs.SpansHandler())
+	return instrument(reg, log, mux)
 }
 
 func handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -102,7 +133,7 @@ type patternResponse struct {
 	Score       float64  `json:"score"`
 }
 
-func handleLocalize(w http.ResponseWriter, r *http.Request) {
+func (a *api) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	methodName := strings.ToLower(r.URL.Query().Get("method"))
 	if methodName == "" {
 		methodName = "rapminer"
@@ -159,8 +190,24 @@ func handleLocalize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	_, span := obs.StartSpan(r.Context(), "httpapi.localize")
+	defer span.End()
+	span.SetAttr("method", methodName)
+	span.SetAttr("leaves", snap.Len())
 	start := time.Now()
-	res, err := m.Localize(snap, k)
+	var res localize.Result
+	// Diagnostic-capable localizers additionally publish the run's search
+	// statistics (the paper's pruning telemetry) to the registry.
+	if dl, ok := m.(rapminer.DiagnosticLocalizer); ok {
+		var diag rapminer.Diagnostics
+		res, diag, err = dl.LocalizeWithDiagnostics(snap, k)
+		if err == nil {
+			rapminer.PublishDiagnostics(a.reg, diag)
+			span.SetAttr("cuboids_visited", diag.CuboidsVisited)
+		}
+	} else {
+		res, err = m.Localize(snap, k)
+	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return

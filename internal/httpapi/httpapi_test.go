@@ -201,6 +201,26 @@ func TestLocalizeBodyTooLarge(t *testing.T) {
 	}
 }
 
+func TestObserveBodyTooLarge(t *testing.T) {
+	srv := newServer(t)
+	resp, err := http.Post(srv.URL+"/v1/observe", "text/csv",
+		io.LimitReader(neverEnding('a'), maxBodyBytes+10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("status = %d, want 413", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body["error"], "exceeds") {
+		t.Errorf("error = %q", body["error"])
+	}
+}
+
 // neverEnding is an io.Reader of one repeated byte.
 type neverEnding byte
 

@@ -1,0 +1,96 @@
+package httpapi
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// instrument wraps the route mux with the service's observability
+// middleware: request counting by method/route/status class, a request
+// latency histogram, an in-flight gauge, and one structured log line per
+// request. Metric label cardinality is bounded by using the matched route
+// pattern (never the raw URL path).
+func instrument(reg *obs.Registry, log *slog.Logger, next http.Handler) http.Handler {
+	inflight := reg.Gauge("http_inflight_requests",
+		"Requests currently being served.")
+	// Pre-register the latency family so /metrics shows it before traffic.
+	reg.Histogram("http_request_duration_seconds",
+		"Request latency by matched route.", nil, "route", "none")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inflight.Inc()
+		defer inflight.Dec()
+
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+
+		// r.Pattern is populated by the mux during routing, so reading it
+		// after ServeHTTP yields the matched route ("" on 404/405).
+		route := r.Pattern
+		if route == "" {
+			route = "none"
+		}
+		reg.Counter("http_requests_total",
+			"Requests served by method, matched route, and status class.",
+			"method", r.Method, "route", route, "class", statusClass(rec.status)).Inc()
+		reg.Histogram("http_request_duration_seconds",
+			"Request latency by matched route.", nil, "route", route).
+			Observe(elapsed.Seconds())
+
+		log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("route", route),
+			slog.Int("status", rec.status),
+			slog.Int64("bytes", rec.bytes),
+			slog.Duration("elapsed", elapsed),
+		)
+	})
+}
+
+// statusRecorder captures the status code and body size written downstream.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards streaming support when the underlying writer has it.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// statusClass maps 200 -> "2xx" etc.; out-of-range codes report "other".
+func statusClass(status int) string {
+	switch {
+	case status >= 100 && status < 200:
+		return "1xx"
+	case status < 300:
+		return "2xx"
+	case status < 400:
+		return "3xx"
+	case status < 500:
+		return "4xx"
+	case status < 600:
+		return "5xx"
+	default:
+		return "other"
+	}
+}

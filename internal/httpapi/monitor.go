@@ -1,6 +1,8 @@
 package httpapi
 
 import (
+	"errors"
+	"fmt"
 	"net/http"
 	"sync"
 	"time"
@@ -8,6 +10,7 @@ import (
 	"repro/internal/anomaly"
 	"repro/internal/kpi"
 	"repro/internal/leafforecast"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/rapminer"
 	"repro/internal/timeseries"
@@ -19,6 +22,7 @@ import (
 // leaf's baseline from the stream itself, so observations need only carry
 // actual values.
 type monitorAPI struct {
+	reg     *obs.Registry
 	mu      sync.Mutex
 	tracked *pipeline.TrackedMonitor
 	schema  *kpi.Schema
@@ -26,8 +30,8 @@ type monitorAPI struct {
 }
 
 // newMonitorAPI builds the endpoints around the default pipeline
-// configuration.
-func newMonitorAPI() *monitorAPI { return &monitorAPI{} }
+// configuration, publishing the monitor's metrics to reg.
+func newMonitorAPI(reg *obs.Registry) *monitorAPI { return &monitorAPI{reg: reg} }
 
 // init lazily assembles the monitor from the first observation's schema.
 func (m *monitorAPI) init(schema *kpi.Schema) error {
@@ -37,6 +41,7 @@ func (m *monitorAPI) init(schema *kpi.Schema) error {
 	}
 	cfg := pipeline.DefaultConfig(anomaly.RelativeDeviation{Threshold: 0.3, Eps: 1e-9}, miner)
 	cfg.AlarmThreshold = 0.01
+	cfg.Registry = m.reg
 	monitor, err := pipeline.New(cfg)
 	if err != nil {
 		return err
@@ -100,6 +105,12 @@ func (m *monitorAPI) handleObserve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("snapshot exceeds %d bytes", tooLarge.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}

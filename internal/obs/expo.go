@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// famView is a consistent copy of one family's structure taken under the
+// registry lock. Series pointers are shared with live writers — metric
+// reads are atomic, so exposition is consistent per value, not across
+// values, which is the usual scrape contract.
+type famView struct {
+	name    string
+	help    string
+	kind    metricKind
+	ordered []*series
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, series sorted
+// by label set, histograms expanded into cumulative _bucket/_sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, fam := range r.snapshot() {
+		if fam.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.name, escapeHelp(fam.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, fam.kind); err != nil {
+			return err
+		}
+		for _, s := range fam.ordered {
+			if err := writeSeries(w, fam, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// snapshot copies the family structure (names and sorted series lists)
+// under the registry lock, sorted by family name.
+func (r *Registry) snapshot() []famView {
+	r.mu.Lock()
+	fams := make([]famView, 0, len(r.families))
+	for _, f := range r.families {
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ordered := make([]*series, 0, len(keys))
+		for _, k := range keys {
+			ordered = append(ordered, f.series[k])
+		}
+		fams = append(fams, famView{name: f.name, help: f.help, kind: f.kind, ordered: ordered})
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func writeSeries(w io.Writer, fam famView, s *series) error {
+	switch fam.kind {
+	case counterKind:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", fam.name, formatLabels(s.labels), formatValue(s.counter.Value()))
+		return err
+	case gaugeKind:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", fam.name, formatLabels(s.labels), formatValue(s.gauge.Value()))
+		return err
+	case histogramKind:
+		h := s.hist
+		cum := uint64(0)
+		for i, ub := range h.upper {
+			cum += h.counts[i].Load()
+			le := append(append([]string{}, s.labels...), "le", formatValue(ub))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, formatLabels(le), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.upper)].Load()
+		le := append(append([]string{}, s.labels...), "le", "+Inf")
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, formatLabels(le), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, formatLabels(s.labels), formatValue(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam.name, formatLabels(s.labels), h.Count())
+		return err
+	}
+	return nil
+}
+
+// formatLabels renders {k="v",...} or "" for the empty label set. The "le"
+// label of histogram buckets is appended last by writeSeries, matching the
+// Prometheus client's ordering.
+func formatLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(pairs[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatValue renders a float the way the Prometheus text format expects.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// varsSeries is the /debug/vars JSON shape of one series.
+type varsSeries struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *float64          `json:"value,omitempty"`
+	Count  *uint64           `json:"count,omitempty"`
+	Sum    *float64          `json:"sum,omitempty"`
+}
+
+// WriteJSON renders the registry as a {name: {type, help, series: [...]}}
+// document — an expvar-style debugging view of the same data /metrics
+// exposes.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	type varsFamily struct {
+		Type   string       `json:"type"`
+		Help   string       `json:"help,omitempty"`
+		Series []varsSeries `json:"series"`
+	}
+	out := make(map[string]varsFamily)
+	for _, fam := range r.snapshot() {
+		vf := varsFamily{Type: fam.kind.String(), Help: fam.help, Series: []varsSeries{}}
+		for _, s := range fam.ordered {
+			vs := varsSeries{}
+			if len(s.labels) > 0 {
+				vs.Labels = make(map[string]string, len(s.labels)/2)
+				for i := 0; i < len(s.labels); i += 2 {
+					vs.Labels[s.labels[i]] = s.labels[i+1]
+				}
+			}
+			switch fam.kind {
+			case counterKind:
+				v := s.counter.Value()
+				vs.Value = &v
+			case gaugeKind:
+				v := s.gauge.Value()
+				vs.Value = &v
+			case histogramKind:
+				c, sum := s.hist.Count(), s.hist.Sum()
+				vs.Count = &c
+				vs.Sum = &sum
+			}
+			vf.Series = append(vf.Series, vs)
+		}
+		out[fam.name] = vf
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Handler serves the registry in Prometheus text format (mount at
+// GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// VarsHandler serves the registry as indented JSON (mount at
+// GET /debug/vars).
+func (r *Registry) VarsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}

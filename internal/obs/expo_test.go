@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusExpositionGolden pins the exact exposition text: families
+// sorted by name, series by label set, histograms cumulative with +Inf,
+// label values escaped.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("api_requests_total", "API requests served.", "method", "GET", "class", "2xx").Add(12)
+	r.Counter("api_requests_total", "ignored on re-register", "method", "POST", "class", "5xx").Inc()
+	r.Gauge("inflight", "In-flight requests.").Set(3)
+	h := r.Histogram("latency_seconds", "Request latency.", []float64{0.1, 0.5, 2.5})
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(10)
+	r.Gauge("weird_label", "", "path", `a\b"c`+"\n").Set(1)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP api_requests_total API requests served.
+# TYPE api_requests_total counter
+api_requests_total{class="2xx",method="GET"} 12
+api_requests_total{class="5xx",method="POST"} 1
+# HELP inflight In-flight requests.
+# TYPE inflight gauge
+inflight 3
+# HELP latency_seconds Request latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 1
+latency_seconds_bucket{le="0.5"} 2
+latency_seconds_bucket{le="2.5"} 2
+latency_seconds_bucket{le="+Inf"} 3
+latency_seconds_sum 10.35
+latency_seconds_count 3
+# TYPE weird_label gauge
+weird_label{path="a\\b\"c\n"} 1
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteJSONVars(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "A counter.", "k", "v").Add(2)
+	h := r.Histogram("h_seconds", "", nil)
+	h.Observe(1.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]struct {
+		Type   string `json:"type"`
+		Series []struct {
+			Labels map[string]string `json:"labels"`
+			Value  *float64          `json:"value"`
+			Count  *uint64           `json:"count"`
+			Sum    *float64          `json:"sum"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	c := out["c_total"]
+	if c.Type != "counter" || len(c.Series) != 1 || c.Series[0].Value == nil || *c.Series[0].Value != 2 {
+		t.Errorf("c_total = %+v", c)
+	}
+	if c.Series[0].Labels["k"] != "v" {
+		t.Errorf("labels = %v", c.Series[0].Labels)
+	}
+	hh := out["h_seconds"]
+	if hh.Type != "histogram" || len(hh.Series) != 1 || hh.Series[0].Count == nil || *hh.Series[0].Count != 1 {
+		t.Errorf("h_seconds = %+v", hh)
+	}
+}
+
+func TestHandlers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "").Inc()
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	body, _ := io.ReadAll(rec.Result().Body)
+	if !strings.Contains(string(body), "hits_total 1") {
+		t.Errorf("metrics body = %s", body)
+	}
+
+	rec = httptest.NewRecorder()
+	r.VarsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("vars content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `"hits_total"`) {
+		t.Errorf("vars body = %s", rec.Body.String())
+	}
+}

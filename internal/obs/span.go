@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Span tracing: StartSpan opens a named region, End closes it. Ended spans
+// are (a) observed into the span_duration_seconds histogram of the Default
+// registry, (b) logged at debug level through the "trace" component logger,
+// and (c) appended to an in-memory ring buffer served over HTTP for
+// post-hoc inspection without a tracing backend.
+
+// spanCtxKey carries the active span through a context for parent naming.
+type spanCtxKey struct{}
+
+// Span is one timed region. Not safe for concurrent use; a span belongs to
+// the goroutine that started it.
+type Span struct {
+	name   string
+	parent string
+	start  time.Time
+	attrs  []slog.Attr
+	ended  bool
+}
+
+// StartSpan opens a span and returns a derived context carrying it, so
+// child spans record their parent's name.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	s := &Span{name: name, start: time.Now()}
+	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok {
+		s.parent = parent.name
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// SetAttr annotates the span with a key/value pair carried into the log
+// record and the ring buffer.
+func (s *Span) SetAttr(key string, value any) {
+	s.attrs = append(s.attrs, slog.Any(key, value))
+}
+
+// End closes the span and publishes it. Repeated calls are no-ops, so
+// `defer span.End()` composes with early explicit ends.
+func (s *Span) End() {
+	if s.ended {
+		return
+	}
+	s.ended = true
+	elapsed := time.Since(s.start)
+
+	Default().Histogram("span_duration_seconds",
+		"Duration of traced spans by span name.", nil, "span", s.name).
+		Observe(elapsed.Seconds())
+
+	rec := SpanRecord{
+		Name:       s.name,
+		Parent:     s.parent,
+		Start:      s.start.UTC(),
+		DurationMS: float64(elapsed.Microseconds()) / 1000,
+	}
+	if len(s.attrs) > 0 {
+		rec.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			rec.Attrs[a.Key] = a.Value.Any()
+		}
+	}
+	defaultSpanRing.append(rec)
+
+	logAttrs := append([]slog.Attr{
+		slog.String("span", s.name),
+		slog.Duration("elapsed", elapsed),
+	}, s.attrs...)
+	if s.parent != "" {
+		logAttrs = append(logAttrs, slog.String("parent", s.parent))
+	}
+	Logger("trace").LogAttrs(context.Background(), slog.LevelDebug, "span", logAttrs...)
+}
+
+// SpanRecord is one completed span as stored in the ring and served over
+// HTTP.
+type SpanRecord struct {
+	Name       string         `json:"name"`
+	Parent     string         `json:"parent,omitempty"`
+	Start      time.Time      `json:"start"`
+	DurationMS float64        `json:"duration_ms"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// SpanRing is a fixed-capacity ring of the most recent completed spans.
+type SpanRing struct {
+	mu    sync.Mutex
+	buf   []SpanRecord
+	next  int
+	total int
+}
+
+// DefaultSpanCapacity bounds the default ring; roughly a few minutes of
+// traffic at production rates, and small enough to dump over HTTP.
+const DefaultSpanCapacity = 512
+
+var defaultSpanRing = NewSpanRing(DefaultSpanCapacity)
+
+// NewSpanRing builds a ring holding the last capacity spans.
+func NewSpanRing(capacity int) *SpanRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpanRing{buf: make([]SpanRecord, 0, capacity)}
+}
+
+func (r *SpanRing) append(rec SpanRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.next] = rec
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+}
+
+// Recent returns the buffered spans, newest first.
+func (r *SpanRing) Recent() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanRecord, 0, len(r.buf))
+	for i := 1; i <= len(r.buf); i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Total returns how many spans were ever appended (including evicted ones).
+func (r *SpanRing) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// RecentSpans returns the default ring's spans, newest first.
+func RecentSpans() []SpanRecord { return defaultSpanRing.Recent() }
+
+// SpansHandler serves the default ring as JSON (mount at GET /debug/spans):
+// {"total": N, "spans": [...]} with spans newest first.
+func SpansHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Total int          `json:"total"`
+			Spans []SpanRecord `json:"spans"`
+		}{Total: defaultSpanRing.Total(), Spans: RecentSpans()})
+	})
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanLifecycle(t *testing.T) {
+	var logBuf bytes.Buffer
+	prev := baseLogger.Load()
+	SetLogger(slog.New(slog.NewTextHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug})))
+	defer baseLogger.Store(prev)
+
+	ctx, parent := StartSpan(context.Background(), "test.parent")
+	_, child := StartSpan(ctx, "test.child")
+	child.SetAttr("leaves", 42)
+	child.End()
+	child.End() // idempotent
+	parent.End()
+
+	recent := RecentSpans()
+	if len(recent) < 2 {
+		t.Fatalf("ring holds %d spans, want >= 2", len(recent))
+	}
+	// Newest first: parent ended last.
+	if recent[0].Name != "test.parent" || recent[1].Name != "test.child" {
+		t.Errorf("recent = %q, %q", recent[0].Name, recent[1].Name)
+	}
+	if recent[1].Parent != "test.parent" {
+		t.Errorf("child parent = %q", recent[1].Parent)
+	}
+	if v, ok := recent[1].Attrs["leaves"]; !ok || v != int64(42) && v != 42 {
+		// slog.Any round-trips ints as int64.
+		t.Errorf("child attrs = %v", recent[1].Attrs)
+	}
+	if recent[0].DurationMS < 0 {
+		t.Errorf("negative duration %v", recent[0].DurationMS)
+	}
+
+	logged := logBuf.String()
+	if !strings.Contains(logged, "span=test.child") || !strings.Contains(logged, "component=trace") {
+		t.Errorf("span not logged at debug:\n%s", logged)
+	}
+
+	// Ending a span observes into the default registry's histogram.
+	h := Default().Histogram("span_duration_seconds", "", nil, "span", "test.parent")
+	if h.Count() == 0 {
+		t.Error("span duration not observed")
+	}
+}
+
+func TestSpanRingEviction(t *testing.T) {
+	r := NewSpanRing(3)
+	for i := 0; i < 5; i++ {
+		r.append(SpanRecord{Name: string(rune('a' + i))})
+	}
+	got := r.Recent()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	if got[0].Name != "e" || got[1].Name != "d" || got[2].Name != "c" {
+		t.Errorf("recent = %v", got)
+	}
+	if r.Total() != 5 {
+		t.Errorf("total = %d, want 5", r.Total())
+	}
+}
+
+func TestSpanRingConcurrent(t *testing.T) {
+	r := NewSpanRing(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.append(SpanRecord{Name: "s"})
+				_ = r.Recent()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 8*500 {
+		t.Errorf("total = %d", r.Total())
+	}
+}
+
+func TestSpansHandler(t *testing.T) {
+	_, s := StartSpan(context.Background(), "handler.span")
+	s.End()
+	rec := httptest.NewRecorder()
+	SpansHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/spans", nil))
+	var out struct {
+		Total int          `json:"total"`
+		Spans []SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if out.Total < 1 || len(out.Spans) == 0 {
+		t.Errorf("handler output = %+v", out)
+	}
+}

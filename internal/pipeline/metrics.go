@@ -1,0 +1,87 @@
+package pipeline
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// metrics holds the monitor's pre-registered instruments. Registering every
+// series up front (including the zero-valued ones) makes the full schema
+// visible on the first /metrics scrape, before any incident has happened.
+type metrics struct {
+	events            map[EventKind]*obs.Counter
+	incidentsOpened   *obs.Counter
+	incidentsResolved *obs.Counter
+	incidentDuration  *obs.Histogram
+	incidentsOpen     *obs.Gauge
+	stageSeconds      map[string]*obs.Histogram
+}
+
+// incidentDurationBuckets spans blip-to-outage incident lengths, in
+// seconds: 1 min up to 4 h.
+var incidentDurationBuckets = []float64{60, 120, 300, 600, 1800, 3600, 7200, 14400}
+
+// stageNames are the two localization stages the monitor times.
+const (
+	stageDetect   = "detect"
+	stageLocalize = "localize"
+)
+
+// RegisterMetrics pre-registers every monitor metric family on reg (nil
+// means the default registry) so a /metrics scrape shows the full schema
+// at zero before the first monitor exists. Constructing a Monitor does the
+// same implicitly.
+func RegisterMetrics(reg *obs.Registry) { newMetrics(reg) }
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	m := &metrics{
+		events: make(map[EventKind]*obs.Counter),
+		incidentsOpened: reg.Counter("pipeline_incidents_opened_total",
+			"Incidents opened by the monitor."),
+		incidentsResolved: reg.Counter("pipeline_incidents_resolved_total",
+			"Incidents resolved by the monitor."),
+		incidentDuration: reg.Histogram("pipeline_incident_duration_seconds",
+			"Open-to-resolve duration of resolved incidents.", incidentDurationBuckets),
+		incidentsOpen: reg.Gauge("pipeline_incidents_open",
+			"Incidents currently open (0 or 1 per monitor)."),
+		stageSeconds: make(map[string]*obs.Histogram),
+	}
+	for _, k := range []EventKind{EventTick, EventArming, EventOpened, EventUpdated, EventOngoing, EventResolved} {
+		m.events[k] = reg.Counter("pipeline_events_total",
+			"Processed ticks by resulting event kind.", "kind", k.String())
+	}
+	for _, s := range []string{stageDetect, stageLocalize} {
+		m.stageSeconds[s] = reg.Histogram("pipeline_stage_seconds",
+			"Wall time of the detector and localizer stages.", nil, "stage", s)
+	}
+	return m
+}
+
+// record updates the counters for one processed tick's outcome.
+func (mx *metrics) record(ev Event) {
+	if c, ok := mx.events[ev.Kind]; ok {
+		c.Inc()
+	}
+	switch ev.Kind {
+	case EventOpened:
+		mx.incidentsOpened.Inc()
+		mx.incidentsOpen.Set(1)
+	case EventResolved:
+		mx.incidentsResolved.Inc()
+		mx.incidentsOpen.Set(0)
+		if ev.Incident != nil && !ev.Incident.ResolvedAt.IsZero() {
+			mx.incidentDuration.Observe(ev.Incident.ResolvedAt.Sub(ev.Incident.OpenedAt).Seconds())
+		}
+	}
+}
+
+// observeStage times one stage invocation.
+func (mx *metrics) observeStage(stage string, elapsed time.Duration) {
+	if h, ok := mx.stageSeconds[stage]; ok {
+		h.Observe(elapsed.Seconds())
+	}
+}

@@ -7,14 +7,18 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"time"
 
 	"repro/internal/anomaly"
 	"repro/internal/kpi"
 	"repro/internal/localize"
+	"repro/internal/obs"
+	"repro/internal/rapminer"
 )
 
 // Config assembles a Monitor.
@@ -34,6 +38,10 @@ type Config struct {
 	// ResolveTicks is how many consecutive clean ticks close an open
 	// incident.
 	ResolveTicks int
+	// Registry receives the monitor's metrics (event-kind counters,
+	// incident counts and durations, stage latencies). Nil means
+	// obs.Default().
+	Registry *obs.Registry
 }
 
 // DefaultConfig returns a production-flavored configuration around the
@@ -114,6 +122,8 @@ type Event struct {
 // concurrent use; drive it from one goroutine (see Runner).
 type Monitor struct {
 	cfg Config
+	mx  *metrics
+	log *slog.Logger
 
 	alarmStreak int
 	cleanStreak int
@@ -139,15 +149,45 @@ func New(cfg Config) (*Monitor, error) {
 		return nil, fmt.Errorf("pipeline: debounce/resolve ticks (%d, %d), want >= 1",
 			cfg.DebounceTicks, cfg.ResolveTicks)
 	}
-	return &Monitor{cfg: cfg, nextID: 1}, nil
+	return &Monitor{
+		cfg:    cfg,
+		mx:     newMetrics(cfg.Registry),
+		log:    obs.Logger("pipeline"),
+		nextID: 1,
+	}, nil
 }
 
 // Current returns the open incident, or nil.
 func (m *Monitor) Current() *Incident { return m.current }
 
 // Process handles one tick. The snapshot is labeled in place with the
-// configured detector when localization runs.
+// configured detector when localization runs. Every tick updates the
+// monitor's metrics, and incident transitions are logged through the
+// "pipeline" component logger.
 func (m *Monitor) Process(ts time.Time, snap *kpi.Snapshot) (Event, error) {
+	ev, err := m.process(ts, snap)
+	if err != nil {
+		m.log.Error("tick failed", slog.Time("ts", ts), slog.Any("err", err))
+		return ev, err
+	}
+	m.mx.record(ev)
+	switch ev.Kind {
+	case EventOpened:
+		m.log.Info("incident opened",
+			slog.Int("id", ev.Incident.ID), slog.Float64("deviation", ev.Deviation),
+			slog.Int("scopes", len(ev.Incident.Scopes)))
+	case EventUpdated:
+		m.log.Info("incident scope updated",
+			slog.Int("id", ev.Incident.ID), slog.Int("updates", ev.Incident.Updates))
+	case EventResolved:
+		m.log.Info("incident resolved",
+			slog.Int("id", ev.Incident.ID),
+			slog.Duration("after", ev.Incident.ResolvedAt.Sub(ev.Incident.OpenedAt)))
+	}
+	return ev, nil
+}
+
+func (m *Monitor) process(ts time.Time, snap *kpi.Snapshot) (Event, error) {
 	if snap == nil {
 		return Event{}, errors.New("pipeline: nil snapshot")
 	}
@@ -208,11 +248,38 @@ func (m *Monitor) Process(ts time.Time, snap *kpi.Snapshot) (Event, error) {
 }
 
 func (m *Monitor) localize(snap *kpi.Snapshot) ([]localize.ScoredPattern, error) {
-	anomaly.Label(snap, m.cfg.Detector)
-	res, err := m.cfg.Localizer.Localize(snap, m.cfg.K)
+	ctx, span := obs.StartSpan(context.Background(), "pipeline.detect")
+	start := time.Now()
+	n := anomaly.Label(snap, m.cfg.Detector)
+	m.mx.observeStage(stageDetect, time.Since(start))
+	span.SetAttr("anomalous", n)
+	span.End()
+
+	_, span = obs.StartSpan(ctx, "pipeline.localize")
+	defer span.End()
+	start = time.Now()
+	var (
+		res localize.Result
+		err error
+	)
+	// Localizers that expose search diagnostics (RAPMiner) publish the
+	// paper's pruning statistics as live metrics on every incident tick.
+	if dl, ok := m.cfg.Localizer.(rapminer.DiagnosticLocalizer); ok {
+		var diag rapminer.Diagnostics
+		res, diag, err = dl.LocalizeWithDiagnostics(snap, m.cfg.K)
+		if err == nil {
+			rapminer.PublishDiagnostics(m.cfg.Registry, diag)
+			span.SetAttr("cuboids_visited", diag.CuboidsVisited)
+			span.SetAttr("early_stopped", diag.EarlyStopped)
+		}
+	} else {
+		res, err = m.cfg.Localizer.Localize(snap, m.cfg.K)
+	}
+	m.mx.observeStage(stageLocalize, time.Since(start))
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: localize: %w", err)
 	}
+	span.SetAttr("patterns", len(res.Patterns))
 	return res.Patterns, nil
 }
 

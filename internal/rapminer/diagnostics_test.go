@@ -73,6 +73,39 @@ func TestDiagnosticsAblationVisitsWholeLattice(t *testing.T) {
 	}
 }
 
+func TestDeletedAttributesOrdering(t *testing.T) {
+	// DeletedAttributes promises attribute order (ascending index), no
+	// matter how KeptAttributes is ordered — it is sorted by descending CP,
+	// not by index.
+	d := Diagnostics{
+		CPs: []AttributeCP{
+			{Attr: 0, CP: 0.0001},
+			{Attr: 1, CP: 0.9},
+			{Attr: 2, CP: 0.0002},
+			{Attr: 3, CP: 0.5},
+			{Attr: 4, CP: 0.0003},
+		},
+		// Kept in descending-CP order: attribute 1 then 3.
+		KeptAttributes: []int{1, 3},
+	}
+	got := d.DeletedAttributes()
+	want := []int{0, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("DeletedAttributes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DeletedAttributes = %v, want %v (ascending attribute order)", got, want)
+		}
+	}
+
+	// Nothing deleted -> empty (nil) result.
+	all := Diagnostics{CPs: d.CPs, KeptAttributes: []int{4, 3, 2, 1, 0}}
+	if got := all.DeletedAttributes(); len(got) != 0 {
+		t.Errorf("all-kept DeletedAttributes = %v, want empty", got)
+	}
+}
+
 func TestDiagnosticsZeroOnDegenerateInputs(t *testing.T) {
 	s := tableVSchema()
 	snap := denseSnapshot(t, s) // no anomalies

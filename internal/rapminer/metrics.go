@@ -1,0 +1,97 @@
+package rapminer
+
+import (
+	"repro/internal/kpi"
+	"repro/internal/localize"
+	"repro/internal/obs"
+)
+
+// Metric names exported by PublishDiagnostics. The gauges carry the most
+// recent run's search statistics (the paper's Table IV/VI pruning numbers
+// as live values); the counters accumulate across runs so rates and the
+// early-stop ratio survive scraping.
+const (
+	MetricCuboidsTotal        = "rapminer_cuboids_total"
+	MetricCuboidsSearchable   = "rapminer_cuboids_searchable"
+	MetricCuboidsVisited      = "rapminer_cuboids_visited"
+	MetricCombinationsScanned = "rapminer_combinations_scanned_total"
+	MetricCandidates          = "rapminer_candidates"
+	MetricAttributesDeleted   = "rapminer_attributes_deleted"
+	MetricRuns                = "rapminer_runs_total"
+	MetricEarlyStops          = "rapminer_early_stops_total"
+	MetricEarlyStopRatio      = "rapminer_early_stop_ratio"
+)
+
+// minerMetrics is the set of instruments PublishDiagnostics writes, bound
+// to one registry.
+type minerMetrics struct {
+	cuboidsTotal, cuboidsSearchable, cuboidsVisited *obs.Gauge
+	candidates, attributesDeleted, earlyStopRatio   *obs.Gauge
+	combinationsScanned, runs, earlyStops           *obs.Counter
+}
+
+// minerInstruments acquires (registering on first use) every family, so
+// all series expose at zero from the moment of registration.
+func minerInstruments(reg *obs.Registry) minerMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return minerMetrics{
+		cuboidsTotal: reg.Gauge(MetricCuboidsTotal,
+			"Cuboids in the full lattice (2^n - 1) for the last run's schema."),
+		cuboidsSearchable: reg.Gauge(MetricCuboidsSearchable,
+			"Cuboids remaining after CP-based attribute deletion in the last run."),
+		cuboidsVisited: reg.Gauge(MetricCuboidsVisited,
+			"Cuboids actually scanned before early stop in the last run."),
+		candidates: reg.Gauge(MetricCandidates,
+			"RAP candidates found in the last run before top-k truncation."),
+		attributesDeleted: reg.Gauge(MetricAttributesDeleted,
+			"Attributes deleted by classification-power pruning in the last run."),
+		earlyStopRatio: reg.Gauge(MetricEarlyStopRatio,
+			"Fraction of published runs that early-stopped."),
+		combinationsScanned: reg.Counter(MetricCombinationsScanned,
+			"Group-by rows inspected across all localization runs."),
+		runs: reg.Counter(MetricRuns, "Localization runs published."),
+		earlyStops: reg.Counter(MetricEarlyStops,
+			"Runs ended early by candidate coverage (Criteria 3 early stop)."),
+	}
+}
+
+// RegisterMetrics pre-registers the miner's metric families on reg (nil
+// means the default registry) so they expose at zero before the first run.
+func RegisterMetrics(reg *obs.Registry) { minerInstruments(reg) }
+
+// PublishDiagnostics exports one run's Diagnostics into reg (nil means the
+// default registry). Callers holding a Diagnostics — the HTTP API, the
+// pipeline, batch experiments — call this once per localization run.
+func PublishDiagnostics(reg *obs.Registry, d Diagnostics) {
+	mx := minerInstruments(reg)
+	mx.cuboidsTotal.Set(float64(d.CuboidsTotal))
+	mx.cuboidsSearchable.Set(float64(d.CuboidsSearchable))
+	mx.cuboidsVisited.Set(float64(d.CuboidsVisited))
+	mx.candidates.Set(float64(d.Candidates))
+	mx.attributesDeleted.Set(float64(len(d.DeletedAttributes())))
+	mx.combinationsScanned.Add(float64(d.CombinationsScanned))
+	mx.runs.Inc()
+	if d.EarlyStopped {
+		mx.earlyStops.Inc()
+	}
+	if r := mx.runs.Value(); r > 0 {
+		mx.earlyStopRatio.Set(mx.earlyStops.Value() / r)
+	}
+}
+
+// DiagnosticLocalizer is implemented by localizers that report per-run
+// Diagnostics. Callers holding a plain localize.Localizer type-assert to
+// it to publish search telemetry without naming the concrete miner:
+//
+//	if dl, ok := loc.(rapminer.DiagnosticLocalizer); ok {
+//		res, diag, err := dl.LocalizeWithDiagnostics(snap, k)
+//		rapminer.PublishDiagnostics(nil, diag)
+//	}
+type DiagnosticLocalizer interface {
+	localize.Localizer
+	LocalizeWithDiagnostics(snapshot *kpi.Snapshot, k int) (localize.Result, Diagnostics, error)
+}
+
+var _ DiagnosticLocalizer = (*Miner)(nil)

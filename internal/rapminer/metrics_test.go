@@ -1,0 +1,91 @@
+package rapminer
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestPublishDiagnostics(t *testing.T) {
+	reg := obs.NewRegistry()
+	d := Diagnostics{
+		CPs: []AttributeCP{
+			{Attr: 0, CP: 0.9}, {Attr: 1, CP: 0.0001}, {Attr: 2, CP: 0.0002},
+		},
+		KeptAttributes:      []int{0},
+		CuboidsTotal:        7,
+		CuboidsSearchable:   1,
+		CuboidsVisited:      1,
+		CombinationsScanned: 42,
+		Candidates:          1,
+		EarlyStopped:        true,
+	}
+	PublishDiagnostics(reg, d)
+
+	checks := map[string]float64{
+		MetricCuboidsTotal:      7,
+		MetricCuboidsSearchable: 1,
+		MetricCuboidsVisited:    1,
+		MetricCandidates:        1,
+		MetricAttributesDeleted: 2,
+		MetricEarlyStopRatio:    1,
+	}
+	for name, want := range checks {
+		if got := reg.Gauge(name, "").Value(); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if got := reg.Counter(MetricCombinationsScanned, "").Value(); got != 42 {
+		t.Errorf("combinations scanned = %v, want 42", got)
+	}
+
+	// A second, non-early-stopped run: gauges track the last run, counters
+	// accumulate, the ratio averages.
+	d.EarlyStopped = false
+	d.CuboidsVisited = 3
+	PublishDiagnostics(reg, d)
+	if got := reg.Gauge(MetricCuboidsVisited, "").Value(); got != 3 {
+		t.Errorf("visited after 2nd run = %v, want 3", got)
+	}
+	if got := reg.Counter(MetricRuns, "").Value(); got != 2 {
+		t.Errorf("runs = %v, want 2", got)
+	}
+	if got := reg.Gauge(MetricEarlyStopRatio, "").Value(); got != 0.5 {
+		t.Errorf("early stop ratio = %v, want 0.5", got)
+	}
+	if got := reg.Counter(MetricCombinationsScanned, "").Value(); got != 84 {
+		t.Errorf("combinations scanned = %v, want 84", got)
+	}
+}
+
+func TestRegisterMetricsExposesZeroSchema(t *testing.T) {
+	reg := obs.NewRegistry()
+	RegisterMetrics(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, name := range []string{
+		MetricCuboidsTotal, MetricCuboidsSearchable, MetricCuboidsVisited,
+		MetricCombinationsScanned, MetricCandidates, MetricAttributesDeleted,
+		MetricRuns, MetricEarlyStops, MetricEarlyStopRatio,
+	} {
+		if !strings.Contains(body, name+" 0") {
+			t.Errorf("registration did not expose %s at zero:\n%s", name, body)
+		}
+	}
+	// Registration must not count a run.
+	if got := reg.Counter(MetricRuns, "").Value(); got != 0 {
+		t.Errorf("RegisterMetrics counted %v runs", got)
+	}
+}
+
+func TestMinerImplementsDiagnosticLocalizer(t *testing.T) {
+	var loc interface{} = MustNew(DefaultConfig())
+	if _, ok := loc.(DiagnosticLocalizer); !ok {
+		t.Fatal("*Miner does not satisfy DiagnosticLocalizer")
+	}
+}
