@@ -12,11 +12,16 @@
 //
 // With -metrics-addr set (e.g. :9090), the run exposes its live pipeline
 // and miner metrics over HTTP — GET /metrics (Prometheus text format),
-// GET /debug/vars (JSON) and GET /debug/spans (recent trace spans) — so a
-// long monitoring session can be scraped like the serve binary.
+// GET /debug/vars (JSON), GET /debug/spans (recent trace spans) and
+// GET /debug/runs[/{id}] (per-run explain reports) — so a long monitoring
+// session can be scraped and its localizations explained (`rapmctl
+// explain -addr :9090`) like the serve binary. Every localizing tick runs
+// under its own generated trace ID, grouping its spans and keying its
+// explain report.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +37,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/rapminer"
+	"repro/internal/rapminer/explain"
 )
 
 func main() {
@@ -128,10 +134,17 @@ func run(w io.Writer, args []string) error {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		defer ln.Close()
+		// Sample Go runtime health alongside the pipeline metrics for as
+		// long as the run lasts.
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		obs.StartRuntimeCollector(ctx, nil, 0)
 		mux := http.NewServeMux()
 		mux.Handle("GET /metrics", obs.Default().Handler())
 		mux.Handle("GET /debug/vars", obs.Default().VarsHandler())
 		mux.Handle("GET /debug/spans", obs.SpansHandler())
+		mux.Handle("GET /debug/runs", explain.Default().RunsHandler())
+		mux.Handle("GET /debug/runs/{id}", explain.Default().RunHandler())
 		go func() { _ = http.Serve(ln, mux) }()
 		fmt.Fprintf(w, "metrics on http://%s/metrics\n", ln.Addr())
 	}

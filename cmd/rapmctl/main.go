@@ -1,0 +1,155 @@
+// Command rapmctl is the operator's console for a running serve or
+// monitor instance. It fetches per-run explain reports from the service's
+// /debug/runs endpoints and renders them as human-readable text, answering
+// the "why did the miner return these RAPs" question after the fact.
+//
+// Usage:
+//
+//	rapmctl runs    [-addr http://localhost:8080]
+//	rapmctl explain [-addr http://localhost:8080] [-json] [trace-id]
+//
+// `runs` lists the retained localization runs, newest first. `explain`
+// renders one run's full report — which attributes survived the t_CP cut,
+// the per-layer search and pruning counts, the early stop, and the ranked
+// candidate set with Confidence, Layer and RAPScore. Without a trace-id it
+// explains the most recent run. The trace ID is returned by POST
+// /v1/localize (trace_id field and traceparent response header), so a
+// client that keeps it can always ask the service to explain its answer.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/rapminer/explain"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rapmctl:", err)
+		os.Exit(1)
+	}
+}
+
+const usage = `usage:
+  rapmctl runs    [-addr http://localhost:8080]
+  rapmctl explain [-addr http://localhost:8080] [-json] [trace-id]`
+
+func run(w io.Writer, args []string) error {
+	if len(args) == 0 {
+		return errors.New("missing subcommand\n" + usage)
+	}
+	switch args[0] {
+	case "runs":
+		return runList(w, args[1:])
+	case "explain":
+		return runExplain(w, args[1:])
+	case "help", "-h", "--help":
+		fmt.Fprintln(w, usage)
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q\n%s", args[0], usage)
+	}
+}
+
+// client is the HTTP client used for all fetches; debug endpoints answer
+// from memory, so a short timeout keeps a wrong -addr from hanging.
+var client = &http.Client{Timeout: 10 * time.Second}
+
+// getJSON fetches url and decodes the JSON body into v.
+func getJSON(url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s: %s", url, apiErr.Error)
+		}
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// normalizeAddr accepts host:port shorthand for the -addr flag.
+func normalizeAddr(addr string) string {
+	addr = strings.TrimRight(addr, "/")
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return addr
+}
+
+func runList(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("rapmctl runs", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the serve/monitor instance")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var out struct {
+		Total int               `json:"total"`
+		Runs  []explain.Summary `json:"runs"`
+	}
+	if err := getJSON(normalizeAddr(*addr)+"/debug/runs", &out); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d runs recorded, %d retained\n", out.Total, len(out.Runs))
+	for _, r := range out.Runs {
+		stop := ""
+		if r.EarlyStopped {
+			stop = "  early-stop"
+		}
+		fmt.Fprintf(w, "%s  %s  %-8s %-10s %4d/%d anomalous  %d candidates  %.2f ms%s\n",
+			r.TraceID, r.Time.Format(time.RFC3339), r.Source, r.Method,
+			r.AnomalousLeaves, r.Leaves, r.Candidates, r.ElapsedMS, stop)
+	}
+	return nil
+}
+
+func runExplain(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("rapmctl explain", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the serve/monitor instance")
+	asJSON := fs.Bool("json", false, "print the raw report JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := normalizeAddr(*addr)
+
+	traceID := fs.Arg(0)
+	if traceID == "" {
+		// No ID: explain the most recent run.
+		var list struct {
+			Runs []explain.Summary `json:"runs"`
+		}
+		if err := getJSON(base+"/debug/runs", &list); err != nil {
+			return err
+		}
+		if len(list.Runs) == 0 {
+			return errors.New("the service has recorded no localization runs yet")
+		}
+		traceID = list.Runs[0].TraceID
+	}
+
+	var report explain.Report
+	if err := getJSON(base+"/debug/runs/"+traceID, &report); err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	report.Render(w)
+	return nil
+}

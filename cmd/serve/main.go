@@ -1,18 +1,21 @@
 // Command serve exposes anomaly localization over HTTP.
 //
 //	serve [-addr :8080] [-pprof] [-log-level info] [-log-json]
+//	      [-span-capacity 512]
 //
 // Endpoints:
 //
-//	GET  /healthz       liveness probe
-//	GET  /v1/methods    available localization methods
-//	POST /v1/localize   localize a snapshot
-//	POST /v1/observe    stream observations into the tracked monitor
-//	GET  /v1/incidents  incident lifecycle of the tracked monitor
-//	GET  /metrics       Prometheus text-format metrics
-//	GET  /debug/vars    metrics as JSON
-//	GET  /debug/spans   recent trace spans (ring buffer)
-//	GET  /debug/pprof/  Go profiler (only with -pprof)
+//	GET  /healthz          liveness probe
+//	GET  /v1/methods       available localization methods
+//	POST /v1/localize      localize a snapshot
+//	POST /v1/observe       stream observations into the tracked monitor
+//	GET  /v1/incidents     incident lifecycle of the tracked monitor
+//	GET  /metrics          Prometheus text-format metrics
+//	GET  /debug/vars       metrics as JSON
+//	GET  /debug/spans      recent trace spans (?trace=<id>, ?group=trace)
+//	GET  /debug/runs       recent localization runs (explain reports)
+//	GET  /debug/runs/{id}  one run's explain report by trace ID
+//	GET  /debug/pprof/     Go profiler (only with -pprof)
 //
 // POST /v1/localize accepts the Table III snapshot layout as
 // application/json (the kpi JSON document) or text/csv, with query
@@ -21,6 +24,11 @@
 //
 //	curl -X POST --data-binary @snapshot.csv -H 'Content-Type: text/csv' \
 //	     'localhost:8080/v1/localize?method=rapminer&k=3'
+//
+// Requests carrying a W3C traceparent header join that trace; the
+// response's traceparent and trace_id name the run, whose span tree and
+// explain report stay fetchable at /debug/spans?trace=<id> and
+// /debug/runs/<id> (rendered readably by `rapmctl explain <id>`).
 //
 // Logs are structured (text by default, JSON with -log-json) and every
 // line carries a component attribute; see the README's "Operating in
@@ -64,6 +72,7 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		logLevel        = fs.String("log-level", "info", "log level: debug, info, warn, error")
 		logJSON         = fs.Bool("log-json", false, "log JSON instead of text")
 		shutdownTimeout = fs.Duration("shutdown-timeout", 5*time.Second, "graceful shutdown deadline")
+		spanCapacity    = fs.Int("span-capacity", obs.DefaultSpanCapacity, "trace spans retained for /debug/spans")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +83,9 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 	}
 	obs.ConfigureLogging(os.Stderr, level, *logJSON)
 	log := obs.Logger("serve")
+	obs.ConfigureDefaultSpanRing(*spanCapacity)
+	// Sample Go runtime health (goroutines, heap, GC) for /metrics.
+	obs.StartRuntimeCollector(ctx, nil, 0)
 
 	mux := http.NewServeMux()
 	mux.Handle("/", httpapi.NewHandler())

@@ -27,6 +27,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/rapminer"
+	"repro/internal/rapminer/explain"
 )
 
 // maxBodyBytes bounds request snapshots (a dense Table I CDN snapshot in
@@ -68,8 +69,9 @@ func MethodNames() []string {
 
 // api carries the service's observability plumbing into the handlers.
 type api struct {
-	reg *obs.Registry
-	log *slog.Logger
+	reg  *obs.Registry
+	log  *slog.Logger
+	runs *explain.Store
 }
 
 // NewHandler builds the service's HTTP routes against the default metrics
@@ -92,7 +94,7 @@ func NewHandlerObs(reg *obs.Registry, log *slog.Logger) http.Handler {
 	if log == nil {
 		log = obs.Logger("httpapi")
 	}
-	a := &api{reg: reg, log: log}
+	a := &api{reg: reg, log: log, runs: explain.Default()}
 	// Expose the full metric schema at zero from the first scrape, before
 	// any localization or incident has happened.
 	rapminer.RegisterMetrics(reg)
@@ -101,12 +103,14 @@ func NewHandlerObs(reg *obs.Registry, log *slog.Logger) http.Handler {
 	mux.HandleFunc("GET /healthz", handleHealthz)
 	mux.HandleFunc("GET /v1/methods", handleMethods)
 	mux.HandleFunc("POST /v1/localize", a.handleLocalize)
-	monitor := newMonitorAPI(reg)
+	monitor := newMonitorAPI(reg, a.runs)
 	mux.HandleFunc("POST /v1/observe", monitor.handleObserve)
 	mux.HandleFunc("GET /v1/incidents", monitor.handleIncidents)
 	mux.Handle("GET /metrics", reg.Handler())
 	mux.Handle("GET /debug/vars", reg.VarsHandler())
 	mux.Handle("GET /debug/spans", obs.SpansHandler())
+	mux.Handle("GET /debug/runs", a.runs.RunsHandler())
+	mux.Handle("GET /debug/runs/{id}", a.runs.RunHandler())
 	return instrument(reg, log, mux)
 }
 
@@ -120,6 +124,8 @@ func handleMethods(w http.ResponseWriter, _ *http.Request) {
 
 // localizeResponse is the POST /v1/localize reply.
 type localizeResponse struct {
+	// TraceID keys the run's spans and explain report under /debug.
+	TraceID   string            `json:"trace_id"`
 	Method    string            `json:"method"`
 	K         int               `json:"k"`
 	Anomalous int               `json:"anomalous_leaves"`
@@ -190,15 +196,26 @@ func (a *api) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	_, span := obs.StartSpan(r.Context(), "httpapi.localize")
+	ctx, span := obs.StartSpan(r.Context(), "httpapi.localize")
 	defer span.End()
 	span.SetAttr("method", methodName)
 	span.SetAttr("leaves", snap.Len())
 	start := time.Now()
 	var res localize.Result
 	// Diagnostic-capable localizers additionally publish the run's search
-	// statistics (the paper's pruning telemetry) to the registry.
-	if dl, ok := m.(rapminer.DiagnosticLocalizer); ok {
+	// statistics (the paper's pruning telemetry) to the registry, and
+	// journal the run as an explain report keyed by the request's trace
+	// ID (fetch it at /debug/runs/{trace-id} or with `rapmctl explain`).
+	if dl, ok := m.(rapminer.TracedLocalizer); ok {
+		var diag rapminer.Diagnostics
+		res, diag, err = dl.LocalizeWithDiagnosticsContext(ctx, snap, k)
+		if err == nil {
+			rapminer.PublishDiagnostics(a.reg, diag)
+			span.SetAttr("cuboids_visited", diag.CuboidsVisited)
+			a.runs.Put(explain.New(span.TraceID(), "httpapi", m.Name(),
+				snap, k, diag, time.Since(start)))
+		}
+	} else if dl, ok := m.(rapminer.DiagnosticLocalizer); ok {
 		var diag rapminer.Diagnostics
 		res, diag, err = dl.LocalizeWithDiagnostics(snap, k)
 		if err == nil {
@@ -214,6 +231,7 @@ func (a *api) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := localizeResponse{
+		TraceID:   span.TraceID(),
 		Method:    m.Name(),
 		K:         k,
 		Anomalous: snap.NumAnomalous(),

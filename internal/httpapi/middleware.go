@@ -8,11 +8,20 @@ import (
 	"repro/internal/obs"
 )
 
+// TraceparentHeader is the W3C Trace Context header the middleware accepts
+// on requests and emits on responses, carrying the request's trace ID so
+// clients can fetch the run's spans (/debug/spans?trace=...) and explain
+// report (/debug/runs/{trace-id}) afterwards.
+const TraceparentHeader = "traceparent"
+
 // instrument wraps the route mux with the service's observability
-// middleware: request counting by method/route/status class, a request
-// latency histogram, an in-flight gauge, and one structured log line per
-// request. Metric label cardinality is bounded by using the matched route
-// pattern (never the raw URL path).
+// middleware: trace propagation (a valid incoming traceparent joins its
+// trace, anything else starts a fresh one; the response always carries the
+// request's traceparent), one "http.request" root span per request,
+// request counting by method/route/status class, a request latency
+// histogram, an in-flight gauge, and one structured log line per request.
+// Metric label cardinality is bounded by using the matched route pattern
+// (never the raw URL path).
 func instrument(reg *obs.Registry, log *slog.Logger, next http.Handler) http.Handler {
 	inflight := reg.Gauge("http_inflight_requests",
 		"Requests currently being served.")
@@ -24,6 +33,19 @@ func instrument(reg *obs.Registry, log *slog.Logger, next http.Handler) http.Han
 		inflight.Inc()
 		defer inflight.Dec()
 
+		tc, err := obs.ParseTraceparent(r.Header.Get(TraceparentHeader))
+		if err != nil {
+			// Absent or malformed: start a fresh trace rather than
+			// rejecting — tracing must never fail a request.
+			tc = obs.NewTraceContext()
+		}
+		ctx, span := obs.StartSpan(obs.ContextWithTrace(r.Context(), tc), "http.request")
+		r = r.WithContext(ctx)
+		// The response traceparent names this request's root span so a
+		// calling service can link its own child spans under it.
+		w.Header().Set(TraceparentHeader,
+			obs.TraceContext{TraceID: span.TraceID(), SpanID: span.SpanID(), Sampled: true}.Traceparent())
+
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
 		elapsed := time.Since(start)
@@ -34,6 +56,9 @@ func instrument(reg *obs.Registry, log *slog.Logger, next http.Handler) http.Han
 		if route == "" {
 			route = "none"
 		}
+		span.SetAttr("route", route)
+		span.SetAttr("status", rec.status)
+		span.End()
 		reg.Counter("http_requests_total",
 			"Requests served by method, matched route, and status class.",
 			"method", r.Method, "route", route, "class", statusClass(rec.status)).Inc()
@@ -43,6 +68,7 @@ func instrument(reg *obs.Registry, log *slog.Logger, next http.Handler) http.Han
 
 		log.LogAttrs(r.Context(), slog.LevelInfo, "request",
 			slog.String("method", r.Method),
+			slog.String("trace_id", span.TraceID()),
 			slog.String("path", r.URL.Path),
 			slog.String("route", route),
 			slog.Int("status", rec.status),

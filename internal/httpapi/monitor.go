@@ -13,6 +13,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/rapminer"
+	"repro/internal/rapminer/explain"
 	"repro/internal/timeseries"
 )
 
@@ -23,6 +24,7 @@ import (
 // actual values.
 type monitorAPI struct {
 	reg     *obs.Registry
+	runs    *explain.Store
 	mu      sync.Mutex
 	tracked *pipeline.TrackedMonitor
 	schema  *kpi.Schema
@@ -30,8 +32,11 @@ type monitorAPI struct {
 }
 
 // newMonitorAPI builds the endpoints around the default pipeline
-// configuration, publishing the monitor's metrics to reg.
-func newMonitorAPI(reg *obs.Registry) *monitorAPI { return &monitorAPI{reg: reg} }
+// configuration, publishing the monitor's metrics to reg and its explain
+// reports to runs.
+func newMonitorAPI(reg *obs.Registry, runs *explain.Store) *monitorAPI {
+	return &monitorAPI{reg: reg, runs: runs}
+}
 
 // init lazily assembles the monitor from the first observation's schema.
 func (m *monitorAPI) init(schema *kpi.Schema) error {
@@ -42,6 +47,7 @@ func (m *monitorAPI) init(schema *kpi.Schema) error {
 	cfg := pipeline.DefaultConfig(anomaly.RelativeDeviation{Threshold: 0.3, Eps: 1e-9}, miner)
 	cfg.AlarmThreshold = 0.01
 	cfg.Registry = m.reg
+	cfg.Runs = m.runs
 	monitor, err := pipeline.New(cfg)
 	if err != nil {
 		return err
@@ -130,7 +136,9 @@ func (m *monitorAPI) handleObserve(w http.ResponseWriter, r *http.Request) {
 		// tracker compares schema identity.
 		snap = &kpi.Snapshot{Schema: m.schema, Leaves: snap.Leaves}
 	}
-	ev, err := m.tracked.Process(ts, snap)
+	// The request's trace context flows into the pipeline, so a tick
+	// that localizes journals its run under the request's trace ID.
+	ev, err := m.tracked.ProcessContext(r.Context(), ts, snap)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return

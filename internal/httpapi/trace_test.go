@@ -1,0 +1,233 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/anomaly"
+	"repro/internal/kpi"
+	"repro/internal/obs"
+	"repro/internal/rapminer"
+	"repro/internal/rapminer/explain"
+)
+
+const incomingTraceparent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+// postLocalizeTraced POSTs sampleCSV to /v1/localize with the given
+// traceparent header (empty = none) and returns the response.
+func postLocalizeTraced(t *testing.T, srv *httptest.Server, header string) (*http.Response, localizeResponse) {
+	t.Helper()
+	req, err := http.NewRequest("POST", srv.URL+"/v1/localize", strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	if header != "" {
+		req.Header.Set(TraceparentHeader, header)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out localizeResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+func TestTraceparentPropagation(t *testing.T) {
+	srv := newServer(t)
+
+	// A valid incoming traceparent is adopted: the request joins the
+	// caller's trace, and the response header names a server-side span in
+	// that same trace.
+	resp, out := postLocalizeTraced(t, srv, incomingTraceparent)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	echoed, err := obs.ParseTraceparent(resp.Header.Get(TraceparentHeader))
+	if err != nil {
+		t.Fatalf("response traceparent invalid: %v", err)
+	}
+	if echoed.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("response trace ID = %q, want the caller's", echoed.TraceID)
+	}
+	if echoed.SpanID == "00f067aa0ba902b7" {
+		t.Error("response span ID should name the server's span, not echo the caller's")
+	}
+	if out.TraceID != echoed.TraceID {
+		t.Errorf("body trace_id = %q, header trace ID = %q", out.TraceID, echoed.TraceID)
+	}
+
+	// The request's internal spans all joined that trace and form a tree:
+	// http.request -> httpapi.localize -> rapminer stages.
+	names := map[string]obs.SpanRecord{}
+	for _, sp := range obs.RecentSpans() {
+		if sp.TraceID == echoed.TraceID {
+			names[sp.Name] = sp
+		}
+	}
+	for _, want := range []string{"http.request", "httpapi.localize", "rapminer.attribute_deletion", "rapminer.search"} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("span %q missing from trace %s", want, echoed.TraceID)
+		}
+	}
+	if root, ok := names["http.request"]; ok {
+		if root.ParentID != "00f067aa0ba902b7" {
+			t.Errorf("http.request parent = %q, want the caller's span ID", root.ParentID)
+		}
+		if loc, ok := names["httpapi.localize"]; ok && loc.ParentID != root.SpanID {
+			t.Errorf("httpapi.localize parent = %q, want http.request span %q", loc.ParentID, root.SpanID)
+		}
+	}
+}
+
+func TestTraceparentMalformedGetsFreshTrace(t *testing.T) {
+	srv := newServer(t)
+	for _, bad := range []string{
+		"garbage",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+	} {
+		resp, out := postLocalizeTraced(t, srv, bad)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("malformed traceparent %q failed the request: %d", bad, resp.StatusCode)
+		}
+		tc, err := obs.ParseTraceparent(resp.Header.Get(TraceparentHeader))
+		if err != nil {
+			t.Fatalf("response to %q has invalid traceparent: %v", bad, err)
+		}
+		if tc.TraceID == "4bf92f3577b34da6a3ce929d0e0e4736" || tc.TraceID == "" {
+			t.Errorf("malformed %q: trace ID %q not freshly generated", bad, tc.TraceID)
+		}
+		if out.TraceID != tc.TraceID {
+			t.Errorf("body/header trace mismatch: %q vs %q", out.TraceID, tc.TraceID)
+		}
+	}
+}
+
+func TestTraceparentUniquePerRequest(t *testing.T) {
+	srv := newServer(t)
+	seen := make(map[string]bool)
+	for i := 0; i < 5; i++ {
+		resp, out := postLocalizeTraced(t, srv, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		if out.TraceID == "" || seen[out.TraceID] {
+			t.Fatalf("request %d: trace ID %q not unique", i, out.TraceID)
+		}
+		seen[out.TraceID] = true
+	}
+}
+
+// TestExplainReportEndToEnd is the acceptance path: localize with a
+// traceparent, fetch /debug/runs/{trace-id}, and check the report against
+// LocalizeWithDiagnostics on the same snapshot.
+func TestExplainReportEndToEnd(t *testing.T) {
+	srv := newServer(t)
+
+	resp, out := postLocalizeTraced(t, srv, incomingTraceparent)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("localize status = %d", resp.StatusCode)
+	}
+
+	runResp, err := http.Get(srv.URL + "/debug/runs/" + out.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runResp.Body.Close()
+	if runResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/runs/%s = %d", out.TraceID, runResp.StatusCode)
+	}
+	var report explain.Report
+	if err := json.NewDecoder(runResp.Body).Decode(&report); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reproduce the server's run: same CSV, same default labeling, same
+	// miner config, same default k.
+	snap, err := kpi.ReadCSV(strings.NewReader(sampleCSV), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anomaly.Label(snap, anomaly.DefaultRelativeDeviation())
+	m := rapminer.MustNew(rapminer.DefaultConfig())
+	res, diag, err := m.LocalizeWithDiagnostics(snap, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if report.TraceID != out.TraceID || report.Source != "httpapi" || report.K != 3 {
+		t.Errorf("report header = %+v", report)
+	}
+	if report.Leaves != snap.Len() || report.AnomalousLeaves != snap.NumAnomalous() {
+		t.Errorf("report counts %d/%d, want %d/%d",
+			report.AnomalousLeaves, report.Leaves, snap.NumAnomalous(), snap.Len())
+	}
+
+	// Kept attributes agree with Algorithm 1 on the same snapshot.
+	kept := make(map[int]bool)
+	for _, a := range diag.KeptAttributes {
+		kept[a] = true
+	}
+	if len(report.Attributes) != len(diag.CPs) {
+		t.Fatalf("report has %d attribute verdicts, want %d", len(report.Attributes), len(diag.CPs))
+	}
+	for _, v := range report.Attributes {
+		if v.Kept != kept[v.Attr] {
+			t.Errorf("attribute %s kept = %v, local run says %v", v.Name, v.Kept, kept[v.Attr])
+		}
+	}
+
+	// Per-layer counts agree with Algorithm 2 on the same snapshot.
+	if len(report.Layers) != len(diag.Layers) {
+		t.Fatalf("report has %d layers, want %d", len(report.Layers), len(diag.Layers))
+	}
+	for i, l := range report.Layers {
+		if l != diag.Layers[i] {
+			t.Errorf("layer %d = %+v, local run says %+v", i+1, l, diag.Layers[i])
+		}
+	}
+	if report.CuboidsVisited != diag.CuboidsVisited || report.CombinationsScanned != diag.CombinationsScanned {
+		t.Errorf("report totals (%d, %d), local run (%d, %d)",
+			report.CuboidsVisited, report.CombinationsScanned, diag.CuboidsVisited, diag.CombinationsScanned)
+	}
+
+	// Ranked candidates agree: combination, confidence, layer, RAPScore.
+	if len(report.Candidates) != len(diag.CandidateSet) {
+		t.Fatalf("report has %d candidates, want %d", len(report.Candidates), len(diag.CandidateSet))
+	}
+	for i, c := range report.Candidates {
+		want := diag.CandidateSet[i]
+		got := "(" + strings.Join(c.Combination, ", ") + ")"
+		if got != want.Combo.Format(snap.Schema) {
+			t.Errorf("candidate %d = %s, local run says %s", i, got, want.Combo.Format(snap.Schema))
+		}
+		if math.Abs(c.Confidence-want.Confidence) > 1e-12 || c.Layer != want.Layer ||
+			math.Abs(c.RAPScore-want.RAPScore) > 1e-12 {
+			t.Errorf("candidate %d = %+v, local run says %+v", i, c, want)
+		}
+		if c.Returned != (i < len(res.Patterns)) {
+			t.Errorf("candidate %d Returned = %v", i, c.Returned)
+		}
+	}
+
+	// The response patterns match the report's returned candidates.
+	if len(out.Patterns) == 0 || len(out.Patterns) > len(report.Candidates) {
+		t.Fatalf("response has %d patterns, report %d candidates", len(out.Patterns), len(report.Candidates))
+	}
+	for i, p := range out.Patterns {
+		if strings.Join(p.Combination, ",") != strings.Join(report.Candidates[i].Combination, ",") {
+			t.Errorf("response pattern %d = %v, report says %v", i, p.Combination, report.Candidates[i].Combination)
+		}
+	}
+}

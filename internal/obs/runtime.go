@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"context"
+	"runtime"
+	"time"
+)
+
+// Go runtime telemetry: a sampling collector that exports goroutine count,
+// heap usage, and GC activity into a Registry, so operator dashboards see
+// the process's health next to the miner's own metrics. Long-running
+// commands (serve, monitor) start one collector on the default registry.
+
+// Runtime metric names exported by the collector.
+const (
+	MetricGoroutines       = "go_goroutines"
+	MetricHeapAllocBytes   = "go_heap_alloc_bytes"
+	MetricHeapObjects      = "go_heap_objects"
+	MetricGCCycles         = "go_gc_cycles_total"
+	MetricGCPauseSeconds   = "go_gc_pause_seconds"
+	MetricRuntimeCollected = "go_runtime_samples_total"
+)
+
+// gcPauseBuckets cover the realistic Go GC stop-the-world range, from
+// microseconds to the pathological hundreds of milliseconds.
+var gcPauseBuckets = []float64{1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5}
+
+// RuntimeCollector samples the Go runtime into a registry.
+type RuntimeCollector struct {
+	goroutines *Gauge
+	heapBytes  *Gauge
+	heapObjs   *Gauge
+	gcCycles   *Counter
+	gcPause    *Histogram
+	samples    *Counter
+
+	// lastNumGC is the NumGC high-water mark already exported, so each GC
+	// cycle's pause is observed exactly once.
+	lastNumGC uint32
+}
+
+// NewRuntimeCollector registers the runtime metric families on reg (nil
+// means the default registry) — exposing them at zero immediately — and
+// returns a collector ready to sample.
+func NewRuntimeCollector(reg *Registry) *RuntimeCollector {
+	if reg == nil {
+		reg = Default()
+	}
+	return &RuntimeCollector{
+		goroutines: reg.Gauge(MetricGoroutines, "Number of live goroutines."),
+		heapBytes:  reg.Gauge(MetricHeapAllocBytes, "Bytes of allocated heap objects."),
+		heapObjs:   reg.Gauge(MetricHeapObjects, "Number of allocated heap objects."),
+		gcCycles:   reg.Counter(MetricGCCycles, "Completed GC cycles."),
+		gcPause: reg.Histogram(MetricGCPauseSeconds,
+			"Stop-the-world GC pause durations.", gcPauseBuckets),
+		samples: reg.Counter(MetricRuntimeCollected, "Runtime telemetry samples taken."),
+	}
+}
+
+// Collect takes one sample: gauges are set to the current values, GC
+// cycles completed since the previous sample are counted and their pauses
+// observed into the histogram.
+func (c *RuntimeCollector) Collect() {
+	c.goroutines.Set(float64(runtime.NumGoroutine()))
+
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	c.heapBytes.Set(float64(m.HeapAlloc))
+	c.heapObjs.Set(float64(m.HeapObjects))
+
+	if n := m.NumGC - c.lastNumGC; n > 0 {
+		c.gcCycles.Add(float64(n))
+		// PauseNs is a circular buffer of the last 256 pauses; if more
+		// cycles than that elapsed between samples the overwritten ones
+		// are lost (the cycle counter still advances by the full n).
+		if n > uint32(len(m.PauseNs)) {
+			n = uint32(len(m.PauseNs))
+		}
+		for i := uint32(0); i < n; i++ {
+			pause := m.PauseNs[(m.NumGC-i+255)%256]
+			c.gcPause.Observe(float64(pause) / 1e9)
+		}
+		c.lastNumGC = m.NumGC
+	}
+	c.samples.Inc()
+}
+
+// DefaultRuntimeInterval is the sampling period commands use.
+const DefaultRuntimeInterval = 10 * time.Second
+
+// StartRuntimeCollector registers the runtime metrics on reg (nil means
+// the default registry), takes an immediate first sample, and samples
+// every interval (<= 0 means DefaultRuntimeInterval) until ctx is
+// canceled.
+func StartRuntimeCollector(ctx context.Context, reg *Registry, interval time.Duration) *RuntimeCollector {
+	if interval <= 0 {
+		interval = DefaultRuntimeInterval
+	}
+	c := NewRuntimeCollector(reg)
+	c.Collect()
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				c.Collect()
+			}
+		}
+	}()
+	return c
+}

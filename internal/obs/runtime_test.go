@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestRuntimeCollectorCollect(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg)
+	c.Collect()
+
+	if v := reg.Gauge(MetricGoroutines, "").Value(); v < 1 {
+		t.Errorf("goroutines = %v, want >= 1", v)
+	}
+	if v := reg.Gauge(MetricHeapAllocBytes, "").Value(); v <= 0 {
+		t.Errorf("heap bytes = %v, want > 0", v)
+	}
+	if v := reg.Counter(MetricRuntimeCollected, "").Value(); v != 1 {
+		t.Errorf("samples = %v, want 1", v)
+	}
+
+	// Force GC cycles between samples; the counter must advance and the
+	// pause histogram must record them.
+	before := reg.Counter(MetricGCCycles, "").Value()
+	runtime.GC()
+	runtime.GC()
+	c.Collect()
+	after := reg.Counter(MetricGCCycles, "").Value()
+	if after < before+2 {
+		t.Errorf("gc cycles %v -> %v, want +2", before, after)
+	}
+	if n := reg.Histogram(MetricGCPauseSeconds, "", nil).Count(); n < 2 {
+		t.Errorf("gc pause observations = %d, want >= 2", n)
+	}
+
+	// Collecting again without GC activity must not double-count cycles.
+	mid := reg.Counter(MetricGCCycles, "").Value()
+	c.Collect()
+	if v := reg.Counter(MetricGCCycles, "").Value(); v != mid {
+		t.Errorf("gc cycles moved %v -> %v without GC", mid, v)
+	}
+}
+
+func TestStartRuntimeCollectorSamplesUntilCanceled(t *testing.T) {
+	reg := NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	StartRuntimeCollector(ctx, reg, time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Counter(MetricRuntimeCollected, "").Value() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("collector took only %v samples in 2s",
+				reg.Counter(MetricRuntimeCollected, "").Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	// After cancellation sampling stops.
+	time.Sleep(5 * time.Millisecond)
+	stopped := reg.Counter(MetricRuntimeCollected, "").Value()
+	time.Sleep(20 * time.Millisecond)
+	if v := reg.Counter(MetricRuntimeCollected, "").Value(); v != stopped {
+		t.Errorf("collector still sampling after cancel: %v -> %v", stopped, v)
+	}
+}

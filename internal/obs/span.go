@@ -6,37 +6,65 @@ import (
 	"log/slog"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Span tracing: StartSpan opens a named region, End closes it. Ended spans
-// are (a) observed into the span_duration_seconds histogram of the Default
-// registry, (b) logged at debug level through the "trace" component logger,
-// and (c) appended to an in-memory ring buffer served over HTTP for
-// post-hoc inspection without a tracing backend.
+// Span tracing: StartSpan opens a named region, End closes it. Every span
+// belongs to a trace — inherited from the context (an enclosing span or an
+// attached TraceContext) or freshly generated for a root span — so the
+// spans of one localization run form a tree reassemblable by trace ID.
+// Ended spans are (a) observed into the span_duration_seconds histogram of
+// the Default registry, (b) logged at debug level through the "trace"
+// component logger, and (c) appended to an in-memory ring buffer served
+// over HTTP for post-hoc inspection without a tracing backend.
 
-// spanCtxKey carries the active span through a context for parent naming.
+// spanCtxKey carries the active span through a context for parent linking.
 type spanCtxKey struct{}
 
 // Span is one timed region. Not safe for concurrent use; a span belongs to
 // the goroutine that started it.
 type Span struct {
-	name   string
-	parent string
-	start  time.Time
-	attrs  []slog.Attr
-	ended  bool
+	name     string
+	parent   string // parent span name, for the log line
+	traceID  string
+	spanID   string
+	parentID string
+	start    time.Time
+	attrs    []slog.Attr
+	ended    bool
 }
 
 // StartSpan opens a span and returns a derived context carrying it, so
-// child spans record their parent's name.
+// child spans join the same trace and record their parent. The trace ID is
+// taken from the enclosing span, else from a TraceContext attached with
+// ContextWithTrace, else freshly generated (the span becomes a trace root).
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
-	s := &Span{name: name, start: time.Now()}
-	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok {
-		s.parent = parent.name
+	s := &Span{name: name, spanID: NewSpanID(), start: time.Now()}
+	switch {
+	case ctx == nil:
+		ctx = context.Background()
+		s.traceID = NewTraceID()
+	default:
+		if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok {
+			s.parent = parent.name
+			s.traceID = parent.traceID
+			s.parentID = parent.spanID
+		} else if tc, ok := ctx.Value(traceCtxKey{}).(TraceContext); ok && tc.TraceID != "" {
+			s.traceID = tc.TraceID
+			s.parentID = tc.SpanID
+		} else {
+			s.traceID = NewTraceID()
+		}
 	}
 	return context.WithValue(ctx, spanCtxKey{}, s), s
 }
+
+// TraceID returns the span's 32-hex-character trace ID.
+func (s *Span) TraceID() string { return s.traceID }
+
+// SpanID returns the span's 16-hex-character ID.
+func (s *Span) SpanID() string { return s.spanID }
 
 // SetAttr annotates the span with a key/value pair carried into the log
 // record and the ring buffer.
@@ -60,6 +88,9 @@ func (s *Span) End() {
 	rec := SpanRecord{
 		Name:       s.name,
 		Parent:     s.parent,
+		TraceID:    s.traceID,
+		SpanID:     s.spanID,
+		ParentID:   s.parentID,
 		Start:      s.start.UTC(),
 		DurationMS: float64(elapsed.Microseconds()) / 1000,
 	}
@@ -69,10 +100,13 @@ func (s *Span) End() {
 			rec.Attrs[a.Key] = a.Value.Any()
 		}
 	}
-	defaultSpanRing.append(rec)
+	if DefaultSpanRing().append(rec) {
+		droppedSpans().Inc()
+	}
 
 	logAttrs := append([]slog.Attr{
 		slog.String("span", s.name),
+		slog.String("trace_id", s.traceID),
 		slog.Duration("elapsed", elapsed),
 	}, s.attrs...)
 	if s.parent != "" {
@@ -81,11 +115,20 @@ func (s *Span) End() {
 	Logger("trace").LogAttrs(context.Background(), slog.LevelDebug, "span", logAttrs...)
 }
 
+// droppedSpans is the exported eviction counter of the default ring.
+func droppedSpans() *Counter {
+	return Default().Counter("spans_dropped_total",
+		"Spans evicted from the default span ring because it wrapped.")
+}
+
 // SpanRecord is one completed span as stored in the ring and served over
 // HTTP.
 type SpanRecord struct {
 	Name       string         `json:"name"`
 	Parent     string         `json:"parent,omitempty"`
+	TraceID    string         `json:"trace_id"`
+	SpanID     string         `json:"span_id"`
+	ParentID   string         `json:"parent_id,omitempty"`
 	Start      time.Time      `json:"start"`
 	DurationMS float64        `json:"duration_ms"`
 	Attrs      map[string]any `json:"attrs,omitempty"`
@@ -93,17 +136,35 @@ type SpanRecord struct {
 
 // SpanRing is a fixed-capacity ring of the most recent completed spans.
 type SpanRing struct {
-	mu    sync.Mutex
-	buf   []SpanRecord
-	next  int
-	total int
+	mu      sync.Mutex
+	buf     []SpanRecord
+	next    int
+	total   int
+	dropped int
 }
 
 // DefaultSpanCapacity bounds the default ring; roughly a few minutes of
 // traffic at production rates, and small enough to dump over HTTP.
 const DefaultSpanCapacity = 512
 
-var defaultSpanRing = NewSpanRing(DefaultSpanCapacity)
+var defaultSpanRing atomic.Pointer[SpanRing]
+
+func init() {
+	defaultSpanRing.Store(NewSpanRing(DefaultSpanCapacity))
+}
+
+// DefaultSpanRing returns the process-wide ring that StartSpan publishes
+// into and SpansHandler serves.
+func DefaultSpanRing() *SpanRing { return defaultSpanRing.Load() }
+
+// ConfigureDefaultSpanRing replaces the default ring with a fresh one of
+// the given capacity (commands call it once at startup, before traffic;
+// previously buffered spans are discarded). It returns the new ring.
+func ConfigureDefaultSpanRing(capacity int) *SpanRing {
+	r := NewSpanRing(capacity)
+	defaultSpanRing.Store(r)
+	return r
+}
 
 // NewSpanRing builds a ring holding the last capacity spans.
 func NewSpanRing(capacity int) *SpanRing {
@@ -113,16 +174,20 @@ func NewSpanRing(capacity int) *SpanRing {
 	return &SpanRing{buf: make([]SpanRecord, 0, capacity)}
 }
 
-func (r *SpanRing) append(rec SpanRecord) {
+// append stores rec, reporting whether an older span was evicted.
+func (r *SpanRing) append(rec SpanRecord) (evicted bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, rec)
 	} else {
 		r.buf[r.next] = rec
+		evicted = true
+		r.dropped++
 	}
 	r.next = (r.next + 1) % cap(r.buf)
 	r.total++
+	return evicted
 }
 
 // Recent returns the buffered spans, newest first.
@@ -143,19 +208,73 @@ func (r *SpanRing) Total() int {
 	return r.total
 }
 
+// Dropped returns how many spans were evicted because the ring wrapped.
+func (r *SpanRing) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
 // RecentSpans returns the default ring's spans, newest first.
-func RecentSpans() []SpanRecord { return defaultSpanRing.Recent() }
+func RecentSpans() []SpanRecord { return DefaultSpanRing().Recent() }
+
+// spanTrace is one trace's spans in the grouped /debug/spans view.
+type spanTrace struct {
+	TraceID string       `json:"trace_id"`
+	Spans   []SpanRecord `json:"spans"`
+}
 
 // SpansHandler serves the default ring as JSON (mount at GET /debug/spans):
-// {"total": N, "spans": [...]} with spans newest first.
+// {"total": N, "dropped": D, "spans": [...]} with spans newest first.
+// ?trace=<id> restricts the output to one trace; ?group=trace replaces the
+// flat list with {"traces": [...]}, each trace's spans oldest first so the
+// tree reads top-down, traces ordered by most recent activity.
 func SpansHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ring := DefaultSpanRing()
+		spans := ring.Recent()
+		if want := r.URL.Query().Get("trace"); want != "" {
+			filtered := spans[:0]
+			for _, s := range spans {
+				if s.TraceID == want {
+					filtered = append(filtered, s)
+				}
+			}
+			spans = filtered
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
+		if r.URL.Query().Get("group") == "trace" {
+			_ = enc.Encode(struct {
+				Total   int         `json:"total"`
+				Dropped int         `json:"dropped"`
+				Traces  []spanTrace `json:"traces"`
+			}{Total: ring.Total(), Dropped: ring.Dropped(), Traces: groupByTrace(spans)})
+			return
+		}
 		_ = enc.Encode(struct {
-			Total int          `json:"total"`
-			Spans []SpanRecord `json:"spans"`
-		}{Total: defaultSpanRing.Total(), Spans: RecentSpans()})
+			Total   int          `json:"total"`
+			Dropped int          `json:"dropped"`
+			Spans   []SpanRecord `json:"spans"`
+		}{Total: ring.Total(), Dropped: ring.Dropped(), Spans: spans})
 	})
+}
+
+// groupByTrace buckets newest-first spans by trace ID, preserving recency
+// order across traces and flipping each trace's spans oldest-first.
+func groupByTrace(spans []SpanRecord) []spanTrace {
+	idx := make(map[string]int)
+	out := make([]spanTrace, 0)
+	for _, s := range spans {
+		i, ok := idx[s.TraceID]
+		if !ok {
+			i = len(out)
+			idx[s.TraceID] = i
+			out = append(out, spanTrace{TraceID: s.TraceID})
+		}
+		// Prepend: input is newest first, each trace reads oldest first.
+		out[i].Spans = append([]SpanRecord{s}, out[i].Spans...)
+	}
+	return out
 }

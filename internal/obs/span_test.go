@@ -107,3 +107,136 @@ func TestSpansHandler(t *testing.T) {
 		t.Errorf("handler output = %+v", out)
 	}
 }
+
+func TestSpanTraceInheritance(t *testing.T) {
+	// Root span with no trace in context: fresh IDs.
+	ctx, root := StartSpan(context.Background(), "trace.root")
+	if !isLowerHex(root.TraceID(), 32) || !isLowerHex(root.SpanID(), 16) {
+		t.Fatalf("root IDs = %q / %q", root.TraceID(), root.SpanID())
+	}
+
+	// Child inherits the trace ID and records the parent span ID.
+	cctx, child := StartSpan(ctx, "trace.child")
+	_, grandchild := StartSpan(cctx, "trace.grandchild")
+	grandchild.End()
+	child.End()
+	root.End()
+
+	if child.TraceID() != root.TraceID() || grandchild.TraceID() != root.TraceID() {
+		t.Errorf("trace IDs differ: root %q child %q grandchild %q",
+			root.TraceID(), child.TraceID(), grandchild.TraceID())
+	}
+
+	recent := RecentSpans()
+	byID := make(map[string]SpanRecord)
+	for _, s := range recent {
+		byID[s.SpanID] = s
+	}
+	if got := byID[child.SpanID()]; got.ParentID != root.SpanID() {
+		t.Errorf("child parent ID = %q, want %q", got.ParentID, root.SpanID())
+	}
+	if got := byID[grandchild.SpanID()]; got.ParentID != child.SpanID() {
+		t.Errorf("grandchild parent ID = %q, want %q", got.ParentID, child.SpanID())
+	}
+	if got := byID[root.SpanID()]; got.ParentID != "" {
+		t.Errorf("root parent ID = %q, want empty", got.ParentID)
+	}
+
+	// A span under an attached TraceContext joins that trace as a child
+	// of the remote parent.
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true}
+	_, s := StartSpan(ContextWithTrace(context.Background(), tc), "trace.remote")
+	if s.TraceID() != tc.TraceID {
+		t.Errorf("span trace = %q, want %q", s.TraceID(), tc.TraceID)
+	}
+	s.End()
+	if got := RecentSpans()[0]; got.ParentID != tc.SpanID {
+		t.Errorf("remote parent ID = %q, want %q", got.ParentID, tc.SpanID)
+	}
+}
+
+func TestSpanRingDroppedCounter(t *testing.T) {
+	r := NewSpanRing(2)
+	for i := 0; i < 5; i++ {
+		r.append(SpanRecord{Name: "s"})
+	}
+	if r.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", r.Dropped())
+	}
+
+	// Wrapping the default ring increments spans_dropped_total.
+	prevRing := DefaultSpanRing()
+	defer defaultSpanRing.Store(prevRing)
+	ConfigureDefaultSpanRing(2)
+	before := Default().Counter("spans_dropped_total", "").Value()
+	for i := 0; i < 4; i++ {
+		_, s := StartSpan(context.Background(), "drop.test")
+		s.End()
+	}
+	if got := Default().Counter("spans_dropped_total", "").Value(); got != before+2 {
+		t.Errorf("spans_dropped_total = %v, want %v", got, before+2)
+	}
+	if DefaultSpanRing().Dropped() != 2 {
+		t.Errorf("default ring Dropped = %d, want 2", DefaultSpanRing().Dropped())
+	}
+}
+
+func TestSpansHandlerTraceFilterAndGrouping(t *testing.T) {
+	prevRing := DefaultSpanRing()
+	defer defaultSpanRing.Store(prevRing)
+	ConfigureDefaultSpanRing(64)
+
+	ctx, parent := StartSpan(context.Background(), "group.parent")
+	_, child := StartSpan(ctx, "group.child")
+	child.End()
+	parent.End()
+	_, other := StartSpan(context.Background(), "group.other")
+	other.End()
+
+	// ?trace= filters to one trace.
+	rec := httptest.NewRecorder()
+	SpansHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/spans?trace="+parent.TraceID(), nil))
+	var flat struct {
+		Total   int          `json:"total"`
+		Dropped int          `json:"dropped"`
+		Spans   []SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &flat); err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Spans) != 2 {
+		t.Fatalf("filtered spans = %d, want 2", len(flat.Spans))
+	}
+	for _, s := range flat.Spans {
+		if s.TraceID != parent.TraceID() {
+			t.Errorf("filtered span has trace %q", s.TraceID)
+		}
+	}
+
+	// ?group=trace groups spans per trace, oldest first inside a trace.
+	rec = httptest.NewRecorder()
+	SpansHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/spans?group=trace", nil))
+	var grouped struct {
+		Traces []struct {
+			TraceID string       `json:"trace_id"`
+			Spans   []SpanRecord `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &grouped); err != nil {
+		t.Fatal(err)
+	}
+	if len(grouped.Traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(grouped.Traces))
+	}
+	// Most recent activity first: the "other" trace ended last.
+	if grouped.Traces[0].TraceID != other.TraceID() {
+		t.Errorf("first trace = %q, want %q", grouped.Traces[0].TraceID, other.TraceID())
+	}
+	pt := grouped.Traces[1]
+	if pt.TraceID != parent.TraceID() || len(pt.Spans) != 2 {
+		t.Fatalf("parent trace grouping = %+v", pt)
+	}
+	if pt.Spans[0].Name != "group.child" || pt.Spans[1].Name != "group.parent" {
+		t.Errorf("trace spans order = %q, %q (want oldest first)", pt.Spans[0].Name, pt.Spans[1].Name)
+	}
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Trace context: every localization run (HTTP request or monitor tick) gets
+// a 16-byte trace ID under which all of its spans are grouped, so one run's
+// span tree can be reassembled after the fact. The wire format is the W3C
+// Trace Context `traceparent` header,
+//
+//	00-<32 hex trace-id>-<16 hex parent-span-id>-<2 hex flags>
+//
+// accepted and emitted by the httpapi middleware and generated at the
+// pipeline for monitor-driven runs.
+
+// TraceContext identifies the trace a unit of work belongs to and the span
+// that caused it.
+type TraceContext struct {
+	// TraceID is 32 lowercase hex characters; never all zeros.
+	TraceID string
+	// SpanID is the 16-hex-character ID of the parent (caller) span; empty
+	// for a trace with no recorded parent.
+	SpanID string
+	// Sampled mirrors the traceparent sampled flag.
+	Sampled bool
+}
+
+// traceCtxKey carries a TraceContext through a context.
+type traceCtxKey struct{}
+
+// NewTraceID returns a fresh random 32-hex-character trace ID.
+func NewTraceID() string { return randomHex(16) }
+
+// NewSpanID returns a fresh random 16-hex-character span ID.
+func NewSpanID() string { return randomHex(8) }
+
+// randomHex returns 2n lowercase hex characters from crypto/rand. A zero
+// result is regenerated: all-zero IDs are invalid in the W3C format.
+func randomHex(n int) string {
+	buf := make([]byte, n)
+	for {
+		if _, err := rand.Read(buf); err != nil {
+			panic(fmt.Sprintf("obs: crypto/rand failed: %v", err))
+		}
+		for _, b := range buf {
+			if b != 0 {
+				return hex.EncodeToString(buf)
+			}
+		}
+	}
+}
+
+// NewTraceContext starts a new sampled trace with no parent span.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: NewTraceID(), Sampled: true}
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts the
+// version-00 layout, rejecting unknown versions, malformed fields and
+// all-zero IDs, so a malformed upstream header falls back to a fresh trace
+// instead of poisoning the span tree.
+func ParseTraceparent(header string) (TraceContext, error) {
+	parts := strings.Split(strings.TrimSpace(header), "-")
+	if len(parts) != 4 {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: want 4 dash-separated fields", header)
+	}
+	version, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if version != "00" {
+		return TraceContext{}, fmt.Errorf("obs: traceparent version %q not supported", version)
+	}
+	if !isLowerHex(traceID, 32) || allZero(traceID) {
+		return TraceContext{}, fmt.Errorf("obs: traceparent trace-id %q invalid", traceID)
+	}
+	if !isLowerHex(spanID, 16) || allZero(spanID) {
+		return TraceContext{}, fmt.Errorf("obs: traceparent parent-id %q invalid", spanID)
+	}
+	if !isLowerHex(flags, 2) {
+		return TraceContext{}, fmt.Errorf("obs: traceparent flags %q invalid", flags)
+	}
+	var f byte
+	b, _ := hex.DecodeString(flags)
+	f = b[0]
+	return TraceContext{TraceID: traceID, SpanID: spanID, Sampled: f&1 == 1}, nil
+}
+
+// Traceparent renders the context as a version-00 traceparent header value.
+// An empty SpanID is rendered as a fresh span ID, since the wire format has
+// no empty-parent form.
+func (tc TraceContext) Traceparent() string {
+	spanID := tc.SpanID
+	if spanID == "" {
+		spanID = NewSpanID()
+	}
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return "00-" + tc.TraceID + "-" + spanID + "-" + flags
+}
+
+// ContextWithTrace returns a context carrying tc. Spans started from the
+// result join tc's trace.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext returns the trace context carried by ctx: the active
+// span's trace if one is open, else an explicitly attached TraceContext.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	if ctx == nil {
+		return TraceContext{}, false
+	}
+	if s, ok := ctx.Value(spanCtxKey{}).(*Span); ok {
+		return TraceContext{TraceID: s.traceID, SpanID: s.spanID, Sampled: true}, true
+	}
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok
+}
+
+// TraceIDFromContext returns the trace ID carried by ctx, or "".
+func TraceIDFromContext(ctx context.Context) string {
+	tc, ok := TraceFromContext(ctx)
+	if !ok {
+		return ""
+	}
+	return tc.TraceID
+}
+
+// isLowerHex reports whether s is exactly n lowercase hex characters.
+func isLowerHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// allZero reports whether s consists only of '0'.
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}

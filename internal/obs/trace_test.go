@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestNewTraceIDFormatAndUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 200; i++ {
+		id := NewTraceID()
+		if !isLowerHex(id, 32) || allZero(id) {
+			t.Fatalf("trace ID %q not 32 lowercase hex", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+	spans := make(map[string]bool)
+	for i := 0; i < 200; i++ {
+		id := NewSpanID()
+		if !isLowerHex(id, 16) || allZero(id) {
+			t.Fatalf("span ID %q not 16 lowercase hex", id)
+		}
+		if spans[id] {
+			t.Fatalf("duplicate span ID %q", id)
+		}
+		spans[id] = true
+	}
+}
+
+func TestParseTraceparentValid(t *testing.T) {
+	tc, err := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace ID = %q", tc.TraceID)
+	}
+	if tc.SpanID != "00f067aa0ba902b7" {
+		t.Errorf("span ID = %q", tc.SpanID)
+	}
+	if !tc.Sampled {
+		t.Error("flags 01 should be sampled")
+	}
+
+	// Unsampled flags parse too.
+	tc, err = ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Sampled {
+		t.Error("flags 00 should not be sampled")
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"garbage",
+		"00-short-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-short-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // all-zero trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // all-zero parent
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // unknown version
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // uppercase hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // missing flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz", // bad flags
+	}
+	for _, h := range bad {
+		if _, err := ParseTraceparent(h); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", h)
+		}
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true}
+	got, err := ParseTraceparent(tc.Traceparent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tc {
+		t.Errorf("round trip = %+v, want %+v", got, tc)
+	}
+
+	// An empty parent span ID still renders a valid header.
+	root := NewTraceContext()
+	if !strings.HasPrefix(root.Traceparent(), "00-"+root.TraceID+"-") {
+		t.Errorf("Traceparent() = %q", root.Traceparent())
+	}
+	if _, err := ParseTraceparent(root.Traceparent()); err != nil {
+		t.Errorf("root traceparent invalid: %v", err)
+	}
+}
+
+func TestTraceContextThroughContext(t *testing.T) {
+	tc := NewTraceContext()
+	ctx := ContextWithTrace(context.Background(), tc)
+	got, ok := TraceFromContext(ctx)
+	if !ok || got.TraceID != tc.TraceID {
+		t.Fatalf("TraceFromContext = %+v, %v", got, ok)
+	}
+	if id := TraceIDFromContext(ctx); id != tc.TraceID {
+		t.Errorf("TraceIDFromContext = %q", id)
+	}
+	if _, ok := TraceFromContext(context.Background()); ok {
+		t.Error("empty context should carry no trace")
+	}
+	if TraceIDFromContext(nil) != "" {
+		t.Error("nil context should yield empty trace ID")
+	}
+
+	// An active span wins over an attached TraceContext and exposes its
+	// own IDs.
+	sctx, span := StartSpan(ctx, "trace.test")
+	defer span.End()
+	got, ok = TraceFromContext(sctx)
+	if !ok || got.TraceID != tc.TraceID || got.SpanID != span.SpanID() {
+		t.Errorf("span context trace = %+v, %v", got, ok)
+	}
+}

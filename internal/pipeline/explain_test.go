@@ -1,0 +1,64 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/anomaly"
+	"repro/internal/kpi"
+	"repro/internal/obs"
+	"repro/internal/rapminer"
+	"repro/internal/rapminer/explain"
+)
+
+// TestPipelineCapturesExplainReports drives an incident open through a
+// monitor with its own report store and checks every localizing tick left
+// a pipeline-sourced report keyed by a trace ID.
+func TestPipelineCapturesExplainReports(t *testing.T) {
+	runs := explain.NewStore(8)
+	cfg := DefaultConfig(anomaly.DefaultRelativeDeviation(), rapminer.MustNew(rapminer.DefaultConfig()))
+	cfg.Runs = runs
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scope := kpi.MustParseCombination(testSchema(), "(a2, *)")
+	failing := func() *kpi.Snapshot { return snapshotWithDrop(t, scope, 0.5) }
+
+	// Two alarming ticks: arming (no localization), then open (localizes).
+	if _, err := m.Process(t0, failing()); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Len() != 0 {
+		t.Fatalf("arming tick recorded %d reports, want 0", runs.Len())
+	}
+	if _, err := m.Process(t0.Add(time.Minute), failing()); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Len() != 1 {
+		t.Fatalf("opening tick recorded %d reports, want 1", runs.Len())
+	}
+	rep := runs.Recent()[0]
+	if rep.Source != "pipeline" || rep.TraceID == "" {
+		t.Errorf("report = source %q, trace %q", rep.Source, rep.TraceID)
+	}
+	if len(rep.Candidates) == 0 || rep.Candidates[0].Combination[0] != "a2" {
+		t.Errorf("report candidates = %+v", rep.Candidates)
+	}
+
+	// A caller-supplied trace keys the next report.
+	tc := obs.NewTraceContext()
+	ctx := obs.ContextWithTrace(context.Background(), tc)
+	if _, err := m.ProcessContext(ctx, t0.Add(2*time.Minute), snapshotWithDrop(t, kpi.MustParseCombination(testSchema(), "(a3, *)"), 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := runs.Get(tc.TraceID)
+	if !ok {
+		t.Fatalf("no report under caller trace %s; runs = %+v", tc.TraceID, runs.Recent())
+	}
+	if got.Source != "pipeline" {
+		t.Errorf("caller-traced report source = %q", got.Source)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/localize"
 	"repro/internal/obs"
 	"repro/internal/rapminer"
+	"repro/internal/rapminer/explain"
 )
 
 // Config assembles a Monitor.
@@ -42,6 +43,10 @@ type Config struct {
 	// incident counts and durations, stage latencies). Nil means
 	// obs.Default().
 	Registry *obs.Registry
+	// Runs receives one explain report per localization run, keyed by
+	// the run's trace ID, when the localizer supports diagnostics. Nil
+	// means explain.Default().
+	Runs *explain.Store
 }
 
 // DefaultConfig returns a production-flavored configuration around the
@@ -149,6 +154,9 @@ func New(cfg Config) (*Monitor, error) {
 		return nil, fmt.Errorf("pipeline: debounce/resolve ticks (%d, %d), want >= 1",
 			cfg.DebounceTicks, cfg.ResolveTicks)
 	}
+	if cfg.Runs == nil {
+		cfg.Runs = explain.Default()
+	}
 	return &Monitor{
 		cfg:    cfg,
 		mx:     newMetrics(cfg.Registry),
@@ -165,7 +173,16 @@ func (m *Monitor) Current() *Incident { return m.current }
 // monitor's metrics, and incident transitions are logged through the
 // "pipeline" component logger.
 func (m *Monitor) Process(ts time.Time, snap *kpi.Snapshot) (Event, error) {
-	ev, err := m.process(ts, snap)
+	return m.ProcessContext(context.Background(), ts, snap)
+}
+
+// ProcessContext is Process under the caller's trace context: spans and
+// the explain report of a localizing tick join the trace ctx carries
+// (e.g. an HTTP request's). When ctx carries no trace, the tick that
+// localizes starts a fresh one, so every monitor-driven run is traceable
+// by its own ID.
+func (m *Monitor) ProcessContext(ctx context.Context, ts time.Time, snap *kpi.Snapshot) (Event, error) {
+	ev, err := m.process(ctx, ts, snap)
 	if err != nil {
 		m.log.Error("tick failed", slog.Time("ts", ts), slog.Any("err", err))
 		return ev, err
@@ -187,7 +204,7 @@ func (m *Monitor) Process(ts time.Time, snap *kpi.Snapshot) (Event, error) {
 	return ev, nil
 }
 
-func (m *Monitor) process(ts time.Time, snap *kpi.Snapshot) (Event, error) {
+func (m *Monitor) process(ctx context.Context, ts time.Time, snap *kpi.Snapshot) (Event, error) {
 	if snap == nil {
 		return Event{}, errors.New("pipeline: nil snapshot")
 	}
@@ -208,7 +225,7 @@ func (m *Monitor) process(ts time.Time, snap *kpi.Snapshot) (Event, error) {
 
 	switch {
 	case m.current == nil && alarming && m.alarmStreak >= m.cfg.DebounceTicks:
-		scopes, err := m.localize(snap)
+		scopes, err := m.localize(ctx, snap)
 		if err != nil {
 			return Event{}, err
 		}
@@ -226,7 +243,7 @@ func (m *Monitor) process(ts time.Time, snap *kpi.Snapshot) (Event, error) {
 		return Event{Kind: EventResolved, Time: ts, Deviation: dev, Incident: incident}, nil
 
 	case m.current != nil && alarming:
-		scopes, err := m.localize(snap)
+		scopes, err := m.localize(ctx, snap)
 		if err != nil {
 			return Event{}, err
 		}
@@ -247,15 +264,26 @@ func (m *Monitor) process(ts time.Time, snap *kpi.Snapshot) (Event, error) {
 	}
 }
 
-func (m *Monitor) localize(snap *kpi.Snapshot) ([]localize.ScoredPattern, error) {
-	ctx, span := obs.StartSpan(context.Background(), "pipeline.detect")
+func (m *Monitor) localize(ctx context.Context, snap *kpi.Snapshot) ([]localize.ScoredPattern, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Every localizing tick runs under a trace: inherit the caller's
+	// (an HTTP observation request) or start a fresh one, so the run's
+	// spans and explain report share one ID.
+	if _, ok := obs.TraceFromContext(ctx); !ok {
+		ctx = obs.ContextWithTrace(ctx, obs.NewTraceContext())
+	}
+	runStart := time.Now()
+
+	ctx, span := obs.StartSpan(ctx, "pipeline.detect")
 	start := time.Now()
 	n := anomaly.Label(snap, m.cfg.Detector)
 	m.mx.observeStage(stageDetect, time.Since(start))
 	span.SetAttr("anomalous", n)
 	span.End()
 
-	_, span = obs.StartSpan(ctx, "pipeline.localize")
+	locCtx, span := obs.StartSpan(ctx, "pipeline.localize")
 	defer span.End()
 	start = time.Now()
 	var (
@@ -263,8 +291,20 @@ func (m *Monitor) localize(snap *kpi.Snapshot) ([]localize.ScoredPattern, error)
 		err error
 	)
 	// Localizers that expose search diagnostics (RAPMiner) publish the
-	// paper's pruning statistics as live metrics on every incident tick.
-	if dl, ok := m.cfg.Localizer.(rapminer.DiagnosticLocalizer); ok {
+	// paper's pruning statistics as live metrics on every incident tick
+	// and journal the run into the explain-report store.
+	if dl, ok := m.cfg.Localizer.(rapminer.TracedLocalizer); ok {
+		var diag rapminer.Diagnostics
+		res, diag, err = dl.LocalizeWithDiagnosticsContext(locCtx, snap, m.cfg.K)
+		if err == nil {
+			rapminer.PublishDiagnostics(m.cfg.Registry, diag)
+			span.SetAttr("cuboids_visited", diag.CuboidsVisited)
+			span.SetAttr("early_stopped", diag.EarlyStopped)
+			m.cfg.Runs.Put(explain.New(obs.TraceIDFromContext(locCtx),
+				"pipeline", m.cfg.Localizer.Name(), snap, m.cfg.K, diag,
+				time.Since(runStart)))
+		}
+	} else if dl, ok := m.cfg.Localizer.(rapminer.DiagnosticLocalizer); ok {
 		var diag rapminer.Diagnostics
 		res, diag, err = dl.LocalizeWithDiagnostics(snap, m.cfg.K)
 		if err == nil {

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -43,6 +44,12 @@ func (t *TrackedMonitor) History() []Incident {
 // Process handles one tick of raw observations (forecasts in the snapshot
 // are ignored and replaced by the tracker's own predictions).
 func (t *TrackedMonitor) Process(ts time.Time, snap *kpi.Snapshot) (Event, error) {
+	return t.ProcessContext(context.Background(), ts, snap)
+}
+
+// ProcessContext is Process under the caller's trace context (see
+// Monitor.ProcessContext).
+func (t *TrackedMonitor) ProcessContext(ctx context.Context, ts time.Time, snap *kpi.Snapshot) (Event, error) {
 	if snap == nil {
 		return Event{}, errors.New("pipeline: nil snapshot")
 	}
@@ -50,7 +57,7 @@ func (t *TrackedMonitor) Process(ts time.Time, snap *kpi.Snapshot) (Event, error
 	if err != nil {
 		return Event{}, err
 	}
-	ev, err := t.monitor.Process(ts, withForecasts)
+	ev, err := t.monitor.ProcessContext(ctx, ts, withForecasts)
 	if err != nil {
 		return Event{}, err
 	}

@@ -1,9 +1,12 @@
 package rapminer
 
 import (
+	"context"
+	"math"
 	"testing"
 
 	"repro/internal/kpi"
+	"repro/internal/obs"
 )
 
 func TestLocalizeWithDiagnostics(t *testing.T) {
@@ -116,5 +119,111 @@ func TestDiagnosticsZeroOnDegenerateInputs(t *testing.T) {
 	}
 	if diag.CuboidsVisited != 0 || diag.Candidates != 0 {
 		t.Errorf("degenerate diagnostics = %+v", diag)
+	}
+}
+
+func TestDiagnosticsJournalLayersAndCandidates(t *testing.T) {
+	s := tableVSchema()
+	rap := kpi.MustParseCombination(s, "(a1, *, *, *)")
+	snap := denseSnapshot(t, s, rap)
+	m := MustNew(DefaultConfig())
+	res, diag, err := m.LocalizeWithDiagnostics(snap, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Config echo.
+	if diag.TCP != DefaultConfig().TCP || diag.TConf != DefaultConfig().TConf {
+		t.Errorf("thresholds = (%v, %v)", diag.TCP, diag.TConf)
+	}
+
+	// Per-layer counts must sum to the run totals.
+	var cuboids, combos, pruned, cands int
+	for i, l := range diag.Layers {
+		if l.Layer != i+1 {
+			t.Errorf("layer %d records Layer = %d", i+1, l.Layer)
+		}
+		cuboids += l.Cuboids
+		combos += l.Combinations
+		pruned += l.Pruned
+		cands += l.Candidates
+	}
+	if cuboids != diag.CuboidsVisited {
+		t.Errorf("layer cuboids sum %d != CuboidsVisited %d", cuboids, diag.CuboidsVisited)
+	}
+	if combos != diag.CombinationsScanned {
+		t.Errorf("layer combinations sum %d != CombinationsScanned %d", combos, diag.CombinationsScanned)
+	}
+	if pruned != diag.CombinationsPruned {
+		t.Errorf("layer pruned sum %d != CombinationsPruned %d", pruned, diag.CombinationsPruned)
+	}
+	if cands != diag.Candidates {
+		t.Errorf("layer candidates sum %d != Candidates %d", cands, diag.Candidates)
+	}
+
+	// Early stop on layer 1: the single RAP covers everything.
+	if !diag.EarlyStopped || diag.EarlyStopLayer != 1 {
+		t.Errorf("early stop = (%v, layer %d), want (true, 1)", diag.EarlyStopped, diag.EarlyStopLayer)
+	}
+
+	// The candidate set journals the ranked candidates with the Eq. 3
+	// arithmetic intact and mirrors the returned patterns.
+	if len(diag.CandidateSet) != diag.Candidates {
+		t.Fatalf("CandidateSet has %d entries, Candidates = %d", len(diag.CandidateSet), diag.Candidates)
+	}
+	for i, c := range diag.CandidateSet {
+		want := c.Confidence / math.Sqrt(float64(c.Layer))
+		if math.Abs(c.RAPScore-want) > 1e-12 {
+			t.Errorf("candidate %d RAPScore = %v, want conf/sqrt(layer) = %v", i, c.RAPScore, want)
+		}
+		if c.Confidence <= DefaultConfig().TConf {
+			t.Errorf("candidate %d confidence %v <= t_conf", i, c.Confidence)
+		}
+		if c.TotalLeaves < c.AnomalousLeaves || c.AnomalousLeaves < 1 {
+			t.Errorf("candidate %d support %d/%d", i, c.AnomalousLeaves, c.TotalLeaves)
+		}
+		if c.Combo.Layer() != c.Layer {
+			t.Errorf("candidate %d Layer %d != combo layer %d", i, c.Layer, c.Combo.Layer())
+		}
+		if i < len(res.Patterns) {
+			if !c.Combo.Equal(res.Patterns[i].Combo) || c.RAPScore != res.Patterns[i].Score {
+				t.Errorf("candidate %d disagrees with returned pattern", i)
+			}
+		}
+	}
+}
+
+func TestLocalizeWithDiagnosticsContextSharesTrace(t *testing.T) {
+	s := tableVSchema()
+	snap := denseSnapshot(t, s, kpi.MustParseCombination(s, "(a1, *, *, *)"))
+	m := MustNew(DefaultConfig())
+
+	tc := obs.NewTraceContext()
+	ctx, parent := obs.StartSpan(obs.ContextWithTrace(context.Background(), tc), "test.run")
+	resCtx, diagCtx, err := m.LocalizeWithDiagnosticsContext(ctx, snap, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent.End()
+
+	// Same answer as the untraced variant.
+	resPlain, diagPlain, err := m.LocalizeWithDiagnostics(snap, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resCtx.Patterns) != len(resPlain.Patterns) || diagCtx.CuboidsVisited != diagPlain.CuboidsVisited {
+		t.Errorf("traced and untraced runs disagree")
+	}
+
+	// Both stage spans joined the caller's trace.
+	var stages []string
+	for _, sp := range obs.RecentSpans() {
+		if sp.TraceID == tc.TraceID &&
+			(sp.Name == "rapminer.attribute_deletion" || sp.Name == "rapminer.search") {
+			stages = append(stages, sp.Name)
+		}
+	}
+	if len(stages) != 2 {
+		t.Errorf("stage spans in trace = %v, want both stages", stages)
 	}
 }

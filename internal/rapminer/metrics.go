@@ -1,6 +1,8 @@
 package rapminer
 
 import (
+	"context"
+
 	"repro/internal/kpi"
 	"repro/internal/localize"
 	"repro/internal/obs"
@@ -95,3 +97,14 @@ type DiagnosticLocalizer interface {
 }
 
 var _ DiagnosticLocalizer = (*Miner)(nil)
+
+// TracedLocalizer is a DiagnosticLocalizer whose run joins the caller's
+// trace: the context's trace ID groups the run's stage spans and keys its
+// explain report. The HTTP API and the pipeline prefer this interface so
+// every localization is individually traceable after the fact.
+type TracedLocalizer interface {
+	DiagnosticLocalizer
+	LocalizeWithDiagnosticsContext(ctx context.Context, snapshot *kpi.Snapshot, k int) (localize.Result, Diagnostics, error)
+}
+
+var _ TracedLocalizer = (*Miner)(nil)

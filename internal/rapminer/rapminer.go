@@ -16,11 +16,13 @@
 package rapminer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/kpi"
 	"repro/internal/localize"
+	"repro/internal/obs"
 )
 
 // Config holds the miner's two thresholds and the ablation switch.
@@ -83,7 +85,13 @@ var ErrNilSnapshot = errors.New("rapminer: nil snapshot")
 
 // Diagnostics reports what the two stages did on one localization run —
 // the observability a production deployment needs to explain its answers.
+// It is a full per-run journal: Algorithm 1's per-attribute CP verdicts,
+// Algorithm 2's per-layer search effort and pruning, and the complete
+// candidate set with the statistics behind the Eq. 3 ranking.
 type Diagnostics struct {
+	// TCP and TConf echo the thresholds the run used, so a stored report
+	// stays interpretable after the configuration changes.
+	TCP, TConf float64
 	// CPs holds every attribute's classification power, in attribute
 	// order.
 	CPs []AttributeCP
@@ -96,11 +104,54 @@ type Diagnostics struct {
 	CuboidsTotal, CuboidsSearchable, CuboidsVisited int
 	// CombinationsScanned counts group-by rows inspected.
 	CombinationsScanned int
+	// CombinationsPruned counts group-by rows skipped by Criteria 3
+	// (a descendant of an accepted RAP cannot be a RAP).
+	CombinationsPruned int
 	// Candidates counts RAP candidates found (before top-k truncation).
 	Candidates int
+	// Layers journals the per-layer search effort, in layer order, for
+	// every layer the BFS entered.
+	Layers []LayerStats
+	// CandidateSet is the full candidate set in ranked order (the same
+	// ranking the result uses), with the statistics behind each score.
+	CandidateSet []CandidateInfo
 	// EarlyStopped reports whether candidate coverage ended the search
-	// before the lattice was exhausted.
-	EarlyStopped bool
+	// before the lattice was exhausted; EarlyStopLayer is the layer the
+	// stop fired on (0 when the search ran to completion).
+	EarlyStopped   bool
+	EarlyStopLayer int
+}
+
+// LayerStats is one lattice layer's search effort (Algorithm 2 telemetry).
+type LayerStats struct {
+	// Layer is the cuboid layer (number of concrete attributes).
+	Layer int `json:"layer"`
+	// Cuboids counts cuboids of this layer that were scanned.
+	Cuboids int `json:"cuboids"`
+	// Combinations counts group-by rows inspected across those cuboids.
+	Combinations int `json:"combinations"`
+	// Pruned counts rows skipped by Criteria 3 without computing
+	// confidence.
+	Pruned int `json:"pruned"`
+	// Candidates counts RAP candidates accepted at this layer.
+	Candidates int `json:"candidates"`
+}
+
+// CandidateInfo is one RAP candidate with the statistics behind its Eq. 3
+// ranking.
+type CandidateInfo struct {
+	// Combo is the candidate's attribute combination.
+	Combo kpi.Combination
+	// Confidence is the anomaly confidence (anomalous / total leaves
+	// under the combination, Criteria 2).
+	Confidence float64
+	// Layer is the cuboid layer the candidate was found at.
+	Layer int
+	// RAPScore is Confidence / sqrt(Layer) (Eq. 3).
+	RAPScore float64
+	// AnomalousLeaves and TotalLeaves are the support counts behind
+	// Confidence.
+	AnomalousLeaves, TotalLeaves int
 }
 
 // DeletedAttributes returns the attribute indexes removed by stage 1, in
@@ -122,18 +173,33 @@ func (d Diagnostics) DeletedAttributes() []int {
 // Localize implements localize.Localizer: it runs both stages and returns
 // the top-k RAPs by RAPScore.
 func (m *Miner) Localize(snapshot *kpi.Snapshot, k int) (localize.Result, error) {
-	res, _, err := m.localize(snapshot, k, nil)
+	res, _, err := m.localize(nil, snapshot, k, nil)
 	return res, err
 }
 
 // LocalizeWithDiagnostics is Localize plus the run's search statistics.
 func (m *Miner) LocalizeWithDiagnostics(snapshot *kpi.Snapshot, k int) (localize.Result, Diagnostics, error) {
 	var diag Diagnostics
-	res, diag, err := m.localize(snapshot, k, &diag)
+	res, diag, err := m.localize(nil, snapshot, k, &diag)
 	return res, diag, err
 }
 
-func (m *Miner) localize(snapshot *kpi.Snapshot, k int, diag *Diagnostics) (localize.Result, Diagnostics, error) {
+// LocalizeWithDiagnosticsContext is LocalizeWithDiagnostics under a trace:
+// the run's two stages are recorded as child spans of whatever trace ctx
+// carries, so the miner's work appears in the caller's span tree. A nil
+// context traces the stages as a fresh root trace.
+func (m *Miner) LocalizeWithDiagnosticsContext(ctx context.Context, snapshot *kpi.Snapshot, k int) (localize.Result, Diagnostics, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var diag Diagnostics
+	res, diag, err := m.localize(ctx, snapshot, k, &diag)
+	return res, diag, err
+}
+
+// localize runs both stages. diag, when non-nil, accumulates the run
+// journal; ctx, when non-nil, traces the stages as spans.
+func (m *Miner) localize(ctx context.Context, snapshot *kpi.Snapshot, k int, diag *Diagnostics) (localize.Result, Diagnostics, error) {
 	var zero Diagnostics
 	if snapshot == nil {
 		return localize.Result{}, zero, ErrNilSnapshot
@@ -150,21 +216,54 @@ func (m *Miner) localize(snapshot *kpi.Snapshot, k int, diag *Diagnostics) (loca
 		// Every observed leaf is anomalous: the root itself is the
 		// coarsest anomalous combination and it has no parents, so it
 		// is the unique RAP by Definition 1.
+		root := kpi.NewRoot(snapshot.Schema.NumAttributes())
+		out := zero
+		if diag != nil {
+			diag.TCP, diag.TConf = m.cfg.TCP, m.cfg.TConf
+			diag.Candidates = 1
+			diag.CandidateSet = []CandidateInfo{{
+				Combo: root, Confidence: 1, Layer: 0, RAPScore: 1,
+				AnomalousLeaves: numAnomalous, TotalLeaves: snapshot.Len(),
+			}}
+			out = *diag
+		}
 		return localize.Result{Patterns: []localize.ScoredPattern{{
-			Combo: kpi.NewRoot(snapshot.Schema.NumAttributes()),
+			Combo: root,
 			Score: 1,
-		}}}, zero, nil
+		}}}, out, nil
 	}
 
+	var span *obs.Span
+	if ctx != nil {
+		_, span = obs.StartSpan(ctx, "rapminer.attribute_deletion")
+	}
 	cps := ClassificationPowers(snapshot)
 	attrs := m.selectSearchAttributes(cps)
+	if span != nil {
+		span.SetAttr("kept", len(attrs))
+		span.SetAttr("deleted", snapshot.Schema.NumAttributes()-len(attrs))
+		span.End()
+	}
 	if diag != nil {
+		diag.TCP = m.cfg.TCP
+		diag.TConf = m.cfg.TConf
 		diag.CPs = cps
 		diag.KeptAttributes = attrs
 		diag.CuboidsTotal = kpi.NumCuboids(snapshot.Schema.NumAttributes())
 		diag.CuboidsSearchable = kpi.NumCuboids(len(attrs))
 	}
+	if ctx != nil {
+		_, span = obs.StartSpan(ctx, "rapminer.search")
+	}
 	patterns := m.search(snapshot, attrs, diag) // already ranked
+	if span != nil {
+		span.SetAttr("candidates", len(patterns))
+		if diag != nil {
+			span.SetAttr("cuboids_visited", diag.CuboidsVisited)
+			span.SetAttr("early_stopped", diag.EarlyStopped)
+		}
+		span.End()
+	}
 	if k < len(patterns) {
 		patterns = patterns[:k]
 	}

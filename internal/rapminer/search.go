@@ -9,12 +9,14 @@ import (
 )
 
 // candidate is one RAP candidate found by the search, carrying the
-// statistics used for ranking.
+// statistics used for ranking and the run journal.
 type candidate struct {
-	combo     kpi.Combination
-	score     float64
-	layer     int
-	anomalous int
+	combo      kpi.Combination
+	score      float64
+	confidence float64
+	layer      int
+	anomalous  int
+	total      int
 }
 
 // search implements Algorithm 2: the anomaly-confidence-guided
@@ -34,17 +36,28 @@ func (m *Miner) search(snapshot *kpi.Snapshot, attrs []int, diag *Diagnostics) [
 
 layers:
 	for layer := 1; layer <= len(attrs); layer++ {
+		var stats *LayerStats
+		if diag != nil {
+			diag.Layers = append(diag.Layers, LayerStats{Layer: layer})
+			stats = &diag.Layers[len(diag.Layers)-1]
+		}
 		for _, cuboid := range kpi.CuboidsAtLayer(attrs, layer) {
 			if diag != nil {
 				diag.CuboidsVisited++
+				stats.Cuboids++
 			}
 			for _, g := range snapshot.GroupBy(cuboid) {
 				if diag != nil {
 					diag.CombinationsScanned++
+					stats.Combinations++
 				}
 				// Criteria 3: descendants of an accepted RAP cannot be
 				// RAPs; skip them without computing confidence.
 				if hasAncestor(candidateCombos, g.Combo) {
+					if diag != nil {
+						diag.CombinationsPruned++
+						stats.Pruned++
+					}
 					continue
 				}
 				conf := g.Confidence()
@@ -58,17 +71,23 @@ layers:
 				// exists (it would have become a candidate and pruned
 				// this combination above).
 				candidates = append(candidates, candidate{
-					combo:     g.Combo,
-					score:     rapScore(conf, layer),
-					layer:     layer,
-					anomalous: g.Anomalous,
+					combo:      g.Combo,
+					score:      rapScore(conf, layer),
+					confidence: conf,
+					layer:      layer,
+					anomalous:  g.Anomalous,
+					total:      g.Total,
 				})
 				candidateCombos = append(candidateCombos, g.Combo)
+				if diag != nil {
+					stats.Candidates++
+				}
 				// Early stop: quit as soon as the candidate set covers
 				// every anomalous leaf of D.
 				if covered.add(g.Combo) {
 					if diag != nil {
 						diag.EarlyStopped = true
+						diag.EarlyStopLayer = layer
 					}
 					break layers
 				}
@@ -94,6 +113,21 @@ layers:
 	out := make([]localize.ScoredPattern, len(candidates))
 	for i, c := range candidates {
 		out[i] = localize.ScoredPattern{Combo: c.combo, Score: c.score}
+	}
+	if diag != nil {
+		// Journal the full candidate set in ranked order, ahead of the
+		// caller's top-k truncation.
+		diag.CandidateSet = make([]CandidateInfo, len(candidates))
+		for i, c := range candidates {
+			diag.CandidateSet[i] = CandidateInfo{
+				Combo:           c.combo,
+				Confidence:      c.confidence,
+				Layer:           c.layer,
+				RAPScore:        c.score,
+				AnomalousLeaves: c.anomalous,
+				TotalLeaves:     c.total,
+			}
+		}
 	}
 	return out
 }
