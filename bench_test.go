@@ -11,6 +11,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"strconv"
 	"sync"
 	"testing"
@@ -25,27 +26,37 @@ import (
 
 const benchSeed = 2022
 
-// corpora are generated once and shared across benchmarks.
+// corpora are generated once and shared across benchmarks. Generation
+// errors are captured next to the data — not panicked — so a corpus bug
+// fails the requesting benchmark with b.Fatal instead of crashing the whole
+// run (and every later caller sees the same error).
 var (
 	squeezeOnce sync.Once
 	squeezeData map[string]*gendata.Corpus
+	squeezeErr  error
 
 	rapmdOnce sync.Once
 	rapmdData *gendata.Corpus
+	rapmdErr  error
 )
 
 func squeezeCorpora(b *testing.B) map[string]*gendata.Corpus {
 	b.Helper()
 	squeezeOnce.Do(func() {
-		squeezeData = make(map[string]*gendata.Corpus)
+		data := make(map[string]*gendata.Corpus)
 		for gi, group := range gendata.SqueezeGroups() {
 			c, err := gendata.SqueezeB0(benchSeed+int64(gi), group, 3)
 			if err != nil {
-				panic(err)
+				squeezeErr = fmt.Errorf("squeeze corpus %s: %w", group, err)
+				return
 			}
-			squeezeData[group.String()] = c
+			data[group.String()] = c
 		}
+		squeezeData = data
 	})
+	if squeezeErr != nil {
+		b.Fatal(squeezeErr)
+	}
 	return squeezeData
 }
 
@@ -54,10 +65,14 @@ func rapmdCorpus(b *testing.B) *gendata.Corpus {
 	rapmdOnce.Do(func() {
 		c, err := gendata.RAPMD(benchSeed, 10)
 		if err != nil {
-			panic(err)
+			rapmdErr = fmt.Errorf("rapmd corpus: %w", err)
+			return
 		}
 		rapmdData = c
 	})
+	if rapmdErr != nil {
+		b.Fatal(rapmdErr)
+	}
 	return rapmdData
 }
 
@@ -94,9 +109,10 @@ func benchmarkLocalize(b *testing.B, m localize.Localizer, cases []inject.Case, 
 // TestBenchCorpusEffectiveness below.
 func BenchmarkFig8aSqueezeB0(b *testing.B) {
 	corpora := squeezeCorpora(b)
+	methods := benchMethods(b)
 	for _, group := range gendata.SqueezeGroups() {
 		corpus := corpora[group.String()]
-		for _, m := range benchMethods(b) {
+		for _, m := range methods {
 			b.Run("group="+group.String()+"/method="+m.Name(), func(b *testing.B) {
 				benchmarkLocalize(b, m, corpus.Cases, 0)
 			})
@@ -145,6 +161,27 @@ func BenchmarkFig10bSensitivityTConf(b *testing.B) {
 		}
 		b.Run("tconf="+strconv.FormatFloat(tconf, 'g', -1, 64), func(b *testing.B) {
 			benchmarkLocalize(b, miner, corpus.Cases, 3)
+		})
+	}
+}
+
+// BenchmarkSearchParallel measures the worker-pool scaling of the RAPMiner
+// search on the RAPMD corpus: the same localization at 1, 2, 4 and 8
+// workers. Results are bit-identical across worker counts (pinned by
+// TestParallelSearchMatchesSequential in internal/rapminer), so ns/op is
+// the only axis that moves; allocs/op tracks the steady-state allocation
+// work of the engine.
+func BenchmarkSearchParallel(b *testing.B) {
+	corpus := rapmdCorpus(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		cfg := rapminer.DefaultConfig()
+		cfg.Workers = workers
+		miner, err := rapminer.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			benchmarkLocalize(b, miner, corpus.Cases, 5)
 		})
 	}
 }

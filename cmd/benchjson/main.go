@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so CI can archive benchmark runs as machine-readable artifacts
+// and trend them across commits.
+//
+//	go test -bench=Search -benchmem | benchjson > bench.json
+//
+// The output carries the run's environment header (goos, goarch, pkg, cpu)
+// and one record per benchmark result line:
+//
+//	{
+//	  "goos": "linux",
+//	  "benchmarks": [
+//	    {"name": "BenchmarkSearchParallel/workers=4-8", "runs": 500,
+//	     "ns_per_op": 1234.5, "bytes_per_op": 756223, "allocs_per_op": 9453}
+//	  ]
+//	}
+//
+// Lines that are not benchmark results (test output, PASS/FAIL, timing)
+// are ignored, so piping a whole `go test` transcript through is fine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	Name       string  `json:"name"`
+	Runs       int64   `json:"runs"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64 `json:"allocs_per_op,omitempty"`
+	MBPerSec   float64 `json:"mb_per_s,omitempty"`
+}
+
+// benchReport is the whole converted run.
+type benchReport struct {
+	GOOS       string        `json:"goos,omitempty"`
+	GOARCH     string        `json:"goarch,omitempty"`
+	Pkg        string        `json:"pkg,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(r io.Reader, w io.Writer) error {
+	report, err := parse(r)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// parse scans bench output, collecting the environment header and every
+// result line. Unrecognized lines are skipped.
+func parse(r io.Reader) (*benchReport, error) {
+	report := &benchReport{Benchmarks: []benchResult{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			report.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			report.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			report.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			report.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseResult(line); ok {
+				report.Benchmarks = append(report.Benchmarks, b)
+			}
+		}
+	}
+	return report, sc.Err()
+}
+
+// parseResult parses one result line:
+//
+//	BenchmarkName-8   500   2553914 ns/op   756223 B/op   9453 allocs/op
+//
+// The first two fields are the name and iteration count; the rest are
+// value/unit pairs.
+func parseResult(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return benchResult{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	b := benchResult{Name: fields[0], Runs: runs}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsOp = v
+		case "MB/s":
+			b.MBPerSec = v
+		}
+	}
+	return b, true
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R)
+BenchmarkSearchParallel/workers=1-8         	     355	   3175092 ns/op	  721935 B/op	    9453 allocs/op
+BenchmarkSearchParallel/workers=4-8         	    1024	   1100000 ns/op	  730000 B/op	    9500 allocs/op
+BenchmarkThroughput-8                        	     100	  10000000 ns/op	         250.00 MB/s
+--- BENCH: BenchmarkSomething
+    bench_test.go:42: noise line
+PASS
+ok  	repro	12.345s
+`
+
+func TestParseSampleOutput(t *testing.T) {
+	report, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.GOOS != "linux" || report.GOARCH != "amd64" || report.Pkg != "repro" {
+		t.Fatalf("header = %+v", report)
+	}
+	if report.CPU != "Intel(R) Xeon(R)" {
+		t.Errorf("cpu = %q", report.CPU)
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("%d benchmarks, want 3", len(report.Benchmarks))
+	}
+	b0 := report.Benchmarks[0]
+	if b0.Name != "BenchmarkSearchParallel/workers=1-8" || b0.Runs != 355 ||
+		b0.NsPerOp != 3175092 || b0.BytesPerOp != 721935 || b0.AllocsOp != 9453 {
+		t.Errorf("first result = %+v", b0)
+	}
+	if mb := report.Benchmarks[2].MBPerSec; mb != 250 {
+		t.Errorf("MB/s = %v, want 250", mb)
+	}
+}
+
+func TestRunEmitsValidJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sampleOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded benchReport
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(decoded.Benchmarks) != 3 {
+		t.Fatalf("round-trip lost benchmarks: %+v", decoded)
+	}
+}
+
+func TestParseSkipsGarbage(t *testing.T) {
+	report, err := parse(strings.NewReader("BenchmarkBroken-8 notanumber 12 ns/op\nrandom text\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 0 {
+		t.Fatalf("garbage parsed as results: %+v", report.Benchmarks)
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out.Bytes(), []byte(`"benchmarks": []`)) {
+		t.Fatalf("empty input should emit an empty benchmarks array: %s", out.String())
+	}
+}

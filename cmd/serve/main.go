@@ -1,13 +1,14 @@
 // Command serve exposes anomaly localization over HTTP.
 //
 //	serve [-addr :8080] [-pprof] [-log-level info] [-log-json]
-//	      [-span-capacity 512]
+//	      [-span-capacity 512] [-workers 0] [-batch-queue -1]
 //
 // Endpoints:
 //
-//	GET  /healthz          liveness probe
-//	GET  /v1/methods       available localization methods
-//	POST /v1/localize      localize a snapshot
+//	GET  /healthz              liveness probe
+//	GET  /v1/methods           available localization methods
+//	POST /v1/localize          localize a snapshot
+//	POST /v1/localize/batch    localize many snapshots over the worker pool
 //	POST /v1/observe       stream observations into the tracked monitor
 //	GET  /v1/incidents     incident lifecycle of the tracked monitor
 //	GET  /metrics          Prometheus text-format metrics
@@ -73,6 +74,8 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		logJSON         = fs.Bool("log-json", false, "log JSON instead of text")
 		shutdownTimeout = fs.Duration("shutdown-timeout", 5*time.Second, "graceful shutdown deadline")
 		spanCapacity    = fs.Int("span-capacity", obs.DefaultSpanCapacity, "trace spans retained for /debug/spans")
+		workers         = fs.Int("workers", 0, "batch localization workers (0 = GOMAXPROCS)")
+		batchQueue      = fs.Int("batch-queue", 0, "batch items that may wait beyond the running ones (0 = 4x workers, min 16; negative = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,7 +91,10 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 	obs.StartRuntimeCollector(ctx, nil, 0)
 
 	mux := http.NewServeMux()
-	mux.Handle("/", httpapi.NewHandler())
+	mux.Handle("/", httpapi.NewHandlerOpts(httpapi.Options{
+		BatchWorkers: *workers,
+		BatchQueue:   *batchQueue,
+	}))
 	if *pprofOn {
 		// Mounted on the outer mux so profiler traffic skips the API
 		// middleware (profiles can stream for seconds and would skew the

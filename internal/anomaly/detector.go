@@ -23,7 +23,9 @@ type Detector interface {
 }
 
 // Label applies a detector to every leaf of the snapshot in place and
-// returns the number of leaves labeled anomalous.
+// returns the number of leaves labeled anomalous. Label invalidates the
+// snapshot's label-derived caches, so a relabeled snapshot is always
+// searched against the fresh labels.
 func Label(s *kpi.Snapshot, d Detector) int {
 	n := 0
 	for i := range s.Leaves {
@@ -33,6 +35,7 @@ func Label(s *kpi.Snapshot, d Detector) int {
 			n++
 		}
 	}
+	s.InvalidateLabels()
 	return n
 }
 
@@ -153,11 +156,13 @@ type TopQuantile struct {
 }
 
 // LabelTopQuantile labels the snapshot in place and returns the number of
-// anomalous leaves.
+// anomalous leaves. Like Label, it invalidates the snapshot's label-derived
+// caches.
 func LabelTopQuantile(s *kpi.Snapshot, d TopQuantile) (int, error) {
 	if d.Q <= 0 || d.Q >= 1 {
 		return 0, fmt.Errorf("anomaly: quantile %v out of (0, 1)", d.Q)
 	}
+	defer s.InvalidateLabels()
 	n := s.Len()
 	if n == 0 {
 		return 0, nil

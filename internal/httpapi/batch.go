@@ -1,0 +1,166 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/anomaly"
+	"repro/internal/kpi"
+	"repro/internal/localize"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/rapminer"
+)
+
+// batchRequest is the POST /v1/localize/batch body: an array of the same
+// JSON snapshot documents POST /v1/localize accepts, localized as one
+// admission unit against the shared worker pool.
+type batchRequest struct {
+	Snapshots []json.RawMessage `json:"snapshots"`
+}
+
+// maxBatchItems bounds one request's fan-out so a single client cannot
+// reserve the whole queue indefinitely.
+const maxBatchItems = 256
+
+// batchResponse is the POST /v1/localize/batch reply. Items are positional:
+// item i answers snapshot i of the request.
+type batchResponse struct {
+	TraceID   string              `json:"trace_id"`
+	Method    string              `json:"method"`
+	K         int                 `json:"k"`
+	ElapsedMS float64             `json:"elapsed_ms"`
+	Items     []batchItemResponse `json:"items"`
+}
+
+type batchItemResponse struct {
+	Anomalous int               `json:"anomalous_leaves"`
+	Leaves    int               `json:"leaves"`
+	Patterns  []patternResponse `json:"patterns,omitempty"`
+	Error     string            `json:"error,omitempty"`
+}
+
+// handleLocalizeBatch localizes many snapshots in one request. Items fan
+// out across the handler's BatchExecutor, whose worker slots are shared by
+// every in-flight batch; when the queue is full the whole request is
+// rejected with 503 and a Retry-After header instead of being buffered.
+func (a *api) handleLocalizeBatch(w http.ResponseWriter, r *http.Request) {
+	methodName := strings.ToLower(r.URL.Query().Get("method"))
+	if methodName == "" {
+		methodName = "rapminer"
+	}
+	build, ok := methodBuilders[methodName]
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown method %q; see /v1/methods", methodName))
+		return
+	}
+	k := 3
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid k %q", raw))
+			return
+		}
+		k = parsed
+	}
+
+	decodeStart := time.Now()
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	defer body.Close()
+	var req batchRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Snapshots) == 0 {
+		writeError(w, http.StatusBadRequest, "snapshots must be a non-empty array")
+		return
+	}
+	if len(req.Snapshots) > maxBatchItems {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("%d snapshots exceed the per-request limit of %d", len(req.Snapshots), maxBatchItems))
+		return
+	}
+	relabel := r.URL.Query().Get("relabel") == "true"
+	snaps := make([]*kpi.Snapshot, len(req.Snapshots))
+	for i, raw := range req.Snapshots {
+		snap, err := kpi.ReadJSON(bytes.NewReader(raw))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("snapshot %d: %v", i, err))
+			return
+		}
+		if snap.NumAnomalous() == 0 || relabel {
+			anomaly.Label(snap, anomaly.DefaultRelativeDeviation())
+		}
+		snaps[i] = snap
+	}
+	a.batch.ObserveDecode(time.Since(decodeStart))
+
+	m, err := build()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	// The executor already parallelizes across items; cap each item's own
+	// fan-out at one worker so a batch does not oversubscribe the CPU with
+	// nested parallelism.
+	if rm, ok := m.(*rapminer.Miner); ok {
+		m = rm.WithWorkers(1)
+	}
+
+	ctx, span := obs.StartSpan(r.Context(), "httpapi.localize_batch")
+	defer span.End()
+	span.SetAttr("method", methodName)
+	span.SetAttr("items", len(snaps))
+	start := time.Now()
+	results, err := a.batch.Execute(ctx, m, snaps, k)
+	if err != nil {
+		if errors.Is(err, pipeline.ErrBatchBusy) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("batch queue full (capacity %d items); retry later", a.batch.Capacity()))
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	resp := batchResponse{
+		TraceID:   span.TraceID(),
+		Method:    m.Name(),
+		K:         k,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Items:     make([]batchItemResponse, len(results)),
+	}
+	var failed int
+	for i, br := range results {
+		item := batchItemResponse{
+			Anomalous: snaps[i].NumAnomalous(),
+			Leaves:    snaps[i].Len(),
+		}
+		if br.Err != nil {
+			item.Error = br.Err.Error()
+			failed++
+		} else {
+			item.Patterns = renderPatterns(snaps[i], br.Result.Patterns)
+		}
+		resp.Items[i] = item
+	}
+	span.SetAttr("failed", failed)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ensure the interface stays satisfied as the miner evolves.
+var _ localize.BatchLocalizer = (*rapminer.Miner)(nil)

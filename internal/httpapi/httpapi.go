@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -69,9 +70,29 @@ func MethodNames() []string {
 
 // api carries the service's observability plumbing into the handlers.
 type api struct {
-	reg  *obs.Registry
-	log  *slog.Logger
-	runs *explain.Store
+	reg   *obs.Registry
+	log   *slog.Logger
+	runs  *explain.Store
+	batch *pipeline.BatchExecutor
+}
+
+// Options configures NewHandlerOpts. The zero value is valid: default
+// registry, shared component logger, GOMAXPROCS batch workers and a queue
+// of four items per worker.
+type Options struct {
+	// Registry receives the service's metrics; nil means obs.Default().
+	Registry *obs.Registry
+	// Logger is the request logger; nil means the shared "httpapi"
+	// component logger.
+	Logger *slog.Logger
+	// BatchWorkers bounds concurrent localizations across all
+	// POST /v1/localize/batch requests; <= 0 means GOMAXPROCS.
+	BatchWorkers int
+	// BatchQueue is how many batch items may wait beyond the running
+	// ones before requests are rejected with 503. 0 means the default
+	// (4x workers, minimum 16); negative means no queue at all — items
+	// beyond the running ones are rejected immediately.
+	BatchQueue int
 }
 
 // NewHandler builds the service's HTTP routes against the default metrics
@@ -81,20 +102,42 @@ type api struct {
 // observation — stream the JSON snapshot document, whose attribute domains
 // are explicit, so every tick declares the same schema).
 func NewHandler() http.Handler {
-	return NewHandlerObs(obs.Default(), obs.Logger("httpapi"))
+	return NewHandlerOpts(Options{})
 }
 
 // NewHandlerObs is NewHandler with an explicit registry and logger, for
 // embedders and tests that need isolation. A nil registry means
 // obs.Default(); a nil logger means the shared component logger.
 func NewHandlerObs(reg *obs.Registry, log *slog.Logger) http.Handler {
+	return NewHandlerOpts(Options{Registry: reg, Logger: log})
+}
+
+// NewHandlerOpts is NewHandler with full configuration.
+func NewHandlerOpts(o Options) http.Handler {
+	reg, log := o.Registry, o.Logger
 	if reg == nil {
 		reg = obs.Default()
 	}
 	if log == nil {
 		log = obs.Logger("httpapi")
 	}
-	a := &api{reg: reg, log: log, runs: explain.Default()}
+	workers := o.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	queue := o.BatchQueue
+	switch {
+	case queue == 0:
+		queue = -1 // executor default: 4x workers, minimum 16
+	case queue < 0:
+		queue = 0 // no waiting beyond the running items
+	}
+	a := &api{
+		reg:   reg,
+		log:   log,
+		runs:  explain.Default(),
+		batch: pipeline.NewBatchExecutor(reg, workers, queue),
+	}
 	// Expose the full metric schema at zero from the first scrape, before
 	// any localization or incident has happened.
 	rapminer.RegisterMetrics(reg)
@@ -103,6 +146,7 @@ func NewHandlerObs(reg *obs.Registry, log *slog.Logger) http.Handler {
 	mux.HandleFunc("GET /healthz", handleHealthz)
 	mux.HandleFunc("GET /v1/methods", handleMethods)
 	mux.HandleFunc("POST /v1/localize", a.handleLocalize)
+	mux.HandleFunc("POST /v1/localize/batch", a.handleLocalizeBatch)
 	monitor := newMonitorAPI(reg, a.runs)
 	mux.HandleFunc("POST /v1/observe", monitor.handleObserve)
 	mux.HandleFunc("GET /v1/incidents", monitor.handleIncidents)
@@ -237,9 +281,16 @@ func (a *api) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		Anomalous: snap.NumAnomalous(),
 		Leaves:    snap.Len(),
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
-		Patterns:  make([]patternResponse, 0, len(res.Patterns)),
+		Patterns:  renderPatterns(snap, res.Patterns),
 	}
-	for _, p := range res.Patterns {
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// renderPatterns maps scored patterns back to the snapshot's attribute
+// vocabulary for the wire format.
+func renderPatterns(snap *kpi.Snapshot, patterns []localize.ScoredPattern) []patternResponse {
+	out := make([]patternResponse, 0, len(patterns))
+	for _, p := range patterns {
 		combo := make([]string, len(p.Combo))
 		for a, code := range p.Combo {
 			if code == kpi.Wildcard {
@@ -248,9 +299,9 @@ func (a *api) handleLocalize(w http.ResponseWriter, r *http.Request) {
 				combo[a] = snap.Schema.Value(a, code)
 			}
 		}
-		resp.Patterns = append(resp.Patterns, patternResponse{Combination: combo, Score: p.Score})
+		out = append(out, patternResponse{Combination: combo, Score: p.Score})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return out
 }
 
 // mediaType strips parameters like "; charset=utf-8".

@@ -8,6 +8,7 @@ type CuboidIndexer struct {
 	schema  *Schema
 	cuboid  Cuboid
 	strides []int
+	cards   []int
 	size    int
 }
 
@@ -15,12 +16,14 @@ type CuboidIndexer struct {
 // of the cuboid attributes' cardinalities.
 func NewCuboidIndexer(schema *Schema, cuboid Cuboid) *CuboidIndexer {
 	strides := make([]int, len(cuboid))
+	cards := make([]int, len(cuboid))
 	size := 1
 	for i := len(cuboid) - 1; i >= 0; i-- {
 		strides[i] = size
-		size *= schema.Cardinality(cuboid[i])
+		cards[i] = schema.Cardinality(cuboid[i])
+		size *= cards[i]
 	}
-	return &CuboidIndexer{schema: schema, cuboid: cuboid, strides: strides, size: size}
+	return &CuboidIndexer{schema: schema, cuboid: cuboid, strides: strides, cards: cards, size: size}
 }
 
 // Size returns the number of distinct group indexes (the cuboid's full
@@ -41,9 +44,20 @@ func (ix *CuboidIndexer) Index(leaf Combination) int {
 // Combination reconstructs the projected combination for a group index.
 func (ix *CuboidIndexer) Combination(idx int) Combination {
 	c := NewRoot(ix.schema.NumAttributes())
-	for i, a := range ix.cuboid {
-		card := ix.schema.Cardinality(a)
-		c[a] = int32(idx / ix.strides[i] % card)
-	}
+	ix.DecodeInto(c, idx)
 	return c
+}
+
+// DecodeInto writes the projected combination of group index idx into dst,
+// which must have the schema's attribute count: the cuboid's attributes get
+// their decoded codes, every other position becomes Wildcard. It is the
+// allocation-free form of Combination for scan loops that reuse a scratch
+// combination across groups.
+func (ix *CuboidIndexer) DecodeInto(dst Combination, idx int) {
+	for i := range dst {
+		dst[i] = Wildcard
+	}
+	for i, a := range ix.cuboid {
+		dst[a] = int32(idx / ix.strides[i] % ix.cards[i])
+	}
 }

@@ -1,0 +1,104 @@
+package kpi
+
+import (
+	"sort"
+	"sync"
+)
+
+// GroupCount is one non-empty group of a count-only cuboid scan: the dense
+// group index within the cuboid (CuboidIndexer order) plus the support
+// counts behind Criteria 2. It carries no materialized Combination — decode
+// the group index through the cuboid's indexer only for the rare groups
+// that become candidates.
+type GroupCount struct {
+	// Group is the dense group index within the cuboid.
+	Group int
+	// Total and Anomalous are support_count_D(ac) and
+	// support_count_D(ac, Anomaly) for the group's combination.
+	Total, Anomalous int
+}
+
+// Confidence returns the group's anomaly confidence (Criteria 2), the same
+// division GroupStats.Confidence performs.
+func (g GroupCount) Confidence() float64 {
+	if g.Total == 0 {
+		return 0
+	}
+	return float64(g.Anomalous) / float64(g.Total)
+}
+
+// countScratch pools the dense accumulator arrays of ScanCuboid.
+type countScratch struct {
+	total     []int32
+	anomalous []int32
+}
+
+var countScratchPool = sync.Pool{New: func() any { return new(countScratch) }}
+
+func (sc *countScratch) grow(n int) {
+	if cap(sc.total) < n {
+		sc.total = make([]int32, n)
+		sc.anomalous = make([]int32, n)
+		return
+	}
+	sc.total = sc.total[:n]
+	sc.anomalous = sc.anomalous[:n]
+	clear(sc.total)
+	clear(sc.anomalous)
+}
+
+// ScanCuboid computes the count-only group-by of one cuboid, appending into
+// dst (reusing its capacity after truncation to zero length). Groups are
+// returned in ascending group index — the same deterministic order as
+// GroupBy — with identical Total/Anomalous counts; only the aggregate KPI
+// sums and materialized Combinations are omitted. The accumulators come
+// from a sync.Pool, so steady-state scans allocate only when dst grows.
+// Safe for concurrent use on one snapshot.
+func (s *Snapshot) ScanCuboid(c Cuboid, dst []GroupCount) []GroupCount {
+	dst = dst[:0]
+	ix := s.Indexer(c)
+	if size := ix.Size(); size < 0 || size > denseGroupByLimit(len(s.Leaves)) {
+		return s.scanSparse(ix, dst)
+	}
+	sc := countScratchPool.Get().(*countScratch)
+	sc.grow(ix.Size())
+	total, anomalous := sc.total, sc.anomalous
+	for i := range s.Leaves {
+		l := &s.Leaves[i]
+		g := ix.Index(l.Combo)
+		total[g]++
+		if l.Anomalous {
+			anomalous[g]++
+		}
+	}
+	for g, n := range total {
+		if n == 0 {
+			continue
+		}
+		dst = append(dst, GroupCount{Group: g, Total: int(n), Anomalous: int(anomalous[g])})
+	}
+	countScratchPool.Put(sc)
+	return dst
+}
+
+// scanSparse is the map-based scan used for huge sparse domains.
+func (s *Snapshot) scanSparse(ix *CuboidIndexer, dst []GroupCount) []GroupCount {
+	pos := make(map[int]int32, 64)
+	for i := range s.Leaves {
+		l := &s.Leaves[i]
+		g := ix.Index(l.Combo)
+		p, ok := pos[g]
+		if !ok {
+			p = int32(len(dst))
+			pos[g] = p
+			dst = append(dst, GroupCount{Group: g})
+		}
+		gc := &dst[p]
+		gc.Total++
+		if l.Anomalous {
+			gc.Anomalous++
+		}
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i].Group < dst[j].Group })
+	return dst
+}

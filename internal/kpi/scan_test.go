@@ -1,0 +1,231 @@
+package kpi
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// scanTestSnapshot builds a labeled random snapshot over a 3-attribute
+// schema, leaving some leaves absent so group-bys see sparse data.
+func scanTestSnapshot(t testing.TB, seed int64) *Snapshot {
+	t.Helper()
+	s := MustSchema(
+		Attribute{Name: "a", Values: []string{"a1", "a2", "a3"}},
+		Attribute{Name: "b", Values: []string{"b1", "b2", "b3", "b4"}},
+		Attribute{Name: "c", Values: []string{"c1", "c2"}},
+	)
+	r := rand.New(rand.NewSource(seed))
+	var leaves []Leaf
+	for x := int32(0); x < 3; x++ {
+		for y := int32(0); y < 4; y++ {
+			for z := int32(0); z < 2; z++ {
+				if r.Float64() < 0.2 {
+					continue // sparse: leaf unobserved
+				}
+				leaves = append(leaves, Leaf{
+					Combo:     Combination{x, y, z},
+					Actual:    r.Float64() * 100,
+					Forecast:  r.Float64() * 100,
+					Anomalous: r.Float64() < 0.3,
+				})
+			}
+		}
+	}
+	snap, err := NewSnapshot(s, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestScanCuboidMatchesGroupBy pins ScanCuboid to GroupBy: same groups, same
+// order, same support counts, for every cuboid of the lattice.
+func TestScanCuboidMatchesGroupBy(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		snap := scanTestSnapshot(t, seed)
+		attrs := []int{0, 1, 2}
+		var buf []GroupCount
+		for _, cuboid := range AllCuboids(attrs) {
+			stats := snap.GroupBy(cuboid)
+			buf = snap.ScanCuboid(cuboid, buf)
+			if len(buf) != len(stats) {
+				t.Fatalf("seed %d cuboid %v: %d scanned groups, %d group-by groups",
+					seed, cuboid, len(buf), len(stats))
+			}
+			ix := snap.Indexer(cuboid)
+			for i, gc := range buf {
+				if want := ix.Index(stats[i].Combo); gc.Group != want {
+					t.Errorf("seed %d cuboid %v group %d: index %d, want %d", seed, cuboid, i, gc.Group, want)
+				}
+				if gc.Total != stats[i].Total || gc.Anomalous != stats[i].Anomalous {
+					t.Errorf("seed %d cuboid %v group %d: counts (%d, %d), want (%d, %d)",
+						seed, cuboid, i, gc.Total, gc.Anomalous, stats[i].Total, stats[i].Anomalous)
+				}
+				if gc.Confidence() != stats[i].Confidence() {
+					t.Errorf("seed %d cuboid %v group %d: confidence mismatch", seed, cuboid, i)
+				}
+			}
+		}
+	}
+}
+
+// TestScanCuboidSparsePath forces the map-based path with a huge-domain
+// schema and checks it agrees with GroupBy.
+func TestScanCuboidSparsePath(t *testing.T) {
+	mk := func(name string, n int) Attribute {
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = name + string(rune('a'+i/26)) + string(rune('a'+i%26))
+		}
+		return Attribute{Name: name, Values: vals}
+	}
+	s := MustSchema(mk("x", 500), mk("y", 400), mk("z", 300))
+	r := rand.New(rand.NewSource(7))
+	var leaves []Leaf
+	seen := map[[3]int32]bool{}
+	for len(leaves) < 50 {
+		c := [3]int32{int32(r.Intn(500)), int32(r.Intn(400)), int32(r.Intn(300))}
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		leaves = append(leaves, Leaf{
+			Combo:     Combination{c[0], c[1], c[2]},
+			Actual:    1,
+			Forecast:  1,
+			Anomalous: r.Intn(2) == 0,
+		})
+	}
+	snap, err := NewSnapshot(s, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuboid := Cuboid{0, 1, 2}
+	if size := snap.Indexer(cuboid).Size(); size <= denseGroupByLimit(len(leaves)) {
+		t.Fatalf("domain %d does not exercise the sparse path", size)
+	}
+	stats := snap.GroupBy(cuboid)
+	scan := snap.ScanCuboid(cuboid, nil)
+	if len(scan) != len(stats) {
+		t.Fatalf("%d scanned groups, %d group-by groups", len(scan), len(stats))
+	}
+	ix := snap.Indexer(cuboid)
+	for i := range scan {
+		if scan[i].Group != ix.Index(stats[i].Combo) ||
+			scan[i].Total != stats[i].Total || scan[i].Anomalous != stats[i].Anomalous {
+			t.Errorf("group %d: scan %+v does not match stats %+v", i, scan[i], stats[i])
+		}
+	}
+}
+
+// TestGroupByAppendReusesBuffer checks the destination buffer is recycled
+// and that repeated calls return identical content.
+func TestGroupByAppendReusesBuffer(t *testing.T) {
+	snap := scanTestSnapshot(t, 42)
+	cuboid := Cuboid{0, 1}
+	first := snap.GroupByAppend(cuboid, nil)
+	reused := snap.GroupByAppend(cuboid, first)
+	if len(reused) != len(first) {
+		t.Fatalf("reused call returned %d groups, first %d", len(reused), len(first))
+	}
+	want := snap.GroupBy(cuboid)
+	for i := range want {
+		if !reused[i].Combo.Equal(want[i].Combo) || reused[i].Total != want[i].Total {
+			t.Errorf("group %d mismatch after reuse", i)
+		}
+	}
+}
+
+// TestIndexerCacheReturnsSameInstance checks Indexer caches per cuboid and
+// that DecodeInto matches Combination.
+func TestIndexerCacheReturnsSameInstance(t *testing.T) {
+	snap := scanTestSnapshot(t, 1)
+	c := Cuboid{0, 2}
+	ix1 := snap.Indexer(c)
+	ix2 := snap.Indexer(Cuboid{0, 2})
+	if ix1 != ix2 {
+		t.Error("Indexer did not return the cached instance")
+	}
+	if snap.Indexer(Cuboid{1}) == ix1 {
+		t.Error("distinct cuboids share an indexer")
+	}
+	dst := NewRoot(3)
+	for g := 0; g < ix1.Size(); g++ {
+		ix1.DecodeInto(dst, g)
+		if want := ix1.Combination(g); !dst.Equal(want) {
+			t.Fatalf("DecodeInto(%d) = %v, want %v", g, dst, want)
+		}
+	}
+}
+
+// TestAnomalousPostingsInvertAnomalousLeaves checks the inverted lists
+// cover exactly the anomalous leaf set, per attribute.
+func TestAnomalousPostingsInvertAnomalousLeaves(t *testing.T) {
+	snap := scanTestSnapshot(t, 3)
+	anom := snap.AnomalousLeafSet()
+	if len(anom) != snap.NumAnomalous() {
+		t.Fatalf("AnomalousLeafSet has %d entries, NumAnomalous %d", len(anom), snap.NumAnomalous())
+	}
+	postings := snap.AnomalousPostings()
+	for a := 0; a < snap.Schema.NumAttributes(); a++ {
+		var total int
+		for code, list := range postings[a] {
+			for _, i := range list {
+				if !snap.Leaves[i].Anomalous {
+					t.Errorf("attr %d code %d: leaf %d is not anomalous", a, code, i)
+				}
+				if snap.Leaves[i].Combo[a] != int32(code) {
+					t.Errorf("attr %d code %d: leaf %d carries code %d", a, code, i, snap.Leaves[i].Combo[a])
+				}
+			}
+			total += len(list)
+		}
+		if total != len(anom) {
+			t.Errorf("attr %d postings cover %d leaves, want %d", a, total, len(anom))
+		}
+	}
+}
+
+// TestInvalidateLabelsRefreshesCaches checks that relabeling after
+// InvalidateLabels is reflected by the cached views.
+func TestInvalidateLabelsRefreshesCaches(t *testing.T) {
+	snap := scanTestSnapshot(t, 9)
+	before := len(snap.AnomalousLeafSet())
+	for i := range snap.Leaves {
+		snap.Leaves[i].Anomalous = true
+	}
+	if got := len(snap.AnomalousLeafSet()); got != before {
+		t.Fatalf("cache refreshed without invalidation: %d vs %d", got, before)
+	}
+	snap.InvalidateLabels()
+	if got := len(snap.AnomalousLeafSet()); got != snap.Len() {
+		t.Fatalf("after invalidation AnomalousLeafSet has %d entries, want %d", got, snap.Len())
+	}
+	if got := len(snap.AnomalousPostings()[0][0]); got == 0 {
+		t.Error("postings not rebuilt after invalidation")
+	}
+}
+
+// TestScanCuboidConcurrent exercises the snapshot caches and pooled
+// accumulators from many goroutines (run with -race).
+func TestScanCuboidConcurrent(t *testing.T) {
+	snap := scanTestSnapshot(t, 11)
+	attrs := []int{0, 1, 2}
+	cuboids := AllCuboids(attrs)
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			var buf []GroupCount
+			for rep := 0; rep < 50; rep++ {
+				for _, c := range cuboids {
+					buf = snap.ScanCuboid(c, buf)
+					_ = snap.AnomalousPostings()
+				}
+			}
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}

@@ -3,6 +3,7 @@ package kpi
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Leaf is one most fine-grained attribute combination at a single timestamp,
@@ -28,9 +29,31 @@ func (l Leaf) Dev(eps float64) float64 {
 // simply absent — matching the paper's support_count semantics, which are
 // defined over the observed dataset D rather than the full Cartesian
 // product.
+//
+// A snapshot lazily caches structures derived from its leaves (cuboid
+// indexers, the anomalous leaf set and its per-attribute inverted lists);
+// the caches are safe for concurrent readers. Code that rewrites the
+// Anomalous labels in place after the snapshot has been used must call
+// InvalidateLabels (the anomaly package's labelers do).
 type Snapshot struct {
 	Schema *Schema
 	Leaves []Leaf
+
+	// mu guards the lazily built caches below.
+	mu       sync.Mutex
+	indexers map[string]*CuboidIndexer
+	labeled  *labelDerived
+}
+
+// labelDerived bundles every cache computed from the Anomalous labels, so
+// one pointer swap invalidates them together.
+type labelDerived struct {
+	// anomIdx lists the indexes (into Leaves) of anomalous leaves.
+	anomIdx []int
+	// postings, built on demand, holds per (attribute, code) the indexes
+	// of the anomalous leaves carrying that code: postings[a][code].
+	postings     [][][]int32
+	postingsOnce sync.Once
 }
 
 // NewSnapshot validates that every leaf is fully constrained, carries valid
@@ -73,6 +96,86 @@ func (s *Snapshot) NumAnomalous() int {
 		}
 	}
 	return n
+}
+
+// Indexer returns the snapshot's cached CuboidIndexer for the cuboid,
+// building it on first use. Indexers depend only on the schema, which is
+// immutable, so the cache never goes stale. Safe for concurrent use.
+func (s *Snapshot) Indexer(c Cuboid) *CuboidIndexer {
+	// Attribute indexes are tiny; one byte each is a collision-free key.
+	var kb [16]byte
+	key := kb[:0]
+	for _, a := range c {
+		key = append(key, byte(a))
+	}
+	s.mu.Lock()
+	ix, ok := s.indexers[string(key)]
+	if !ok {
+		ix = NewCuboidIndexer(s.Schema, c)
+		if s.indexers == nil {
+			s.indexers = make(map[string]*CuboidIndexer, 8)
+		}
+		s.indexers[string(key)] = ix
+	}
+	s.mu.Unlock()
+	return ix
+}
+
+// InvalidateLabels drops every cache derived from the Anomalous labels.
+// Callers that rewrite labels in place (detectors relabeling a snapshot)
+// must invalidate before the snapshot is searched again.
+func (s *Snapshot) InvalidateLabels() {
+	s.mu.Lock()
+	s.labeled = nil
+	s.mu.Unlock()
+}
+
+// labelCache returns the lazily built label-derived bundle.
+func (s *Snapshot) labelCache() *labelDerived {
+	s.mu.Lock()
+	ld := s.labeled
+	if ld == nil {
+		ld = &labelDerived{}
+		for i := range s.Leaves {
+			if s.Leaves[i].Anomalous {
+				ld.anomIdx = append(ld.anomIdx, i)
+			}
+		}
+		s.labeled = ld
+	}
+	s.mu.Unlock()
+	return ld
+}
+
+// AnomalousLeafSet returns the index positions (into Leaves) of the
+// anomalous leaves; used by the early-stop coverage check. The returned
+// slice is cached on the snapshot — treat it as read-only.
+func (s *Snapshot) AnomalousLeafSet() []int {
+	return s.labelCache().anomIdx
+}
+
+// AnomalousPostings returns, per attribute and per code, the indexes of the
+// anomalous leaves carrying that code: postings[attr][code] is sorted
+// ascending. The inverted lists let coverage checks walk only a
+// combination's member leaves instead of testing every anomalous leaf.
+// Cached on the snapshot — treat the result as read-only.
+func (s *Snapshot) AnomalousPostings() [][][]int32 {
+	ld := s.labelCache()
+	ld.postingsOnce.Do(func() {
+		n := s.Schema.NumAttributes()
+		postings := make([][][]int32, n)
+		for a := 0; a < n; a++ {
+			postings[a] = make([][]int32, s.Schema.Cardinality(a))
+		}
+		for _, i := range ld.anomIdx {
+			combo := s.Leaves[i].Combo
+			for a := 0; a < n; a++ {
+				postings[a][combo[a]] = append(postings[a][combo[a]], int32(i))
+			}
+		}
+		ld.postings = postings
+	})
+	return ld.postings
 }
 
 // SupportCount returns support_count_D(ac) and support_count_D(ac, Anomaly):
@@ -130,6 +233,36 @@ func (g GroupStats) Confidence() float64 {
 	return float64(g.Anomalous) / float64(g.Total)
 }
 
+// statsScratch pools the dense accumulator arrays of GroupByAppend so
+// steady-state group-bys allocate nothing but their output.
+type statsScratch struct {
+	total     []int32
+	anomalous []int32
+	actual    []float64
+	forecast  []float64
+}
+
+var statsScratchPool = sync.Pool{New: func() any { return new(statsScratch) }}
+
+// grow sizes and zeroes the accumulators for a domain of size n.
+func (sc *statsScratch) grow(n int) {
+	if cap(sc.total) < n {
+		sc.total = make([]int32, n)
+		sc.anomalous = make([]int32, n)
+		sc.actual = make([]float64, n)
+		sc.forecast = make([]float64, n)
+		return
+	}
+	sc.total = sc.total[:n]
+	sc.anomalous = sc.anomalous[:n]
+	sc.actual = sc.actual[:n]
+	sc.forecast = sc.forecast[:n]
+	clear(sc.total)
+	clear(sc.anomalous)
+	clear(sc.actual)
+	clear(sc.forecast)
+}
+
 // GroupBy projects every leaf onto the cuboid's attributes and accumulates
 // per-combination statistics in a single pass over D. Only combinations that
 // actually occur in D are returned; the order is deterministic (ascending
@@ -140,44 +273,45 @@ func (g GroupStats) Confidence() float64 {
 // sparse data over a huge domain) a map-based path avoids allocating the
 // full domain.
 func (s *Snapshot) GroupBy(c Cuboid) []GroupStats {
-	ix := NewCuboidIndexer(s.Schema, c)
+	return s.GroupByAppend(c, nil)
+}
+
+// GroupByAppend is GroupBy appending into dst (reusing its capacity after
+// truncation to zero length), so callers scanning many cuboids can recycle
+// one result buffer. The accumulator arrays come from a sync.Pool, leaving
+// the per-group Combinations as the only steady-state allocations.
+func (s *Snapshot) GroupByAppend(c Cuboid, dst []GroupStats) []GroupStats {
+	dst = dst[:0]
+	ix := s.Indexer(c)
 	if size := ix.Size(); size < 0 || size > denseGroupByLimit(len(s.Leaves)) {
-		return s.groupBySparse(c, ix)
+		return s.groupBySparse(c, ix, dst)
 	}
-	var (
-		total     = make([]int, ix.Size())
-		anomalous = make([]int, ix.Size())
-		actual    = make([]float64, ix.Size())
-		forecast  = make([]float64, ix.Size())
-		nonEmpty  int
-	)
+	sc := statsScratchPool.Get().(*statsScratch)
+	sc.grow(ix.Size())
 	for i := range s.Leaves {
 		l := &s.Leaves[i]
 		g := ix.Index(l.Combo)
-		if total[g] == 0 {
-			nonEmpty++
-		}
-		total[g]++
+		sc.total[g]++
 		if l.Anomalous {
-			anomalous[g]++
+			sc.anomalous[g]++
 		}
-		actual[g] += l.Actual
-		forecast[g] += l.Forecast
+		sc.actual[g] += l.Actual
+		sc.forecast[g] += l.Forecast
 	}
-	out := make([]GroupStats, 0, nonEmpty)
-	for g, n := range total {
+	for g, n := range sc.total {
 		if n == 0 {
 			continue
 		}
-		out = append(out, GroupStats{
+		dst = append(dst, GroupStats{
 			Combo:     ix.Combination(g),
-			Total:     n,
-			Anomalous: anomalous[g],
-			Actual:    actual[g],
-			Forecast:  forecast[g],
+			Total:     int(n),
+			Anomalous: int(sc.anomalous[g]),
+			Actual:    sc.actual[g],
+			Forecast:  sc.forecast[g],
 		})
 	}
-	return out
+	statsScratchPool.Put(sc)
+	return dst
 }
 
 // denseGroupByLimit bounds the flat-array domain size relative to the
@@ -192,18 +326,20 @@ func denseGroupByLimit(leaves int) int {
 }
 
 // groupBySparse is the map-based group-by used for huge sparse domains.
-func (s *Snapshot) groupBySparse(c Cuboid, ix *CuboidIndexer) []GroupStats {
-	groups := make(map[int]*GroupStats)
+func (s *Snapshot) groupBySparse(c Cuboid, ix *CuboidIndexer, dst []GroupStats) []GroupStats {
+	pos := make(map[int]int32, 64)
 	var order []int
 	for i := range s.Leaves {
 		l := &s.Leaves[i]
 		g := ix.Index(l.Combo)
-		st, ok := groups[g]
+		p, ok := pos[g]
 		if !ok {
-			st = &GroupStats{Combo: l.Combo.Project(c)}
-			groups[g] = st
+			p = int32(len(dst))
+			pos[g] = p
+			dst = append(dst, GroupStats{Combo: l.Combo.Project(c)})
 			order = append(order, g)
 		}
+		st := &dst[p]
 		st.Total++
 		if l.Anomalous {
 			st.Anomalous++
@@ -211,27 +347,26 @@ func (s *Snapshot) groupBySparse(c Cuboid, ix *CuboidIndexer) []GroupStats {
 		st.Actual += l.Actual
 		st.Forecast += l.Forecast
 	}
-	sort.Ints(order)
-	out := make([]GroupStats, 0, len(order))
-	for _, g := range order {
-		out = append(out, *groups[g])
-	}
-	return out
+	sort.Sort(&sparseStatsSort{groups: order, stats: dst})
+	return dst
 }
 
-// AnomalousLeafSet returns the index positions (into Leaves) of the
-// anomalous leaves; used by the early-stop coverage check.
-func (s *Snapshot) AnomalousLeafSet() []int {
-	var idx []int
-	for i, l := range s.Leaves {
-		if l.Anomalous {
-			idx = append(idx, i)
-		}
-	}
-	return idx
+// sparseStatsSort orders sparse group-by output by ascending group index,
+// swapping the stats in lockstep with their keys.
+type sparseStatsSort struct {
+	groups []int
+	stats  []GroupStats
+}
+
+func (s *sparseStatsSort) Len() int           { return len(s.groups) }
+func (s *sparseStatsSort) Less(i, j int) bool { return s.groups[i] < s.groups[j] }
+func (s *sparseStatsSort) Swap(i, j int) {
+	s.groups[i], s.groups[j] = s.groups[j], s.groups[i]
+	s.stats[i], s.stats[j] = s.stats[j], s.stats[i]
 }
 
 // Clone returns a deep copy of the snapshot (leaves and combinations).
+// Lazily built caches are not carried over; they rebuild on demand.
 func (s *Snapshot) Clone() *Snapshot {
 	leaves := make([]Leaf, len(s.Leaves))
 	for i, l := range s.Leaves {

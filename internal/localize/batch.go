@@ -1,0 +1,70 @@
+package localize
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kpi"
+)
+
+// BatchResult pairs one snapshot's localization outcome with its error.
+// Exactly one of Result/Err is meaningful.
+type BatchResult struct {
+	Result Result
+	Err    error
+}
+
+// BatchLocalizer is a Localizer that can process many snapshots in one
+// call, amortizing fan-out across its own worker pool. Results are
+// positional: result i belongs to snapshot i, and a failed item carries its
+// error without affecting its neighbors.
+type BatchLocalizer interface {
+	Localizer
+	LocalizeBatch(ctx context.Context, snapshots []*kpi.Snapshot, k int) []BatchResult
+}
+
+// BatchLocalize fans the snapshots across a bounded pool of workers, each
+// item localized with l. It is the generic implementation behind
+// BatchLocalizer for methods whose Localize is safe for concurrent use
+// (every method in this repository is). Once ctx is canceled the remaining
+// unstarted items are marked with ctx.Err() instead of running.
+func BatchLocalize(ctx context.Context, l Localizer, snapshots []*kpi.Snapshot, k, workers int) []BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]BatchResult, len(snapshots))
+	if len(snapshots) == 0 {
+		return out
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(snapshots) {
+		workers = len(snapshots)
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(snapshots) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					out[i] = BatchResult{Err: err}
+					continue
+				}
+				res, err := l.Localize(snapshots[i], k)
+				out[i] = BatchResult{Result: res, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

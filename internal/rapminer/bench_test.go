@@ -8,7 +8,7 @@ import (
 )
 
 // benchCase builds a CDN-scale labeled snapshot with two injected RAPs.
-func benchCase(b *testing.B) *kpi.Snapshot {
+func benchCase(b testing.TB) *kpi.Snapshot {
 	b.Helper()
 	mk := func(prefix string, n int) kpi.Attribute {
 		vals := make([]string, n)

@@ -3,6 +3,8 @@ package rapminer
 import (
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/kpi"
 )
@@ -26,7 +28,9 @@ func ClassificationPower(s *kpi.Snapshot, attr int) float64 {
 	if total == 0 {
 		return 0
 	}
-	anomalous := s.NumAnomalous()
+	// The anomalous count comes from the snapshot's cached leaf set, so a
+	// run computing CP for n attributes counts anomalies once, not n times.
+	anomalous := len(s.AnomalousLeafSet())
 	infoD := binaryEntropy(float64(anomalous) / float64(total))
 	if infoD == 0 {
 		return 0
@@ -64,10 +68,43 @@ func ClassificationPower(s *kpi.Snapshot, attr int) float64 {
 // ClassificationPowers computes CP for every attribute of the snapshot's
 // schema, in attribute order.
 func ClassificationPowers(s *kpi.Snapshot) []AttributeCP {
+	return classificationPowers(s, 1)
+}
+
+// classificationPowers fans the per-attribute CP passes across workers.
+// Each attribute's computation is independent and identical to
+// ClassificationPower, so the result does not depend on the worker count.
+func classificationPowers(s *kpi.Snapshot, workers int) []AttributeCP {
 	out := make([]AttributeCP, s.Schema.NumAttributes())
-	for a := range out {
-		out[a] = AttributeCP{Attr: a, CP: ClassificationPower(s, a)}
+	if workers > len(out) {
+		workers = len(out)
 	}
+	if workers <= 1 || len(out) <= 1 {
+		for a := range out {
+			out[a] = AttributeCP{Attr: a, CP: ClassificationPower(s, a)}
+		}
+		return out
+	}
+	// Build the shared label cache before forking so workers only read it.
+	_ = s.AnomalousLeafSet()
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				a := int(next.Add(1)) - 1
+				if a >= len(out) {
+					return
+				}
+				out[a] = AttributeCP{Attr: a, CP: ClassificationPower(s, a)}
+			}
+		}()
+	}
+	wg.Wait()
 	return out
 }
 

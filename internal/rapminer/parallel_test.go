@@ -1,0 +1,133 @@
+package rapminer
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/gendata"
+	"repro/internal/kpi"
+	"repro/internal/localize"
+)
+
+// TestParallelSearchMatchesSequential is the determinism property behind the
+// worker pool: for any worker count the search must produce bit-identical
+// results — same candidates, same scores, same ranking, and the same
+// Diagnostics journal (layer counts, prune counts, early-stop cut-off) — as
+// the sequential single-worker run.
+func TestParallelSearchMatchesSequential(t *testing.T) {
+	corpus, err := gendata.RAPMD(17, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshots := make([]*kpi.Snapshot, 0, len(corpus.Cases)+1)
+	for _, c := range corpus.Cases {
+		snapshots = append(snapshots, c.Snapshot)
+	}
+	snapshots = append(snapshots, benchCase(t))
+
+	base, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := base.WithWorkers(1)
+	for si, snap := range snapshots {
+		wantRes, wantDiag, err := seq.LocalizeWithDiagnostics(snap, 10)
+		if err != nil {
+			t.Fatalf("case %d: sequential run failed: %v", si, err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			par := base.WithWorkers(workers)
+			gotRes, gotDiag, err := par.LocalizeWithDiagnostics(snap, 10)
+			if err != nil {
+				t.Fatalf("case %d workers %d: %v", si, workers, err)
+			}
+			if len(gotRes.Patterns) != len(wantRes.Patterns) {
+				t.Fatalf("case %d workers %d: %d patterns, want %d",
+					si, workers, len(gotRes.Patterns), len(wantRes.Patterns))
+			}
+			for i := range wantRes.Patterns {
+				w, g := wantRes.Patterns[i], gotRes.Patterns[i]
+				if !g.Combo.Equal(w.Combo) || g.Score != w.Score {
+					t.Errorf("case %d workers %d pattern %d: got %v@%v, want %v@%v",
+						si, workers, i, g.Combo, g.Score, w.Combo, w.Score)
+				}
+			}
+			if !reflect.DeepEqual(gotDiag, wantDiag) {
+				t.Errorf("case %d workers %d: diagnostics diverge\n got %+v\nwant %+v",
+					si, workers, gotDiag, wantDiag)
+			}
+		}
+	}
+}
+
+// TestWithWorkersDoesNotMutateReceiver checks WithWorkers derives a new miner
+// and leaves the receiver's configuration untouched.
+func TestWithWorkersDoesNotMutateReceiver(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 3
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.WithWorkers(7)
+	if got := w.cfg.Workers; got != 7 {
+		t.Fatalf("derived miner has %d workers, want 7", got)
+	}
+	if got := m.cfg.Workers; got != 3 {
+		t.Fatalf("receiver mutated to %d workers, want 3", got)
+	}
+	if neg := m.WithWorkers(-5); neg.cfg.Workers != 0 {
+		t.Fatalf("negative worker count not normalized: %d", neg.cfg.Workers)
+	}
+}
+
+// TestLocalizeBatch checks the batch entry point returns positional results
+// identical to per-snapshot Localize calls and honors cancellation.
+func TestLocalizeBatch(t *testing.T) {
+	corpus, err := gendata.RAPMD(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshots := make([]*kpi.Snapshot, len(corpus.Cases))
+	for i, c := range corpus.Cases {
+		snapshots[i] = c.Snapshot
+	}
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := m.LocalizeBatch(context.Background(), snapshots, 5)
+	if len(results) != len(snapshots) {
+		t.Fatalf("%d results, want %d", len(results), len(snapshots))
+	}
+	for i, br := range results {
+		if br.Err != nil {
+			t.Fatalf("item %d: %v", i, br.Err)
+		}
+		want, err := m.Localize(snapshots[i], 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(br.Result.Patterns) != len(want.Patterns) {
+			t.Fatalf("item %d: %d patterns, want %d", i, len(br.Result.Patterns), len(want.Patterns))
+		}
+		for j := range want.Patterns {
+			if !br.Result.Patterns[j].Combo.Equal(want.Patterns[j].Combo) {
+				t.Errorf("item %d pattern %d diverges from Localize", i, j)
+			}
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, br := range m.LocalizeBatch(ctx, snapshots, 5) {
+		if br.Err != context.Canceled {
+			t.Fatalf("canceled batch item error = %v, want context.Canceled", br.Err)
+		}
+	}
+
+	var _ localize.BatchLocalizer = m
+}

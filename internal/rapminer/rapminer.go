@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 
 	"repro/internal/kpi"
 	"repro/internal/localize"
@@ -40,6 +41,12 @@ type Config struct {
 	// DisableAttributeDeletion turns off stage 1, searching all 2^n - 1
 	// cuboids. Used by the Table VI ablation.
 	DisableAttributeDeletion bool
+	// Workers bounds the goroutines used inside one localization run: the
+	// per-cuboid scans of each search layer and the per-attribute
+	// classification-power passes fan out across this many workers. The
+	// result is bit-identical for every worker count. 0 means GOMAXPROCS;
+	// 1 runs fully sequential on the caller's goroutine.
+	Workers int
 }
 
 // DefaultConfig returns the thresholds used in the paper's experiments:
@@ -65,7 +72,31 @@ func New(cfg Config) (*Miner, error) {
 	if cfg.TConf <= 0 || cfg.TConf >= 1 {
 		return nil, fmt.Errorf("rapminer: t_conf %v out of (0, 1)", cfg.TConf)
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("rapminer: workers %d, want >= 0", cfg.Workers)
+	}
 	return &Miner{cfg: cfg}, nil
+}
+
+// workers resolves Config.Workers: 0 means GOMAXPROCS.
+func (m *Miner) workers() int {
+	if m.cfg.Workers > 0 {
+		return m.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// WithWorkers returns a miner sharing m's thresholds with the per-run
+// worker count replaced; m is unchanged. Callers that already parallelize
+// across snapshots (batch pools) use WithWorkers(1) so items do not
+// oversubscribe the CPU with nested fan-out.
+func (m *Miner) WithWorkers(n int) *Miner {
+	if n < 0 {
+		n = 0
+	}
+	cfg := m.cfg
+	cfg.Workers = n
+	return &Miner{cfg: cfg}
 }
 
 // MustNew is New that panics on error; for tests and static configurations.
@@ -177,6 +208,15 @@ func (m *Miner) Localize(snapshot *kpi.Snapshot, k int) (localize.Result, error)
 	return res, err
 }
 
+// LocalizeBatch implements localize.BatchLocalizer: the snapshots are
+// localized concurrently across cfg.Workers goroutines, each item's run
+// fully sequential (item-level parallelism maximizes batch throughput, and
+// per-item results are independent of the fan-out). Results are positional;
+// a failed item carries its error without affecting its neighbors.
+func (m *Miner) LocalizeBatch(ctx context.Context, snapshots []*kpi.Snapshot, k int) []localize.BatchResult {
+	return localize.BatchLocalize(ctx, m.WithWorkers(1), snapshots, k, m.workers())
+}
+
 // LocalizeWithDiagnostics is Localize plus the run's search statistics.
 func (m *Miner) LocalizeWithDiagnostics(snapshot *kpi.Snapshot, k int) (localize.Result, Diagnostics, error) {
 	var diag Diagnostics
@@ -208,7 +248,9 @@ func (m *Miner) localize(ctx context.Context, snapshot *kpi.Snapshot, k int, dia
 		return localize.Result{}, zero, fmt.Errorf("rapminer: k = %d, want > 0", k)
 	}
 
-	numAnomalous := snapshot.NumAnomalous()
+	// The anomalous leaf set is cached on the snapshot; the search's
+	// coverage check reuses it along with the inverted leaf lists.
+	numAnomalous := len(snapshot.AnomalousLeafSet())
 	if numAnomalous == 0 {
 		return localize.Result{}, zero, nil
 	}
@@ -237,7 +279,7 @@ func (m *Miner) localize(ctx context.Context, snapshot *kpi.Snapshot, k int, dia
 	if ctx != nil {
 		_, span = obs.StartSpan(ctx, "rapminer.attribute_deletion")
 	}
-	cps := ClassificationPowers(snapshot)
+	cps := classificationPowers(snapshot, m.workers())
 	attrs := m.selectSearchAttributes(cps)
 	if span != nil {
 		span.SetAttr("kept", len(attrs))

@@ -3,6 +3,8 @@ package rapminer
 import (
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/kpi"
 	"repro/internal/localize"
@@ -17,6 +19,9 @@ type candidate struct {
 	layer      int
 	anomalous  int
 	total      int
+	// key is combo.Key(), computed once before sorting so the tie-break
+	// comparator does not allocate a string per comparison.
+	key string
 }
 
 // search implements Algorithm 2: the anomaly-confidence-guided
@@ -25,13 +30,27 @@ type candidate struct {
 // candidates and then toward larger anomalous support, so a genuine RAP
 // always precedes a stray false-alarm leaf that happens to share its score.
 // diag, when non-nil, accumulates search statistics.
+//
+// Concurrency model: the expensive part of a layer — one count-only
+// group-by per cuboid — fans out across cfg.Workers goroutines, while the
+// cheap per-group decisions (Criteria 2/3, coverage, journaling) replay
+// sequentially over the scan results in cuboid order, then group-index
+// order. That merge order is exactly the sequential visit order, so
+// candidates, scores, ranking and Diagnostics are bit-identical to a
+// single-worker run. The layer barrier is preserved: no combination is
+// judged before every shallower layer has been fully merged, which is what
+// Definition 1 and Criteria 3 rely on. Pruning and early-stop state
+// (ancestorIndex, coverage) are touched only by the merging goroutine, so
+// the parallel path needs no locks beyond the snapshot's internal caches.
 func (m *Miner) search(snapshot *kpi.Snapshot, attrs []int, diag *Diagnostics) []localize.ScoredPattern {
 	var (
 		candidates []candidate
-		// candidateCombos mirrors candidates for the descendant-pruning
-		// test (Criteria 3).
-		candidateCombos []kpi.Combination
-		covered         = newCoverage(snapshot)
+		anc        = newAncestorIndex()
+		covered    = newCoverage(snapshot)
+		scanner    = layerScanner{snap: snapshot, workers: m.workers()}
+		// probe is the scratch combination groups are decoded into; it is
+		// cloned only when a group becomes a candidate.
+		probe = kpi.NewRoot(snapshot.Schema.NumAttributes())
 	)
 
 layers:
@@ -41,19 +60,23 @@ layers:
 			diag.Layers = append(diag.Layers, LayerStats{Layer: layer})
 			stats = &diag.Layers[len(diag.Layers)-1]
 		}
-		for _, cuboid := range kpi.CuboidsAtLayer(attrs, layer) {
+		cuboids := kpi.CuboidsAtLayer(attrs, layer)
+		prefetched := scanner.prefetch(cuboids)
+		for ci, cuboid := range cuboids {
 			if diag != nil {
 				diag.CuboidsVisited++
 				stats.Cuboids++
 			}
-			for _, g := range snapshot.GroupBy(cuboid) {
+			ix := snapshot.Indexer(cuboid)
+			for _, g := range scanner.groups(prefetched, ci, cuboid) {
 				if diag != nil {
 					diag.CombinationsScanned++
 					stats.Combinations++
 				}
+				ix.DecodeInto(probe, g.Group)
 				// Criteria 3: descendants of an accepted RAP cannot be
 				// RAPs; skip them without computing confidence.
-				if hasAncestor(candidateCombos, g.Combo) {
+				if anc.hasAncestor(probe, layer) {
 					if diag != nil {
 						diag.CombinationsPruned++
 						stats.Pruned++
@@ -67,24 +90,25 @@ layers:
 					continue
 				}
 				// Definition 1 holds: all shallower cuboids were fully
-				// searched before this layer, so no anomalous parent
-				// exists (it would have become a candidate and pruned
-				// this combination above).
+				// merged before this layer, so no anomalous parent exists
+				// (it would have become a candidate and pruned this
+				// combination above).
+				combo := probe.Clone()
 				candidates = append(candidates, candidate{
-					combo:      g.Combo,
+					combo:      combo,
 					score:      rapScore(conf, layer),
 					confidence: conf,
 					layer:      layer,
 					anomalous:  g.Anomalous,
 					total:      g.Total,
 				})
-				candidateCombos = append(candidateCombos, g.Combo)
+				anc.add(combo, layer)
 				if diag != nil {
 					stats.Candidates++
 				}
 				// Early stop: quit as soon as the candidate set covers
 				// every anomalous leaf of D.
-				if covered.add(g.Combo) {
+				if covered.add(combo) {
 					if diag != nil {
 						diag.EarlyStopped = true
 						diag.EarlyStopLayer = layer
@@ -97,6 +121,9 @@ layers:
 	if diag != nil {
 		diag.Candidates = len(candidates)
 	}
+	for i := range candidates {
+		candidates[i].key = candidates[i].combo.Key()
+	}
 	sort.SliceStable(candidates, func(i, j int) bool {
 		a, b := candidates[i], candidates[j]
 		if a.score != b.score {
@@ -108,7 +135,7 @@ layers:
 		if a.anomalous != b.anomalous {
 			return a.anomalous > b.anomalous
 		}
-		return a.combo.Key() < b.combo.Key()
+		return a.key < b.key
 	})
 	out := make([]localize.ScoredPattern, len(candidates))
 	for i, c := range candidates {
@@ -138,47 +165,191 @@ func rapScore(conf float64, layer int) float64 {
 	return conf / math.Sqrt(float64(layer))
 }
 
-// hasAncestor reports whether any accepted candidate is an ancestor of c.
-func hasAncestor(candidates []kpi.Combination, c kpi.Combination) bool {
-	for _, cand := range candidates {
-		if cand.IsAncestorOf(c) {
-			return true
+// layerScanner runs the per-cuboid count-only group-bys of one BFS layer,
+// either lazily (single worker: each cuboid scans on demand in the merge
+// loop, preserving the sequential path's early-stop work skipping) or
+// eagerly across a bounded goroutine pool. Scan buffers are owned by the
+// scanner and recycled across layers — the layer barrier guarantees the
+// previous layer's results are fully merged before they are overwritten.
+type layerScanner struct {
+	snap    *kpi.Snapshot
+	workers int
+	bufs    [][]kpi.GroupCount
+	lazy    []kpi.GroupCount
+}
+
+// prefetch concurrently scans every cuboid of the layer when parallelism is
+// available and worthwhile; it reports whether it did. Each worker claims
+// cuboids from an atomic cursor, so results land at deterministic slots
+// regardless of scheduling.
+func (ls *layerScanner) prefetch(cuboids []kpi.Cuboid) bool {
+	if ls.workers <= 1 || len(cuboids) <= 1 {
+		return false
+	}
+	for len(ls.bufs) < len(cuboids) {
+		ls.bufs = append(ls.bufs, nil)
+	}
+	n := ls.workers
+	if n > len(cuboids) {
+		n = len(cuboids)
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cuboids) {
+					return
+				}
+				ls.bufs[i] = ls.snap.ScanCuboid(cuboids[i], ls.bufs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return true
+}
+
+// groups returns cuboid ci's scan: the prefetched buffer, or a lazy scan on
+// the sequential path.
+func (ls *layerScanner) groups(prefetched bool, ci int, cuboid kpi.Cuboid) []kpi.GroupCount {
+	if prefetched {
+		return ls.bufs[ci]
+	}
+	ls.lazy = ls.snap.ScanCuboid(cuboid, ls.lazy)
+	return ls.lazy
+}
+
+// ancestorIndex answers the Criteria 3 test — "is any accepted candidate a
+// strict ancestor of this combination?" — via inverted (attribute, element)
+// posting lists over the candidate set. A candidate is an ancestor of the
+// probe iff every one of its constrained pairs appears in the probe and it
+// constrains strictly fewer attributes; the index counts per-candidate pair
+// matches with generation-stamped counters, so a probe costs time
+// proportional to the candidates sharing a pair with it instead of the
+// former O(candidates) scan that recomputed Layer() per comparison.
+type ancestorIndex struct {
+	postings map[uint64][]int32
+	layers   []int32
+	stamp    []uint64
+	count    []int32
+	gen      uint64
+}
+
+func newAncestorIndex() *ancestorIndex {
+	return &ancestorIndex{postings: make(map[uint64][]int32)}
+}
+
+func postingKey(attr int, code int32) uint64 {
+	return uint64(attr)<<32 | uint64(uint32(code))
+}
+
+// add registers an accepted candidate.
+func (ai *ancestorIndex) add(c kpi.Combination, layer int) {
+	id := int32(len(ai.layers))
+	ai.layers = append(ai.layers, int32(layer))
+	ai.stamp = append(ai.stamp, 0)
+	ai.count = append(ai.count, 0)
+	for a, v := range c {
+		if v == kpi.Wildcard {
+			continue
+		}
+		k := postingKey(a, v)
+		ai.postings[k] = append(ai.postings[k], id)
+	}
+}
+
+// hasAncestor reports whether any registered candidate is a strict ancestor
+// of c, where probeLayer is c's constrained attribute count.
+func (ai *ancestorIndex) hasAncestor(c kpi.Combination, probeLayer int) bool {
+	if len(ai.layers) == 0 {
+		return false
+	}
+	ai.gen++
+	for a, v := range c {
+		if v == kpi.Wildcard {
+			continue
+		}
+		for _, id := range ai.postings[postingKey(a, v)] {
+			if ai.stamp[id] != ai.gen {
+				ai.stamp[id] = ai.gen
+				ai.count[id] = 1
+			} else {
+				ai.count[id]++
+			}
+			if ai.count[id] == ai.layers[id] && int(ai.layers[id]) < probeLayer {
+				return true
+			}
 		}
 	}
 	return false
 }
 
 // coverage tracks which anomalous leaves are covered by the candidate set,
-// powering the early-stop check of Algorithm 2 (line 9).
+// powering the early-stop check of Algorithm 2 (line 9). Covered leaves
+// live in a bitset indexed by leaf position, and add walks only the probe's
+// member leaves — the shortest of the snapshot's per-attribute inverted
+// anomalous-leaf lists — instead of Matches-testing every anomalous leaf.
 type coverage struct {
-	snapshot *kpi.Snapshot
-	// anomIdx lists the indexes of anomalous leaves in the snapshot.
-	anomIdx []int
-	covered []bool
-	left    int
+	snap     *kpi.Snapshot
+	postings [][][]int32
+	bits     []uint64
+	left     int
 }
 
 func newCoverage(s *kpi.Snapshot) *coverage {
-	idx := s.AnomalousLeafSet()
 	return &coverage{
-		snapshot: s,
-		anomIdx:  idx,
-		covered:  make([]bool, len(idx)),
-		left:     len(idx),
+		snap:     s,
+		postings: s.AnomalousPostings(),
+		bits:     make([]uint64, (len(s.Leaves)+63)/64),
+		left:     len(s.AnomalousLeafSet()),
 	}
 }
 
 // add marks the anomalous leaves under c as covered and reports whether the
 // whole anomalous set is now covered.
 func (cv *coverage) add(c kpi.Combination) bool {
-	for i, leafIdx := range cv.anomIdx {
-		if cv.covered[i] {
+	// Every leaf under c appears in the posting list of each of c's
+	// constrained attributes; walking the shortest one suffices.
+	var (
+		list  []int32
+		found bool
+	)
+	for a, v := range c {
+		if v == kpi.Wildcard {
 			continue
 		}
-		if c.Matches(cv.snapshot.Leaves[leafIdx].Combo) {
-			cv.covered[i] = true
-			cv.left--
+		p := cv.postings[a][v]
+		if !found || len(p) < len(list) {
+			list, found = p, true
 		}
 	}
+	if !found {
+		// Root probe: it covers the entire anomalous set. Unreachable from
+		// the search (layers start at 1) but kept for safety.
+		for _, i := range cv.snap.AnomalousLeafSet() {
+			cv.mark(int32(i), cv.snap.Leaves[i].Combo, c)
+		}
+		return cv.left == 0
+	}
+	for _, i := range list {
+		cv.mark(i, cv.snap.Leaves[i].Combo, c)
+	}
 	return cv.left == 0
+}
+
+// mark sets leaf i's bit when c matches it.
+func (cv *coverage) mark(i int32, leaf kpi.Combination, c kpi.Combination) {
+	w, b := int(i)>>6, uint64(1)<<(uint(i)&63)
+	if cv.bits[w]&b != 0 {
+		return
+	}
+	if c.Matches(leaf) {
+		cv.bits[w] |= b
+		cv.left--
+	}
 }
