@@ -2,6 +2,7 @@
 //
 //	serve [-addr :8080] [-pprof] [-log-level info] [-log-json]
 //	      [-span-capacity 512] [-workers 0] [-batch-queue -1]
+//	      [-request-timeout 0] [-read-timeout 1m] [-write-timeout 2m]
 //
 // Endpoints:
 //
@@ -76,6 +77,9 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		spanCapacity    = fs.Int("span-capacity", obs.DefaultSpanCapacity, "trace spans retained for /debug/spans")
 		workers         = fs.Int("workers", 0, "batch localization workers (0 = GOMAXPROCS)")
 		batchQueue      = fs.Int("batch-queue", 0, "batch items that may wait beyond the running ones (0 = 4x workers, min 16; negative = none)")
+		requestTimeout  = fs.Duration("request-timeout", 0, "per-request localization deadline; expired requests answer 504 with best-so-far partial results (0 = none)")
+		readTimeout     = fs.Duration("read-timeout", time.Minute, "max time to read one request including the body (0 = none)")
+		writeTimeout    = fs.Duration("write-timeout", 2*time.Minute, "max time to write one response (0 = none; keep above -request-timeout and pprof profile windows)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,8 +96,9 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 
 	mux := http.NewServeMux()
 	mux.Handle("/", httpapi.NewHandlerOpts(httpapi.Options{
-		BatchWorkers: *workers,
-		BatchQueue:   *batchQueue,
+		BatchWorkers:   *workers,
+		BatchQueue:     *batchQueue,
+		RequestTimeout: *requestTimeout,
 	}))
 	if *pprofOn {
 		// Mounted on the outer mux so profiler traffic skips the API
@@ -113,6 +118,12 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 	srv := &http.Server{
 		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
+		// Slow-client protection: a request that cannot deliver its body or
+		// drain its response in these windows releases its connection
+		// instead of pinning a worker slot forever. The localization work
+		// itself is bounded separately by -request-timeout.
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
 	}
 
 	fmt.Fprintf(w, "listening on %s\n", ln.Addr())

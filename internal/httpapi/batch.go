@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -44,6 +45,10 @@ type batchItemResponse struct {
 	Leaves    int               `json:"leaves"`
 	Patterns  []patternResponse `json:"patterns,omitempty"`
 	Error     string            `json:"error,omitempty"`
+	// Degraded marks an item whose run was cut off by the request deadline
+	// or budget; Patterns holds its best-so-far candidates.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // handleLocalizeBatch localizes many snapshots in one request. Items fan
@@ -120,7 +125,17 @@ func (a *api) handleLocalizeBatch(w http.ResponseWriter, r *http.Request) {
 		m = rm.WithWorkers(1)
 	}
 
-	ctx, span := obs.StartSpan(r.Context(), "httpapi.localize_batch")
+	reqCtx := r.Context()
+	if a.timeout > 0 {
+		// One deadline bounds the whole batch: items already running stop
+		// at their next cancellation point with best-so-far results,
+		// unstarted items fail with the context error, and the reply is a
+		// 504 carrying everything the deadline's worth of work produced.
+		var cancel context.CancelFunc
+		reqCtx, cancel = context.WithTimeout(reqCtx, a.timeout)
+		defer cancel()
+	}
+	ctx, span := obs.StartSpan(reqCtx, "httpapi.localize_batch")
 	defer span.End()
 	span.SetAttr("method", methodName)
 	span.SetAttr("items", len(snaps))
@@ -144,7 +159,7 @@ func (a *api) handleLocalizeBatch(w http.ResponseWriter, r *http.Request) {
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 		Items:     make([]batchItemResponse, len(results)),
 	}
-	var failed int
+	var failed, degraded, deadlined int
 	for i, br := range results {
 		item := batchItemResponse{
 			Anomalous: snaps[i].NumAnomalous(),
@@ -153,13 +168,36 @@ func (a *api) handleLocalizeBatch(w http.ResponseWriter, r *http.Request) {
 		if br.Err != nil {
 			item.Error = br.Err.Error()
 			failed++
+			if errors.Is(br.Err, context.DeadlineExceeded) {
+				deadlined++
+			}
 		} else {
 			item.Patterns = renderPatterns(snaps[i], br.Result.Patterns)
+			item.Degraded = br.Result.Degraded
+			item.DegradedReason = br.Result.DegradedReason
+			if br.Result.Degraded {
+				degraded++
+				if a.timeout > 0 && br.Result.DegradedReason == rapminer.DegradedDeadline {
+					deadlined++
+				}
+			}
 		}
 		resp.Items[i] = item
 	}
 	span.SetAttr("failed", failed)
-	writeJSON(w, http.StatusOK, resp)
+	span.SetAttr("degraded", degraded)
+	// Deadline expiry answers 504 with the partial per-item results; no
+	// Retry-After, since a retry under the same deadline fares no better
+	// (the 503 busy path above is the transient, retryable condition). Items
+	// record the deadline themselves — the miner's budget can observe the
+	// wall deadline before the context timer fires, so reqCtx.Err() alone
+	// would race the timer.
+	status := http.StatusOK
+	if deadlined > 0 ||
+		errors.Is(reqCtx.Err(), context.DeadlineExceeded) && (failed > 0 || degraded > 0) {
+		status = http.StatusGatewayTimeout
+	}
+	writeJSON(w, status, resp)
 }
 
 // ensure the interface stays satisfied as the miner evolves.

@@ -6,6 +6,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -70,10 +71,11 @@ func MethodNames() []string {
 
 // api carries the service's observability plumbing into the handlers.
 type api struct {
-	reg   *obs.Registry
-	log   *slog.Logger
-	runs  *explain.Store
-	batch *pipeline.BatchExecutor
+	reg     *obs.Registry
+	log     *slog.Logger
+	runs    *explain.Store
+	batch   *pipeline.BatchExecutor
+	timeout time.Duration
 }
 
 // Options configures NewHandlerOpts. The zero value is valid: default
@@ -93,6 +95,13 @@ type Options struct {
 	// (4x workers, minimum 16); negative means no queue at all — items
 	// beyond the running ones are rejected immediately.
 	BatchQueue int
+	// RequestTimeout bounds the localization work of one POST /v1/localize
+	// or /v1/localize/batch request via context.WithTimeout. An expired
+	// request answers 504 carrying the best-so-far partial result
+	// (degraded=true) rather than an empty error — clients keep whatever
+	// the deadline's worth of search bought. 0 means no per-request
+	// deadline.
+	RequestTimeout time.Duration
 }
 
 // NewHandler builds the service's HTTP routes against the default metrics
@@ -133,10 +142,11 @@ func NewHandlerOpts(o Options) http.Handler {
 		queue = 0 // no waiting beyond the running items
 	}
 	a := &api{
-		reg:   reg,
-		log:   log,
-		runs:  explain.Default(),
-		batch: pipeline.NewBatchExecutor(reg, workers, queue),
+		reg:     reg,
+		log:     log,
+		runs:    explain.Default(),
+		batch:   pipeline.NewBatchExecutor(reg, workers, queue),
+		timeout: o.RequestTimeout,
 	}
 	// Expose the full metric schema at zero from the first scrape, before
 	// any localization or incident has happened.
@@ -176,6 +186,11 @@ type localizeResponse struct {
 	Leaves    int               `json:"leaves"`
 	ElapsedMS float64           `json:"elapsed_ms"`
 	Patterns  []patternResponse `json:"patterns"`
+	// Degraded marks a run cut off by the request deadline or the miner's
+	// budget: Patterns holds the best-so-far candidates only. A deadline
+	// expiry additionally answers with status 504.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 type patternResponse struct {
@@ -240,7 +255,18 @@ func (a *api) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	ctx, span := obs.StartSpan(r.Context(), "httpapi.localize")
+	reqCtx := r.Context()
+	if a.timeout > 0 {
+		// The per-request deadline bounds the localization work itself;
+		// decode is already bounded by MaxBytesReader and the server's
+		// ReadTimeout. Context-aware localizers stop at the deadline and
+		// return best-so-far candidates, answered below as 504 + partial
+		// result.
+		var cancel context.CancelFunc
+		reqCtx, cancel = context.WithTimeout(reqCtx, a.timeout)
+		defer cancel()
+	}
+	ctx, span := obs.StartSpan(reqCtx, "httpapi.localize")
 	defer span.End()
 	span.SetAttr("method", methodName)
 	span.SetAttr("leaves", snap.Len())
@@ -267,7 +293,9 @@ func (a *api) handleLocalize(w http.ResponseWriter, r *http.Request) {
 			span.SetAttr("cuboids_visited", diag.CuboidsVisited)
 		}
 	} else {
-		res, err = m.Localize(snap, k)
+		// SafeLocalize adds panic isolation and, for context-aware
+		// methods, deadline enforcement to the plain path.
+		res, err = localize.SafeLocalize(ctx, m, snap, k)
 	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
@@ -275,15 +303,29 @@ func (a *api) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := localizeResponse{
-		TraceID:   span.TraceID(),
-		Method:    m.Name(),
-		K:         k,
-		Anomalous: snap.NumAnomalous(),
-		Leaves:    snap.Len(),
-		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
-		Patterns:  renderPatterns(snap, res.Patterns),
+		TraceID:        span.TraceID(),
+		Method:         m.Name(),
+		K:              k,
+		Anomalous:      snap.NumAnomalous(),
+		Leaves:         snap.Len(),
+		ElapsedMS:      float64(time.Since(start).Microseconds()) / 1000,
+		Patterns:       renderPatterns(snap, res.Patterns),
+		Degraded:       res.Degraded,
+		DegradedReason: res.DegradedReason,
 	}
-	writeJSON(w, http.StatusOK, resp)
+	// An expired request deadline is a gateway timeout, but the reply still
+	// carries the partial result the deadline's worth of search produced.
+	// (No Retry-After: unlike the batch queue's 503, retrying the same
+	// request under the same deadline would degrade the same way.) The
+	// miner's budget can observe the wall deadline slightly before the
+	// context timer fires, so the degraded reason — not reqCtx.Err()
+	// alone — decides the status.
+	status := http.StatusOK
+	if res.Degraded && (a.timeout > 0 && res.DegradedReason == rapminer.DegradedDeadline ||
+		errors.Is(reqCtx.Err(), context.DeadlineExceeded)) {
+		status = http.StatusGatewayTimeout
+	}
+	writeJSON(w, status, resp)
 }
 
 // renderPatterns maps scored patterns back to the snapshot's attribute

@@ -1,0 +1,179 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/kpi"
+	"repro/internal/localize"
+	"repro/internal/rapminer"
+)
+
+// stallLocalizer is a context-aware localizer that parks until the request
+// deadline expires, then returns a degraded best-so-far result — the
+// behavior the miner exhibits on a too-tight deadline, without depending on
+// machine speed.
+type stallLocalizer struct{}
+
+func (stallLocalizer) Name() string { return "stall" }
+
+func (stallLocalizer) Localize(s *kpi.Snapshot, k int) (localize.Result, error) {
+	return stallLocalizer{}.LocalizeContext(context.Background(), s, k)
+}
+
+func (stallLocalizer) LocalizeContext(ctx context.Context, s *kpi.Snapshot, k int) (localize.Result, error) {
+	select {
+	case <-ctx.Done():
+	case <-time.After(10 * time.Second):
+		return localize.Result{}, nil
+	}
+	return localize.Result{
+		Patterns:       []localize.ScoredPattern{{Combo: kpi.NewRoot(s.Schema.NumAttributes()), Score: 1}},
+		Degraded:       true,
+		DegradedReason: rapminer.DegradedDeadline,
+	}, nil
+}
+
+var _ localize.ContextLocalizer = stallLocalizer{}
+
+// panickyLocalizer panics unconditionally.
+type panickyLocalizer struct{}
+
+func (panickyLocalizer) Name() string { return "panicky" }
+
+func (panickyLocalizer) Localize(s *kpi.Snapshot, k int) (localize.Result, error) {
+	panic("poisoned method")
+}
+
+// withTestMethod registers a temporary localization method for the duration
+// of the test.
+func withTestMethod(t *testing.T, name string, l localize.Localizer) {
+	t.Helper()
+	if _, exists := methodBuilders[name]; exists {
+		t.Fatalf("method %q already registered", name)
+	}
+	methodBuilders[name] = func() (localize.Localizer, error) { return l, nil }
+	t.Cleanup(func() { delete(methodBuilders, name) })
+}
+
+// TestRequestTimeoutAnswers504WithPartialResult pins the deadline contract
+// of POST /v1/localize: an expired RequestTimeout answers 504 whose body
+// still carries the degraded best-so-far result, and — unlike the batch
+// queue's retryable 503 — no Retry-After header, because retrying under the
+// same deadline would degrade the same way.
+func TestRequestTimeoutAnswers504WithPartialResult(t *testing.T) {
+	withTestMethod(t, "stall", stallLocalizer{})
+	srv := httptest.NewServer(NewHandlerOpts(Options{RequestTimeout: 30 * time.Millisecond}))
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Post(srv.URL+"/v1/localize?method=stall", "text/csv", strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, http.StatusGatewayTimeout)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "" {
+		t.Fatalf("Retry-After = %q on a deadline 504, want absent", got)
+	}
+	var out localizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Degraded || out.DegradedReason != rapminer.DegradedDeadline {
+		t.Fatalf("degraded=%v reason=%q, want true/%q", out.Degraded, out.DegradedReason, rapminer.DegradedDeadline)
+	}
+	if len(out.Patterns) == 0 {
+		t.Fatal("504 body carries no best-so-far patterns")
+	}
+}
+
+// TestRequestTimeoutLeavesFastRunsAlone checks a run finishing inside the
+// deadline still answers 200 with no degraded marker.
+func TestRequestTimeoutLeavesFastRunsAlone(t *testing.T) {
+	srv := httptest.NewServer(NewHandlerOpts(Options{RequestTimeout: 10 * time.Second}))
+	t.Cleanup(srv.Close)
+	resp, out := postLocalize(t, srv, "/v1/localize?k=2", "text/csv", sampleCSV)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out.Degraded || out.DegradedReason != "" {
+		t.Fatalf("fast run reported degraded: %+v", out)
+	}
+	if len(out.Patterns) == 0 {
+		t.Fatal("no patterns")
+	}
+}
+
+// TestPanickingMethodAnswers500 checks a panicking localizer is converted
+// into the request's 500 — and the server keeps serving afterwards.
+func TestPanickingMethodAnswers500(t *testing.T) {
+	withTestMethod(t, "panicky", panickyLocalizer{})
+	srv := newServer(t)
+
+	resp, err := http.Post(srv.URL+"/v1/localize?method=panicky", "text/csv", strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, http.StatusInternalServerError)
+	}
+
+	// The process survived; a healthy request still works.
+	resp2, out := postLocalize(t, srv, "/v1/localize?k=2", "text/csv", sampleCSV)
+	if resp2.StatusCode != http.StatusOK || len(out.Patterns) == 0 {
+		t.Fatalf("healthy request after panic: status %d, %+v", resp2.StatusCode, out)
+	}
+}
+
+// TestBatchRequestTimeoutAnswers504 pins the batch variant: one stalled item
+// under an expired deadline turns the whole reply into a 504 (no
+// Retry-After) whose items carry their degraded partial results.
+func TestBatchRequestTimeoutAnswers504(t *testing.T) {
+	withTestMethod(t, "stall", stallLocalizer{})
+	srv := httptest.NewServer(NewHandlerOpts(Options{RequestTimeout: 30 * time.Millisecond}))
+	t.Cleanup(srv.Close)
+
+	snap, err := kpi.ReadCSV(strings.NewReader(sampleCSV), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc strings.Builder
+	if err := kpi.WriteJSON(&doc, snap); err != nil {
+		t.Fatal(err)
+	}
+	body := `{"snapshots":[` + doc.String() + `]}`
+
+	resp, err := http.Post(srv.URL+"/v1/localize/batch?method=stall", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, http.StatusGatewayTimeout)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "" {
+		t.Fatalf("Retry-After = %q on a deadline 504, want absent", got)
+	}
+	var out batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != 1 {
+		t.Fatalf("%d items, want 1", len(out.Items))
+	}
+	item := out.Items[0]
+	if item.Error != "" {
+		t.Fatalf("item errored instead of degrading: %q", item.Error)
+	}
+	if !item.Degraded || len(item.Patterns) == 0 {
+		t.Fatalf("item = %+v, want degraded with best-so-far patterns", item)
+	}
+}

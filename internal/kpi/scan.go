@@ -47,6 +47,18 @@ func (sc *countScratch) grow(n int) {
 	clear(sc.anomalous)
 }
 
+// Halt is a cancellation hook polled by long scans: returning true aborts
+// the scan. Implementations must be cheap (an atomic load or a deadline
+// comparison) and safe for concurrent use — one Halt may be polled from
+// several scan workers at once.
+type Halt func() bool
+
+// haltStride is how many leaves a scan processes between Halt polls: large
+// enough that the poll is free next to the scan work, small enough that a
+// multi-million-leaf snapshot still aborts within a fraction of a
+// millisecond of the hook tripping.
+const haltStride = 4096
+
 // ScanCuboid computes the count-only group-by of one cuboid, appending into
 // dst (reusing its capacity after truncation to zero length). Groups are
 // returned in ascending group index — the same deterministic order as
@@ -55,15 +67,28 @@ func (sc *countScratch) grow(n int) {
 // from a sync.Pool, so steady-state scans allocate only when dst grows.
 // Safe for concurrent use on one snapshot.
 func (s *Snapshot) ScanCuboid(c Cuboid, dst []GroupCount) []GroupCount {
+	out, _ := s.ScanCuboidHalt(c, dst, nil)
+	return out
+}
+
+// ScanCuboidHalt is ScanCuboid with a cancellation hook: halt (when non-nil)
+// is polled every haltStride leaves, and a scan it aborts returns
+// (dst[:0], false) so callers never mistake a partial scan for a complete
+// one. A nil halt never aborts and the result is identical to ScanCuboid.
+func (s *Snapshot) ScanCuboidHalt(c Cuboid, dst []GroupCount, halt Halt) ([]GroupCount, bool) {
 	dst = dst[:0]
 	ix := s.Indexer(c)
 	if size := ix.Size(); size < 0 || size > denseGroupByLimit(len(s.Leaves)) {
-		return s.scanSparse(ix, dst)
+		return s.scanSparse(ix, dst, halt)
 	}
 	sc := countScratchPool.Get().(*countScratch)
 	sc.grow(ix.Size())
 	total, anomalous := sc.total, sc.anomalous
 	for i := range s.Leaves {
+		if halt != nil && i%haltStride == 0 && i > 0 && halt() {
+			countScratchPool.Put(sc)
+			return dst, false
+		}
 		l := &s.Leaves[i]
 		g := ix.Index(l.Combo)
 		total[g]++
@@ -78,13 +103,16 @@ func (s *Snapshot) ScanCuboid(c Cuboid, dst []GroupCount) []GroupCount {
 		dst = append(dst, GroupCount{Group: g, Total: int(n), Anomalous: int(anomalous[g])})
 	}
 	countScratchPool.Put(sc)
-	return dst
+	return dst, true
 }
 
 // scanSparse is the map-based scan used for huge sparse domains.
-func (s *Snapshot) scanSparse(ix *CuboidIndexer, dst []GroupCount) []GroupCount {
+func (s *Snapshot) scanSparse(ix *CuboidIndexer, dst []GroupCount, halt Halt) ([]GroupCount, bool) {
 	pos := make(map[int]int32, 64)
 	for i := range s.Leaves {
+		if halt != nil && i%haltStride == 0 && i > 0 && halt() {
+			return dst[:0], false
+		}
 		l := &s.Leaves[i]
 		g := ix.Index(l.Combo)
 		p, ok := pos[g]
@@ -100,5 +128,5 @@ func (s *Snapshot) scanSparse(ix *CuboidIndexer, dst []GroupCount) []GroupCount 
 		}
 	}
 	sort.Slice(dst, func(i, j int) bool { return dst[i].Group < dst[j].Group })
-	return dst
+	return dst, true
 }

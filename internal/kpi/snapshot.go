@@ -18,10 +18,17 @@ type Leaf struct {
 }
 
 // Dev returns the relative deviation (f - v) / f used by the paper's
-// failure-injection procedure (Eq. 4). eps guards the division for zero
-// forecasts.
+// failure-injection procedure (Eq. 4). eps guards the division so the
+// denominator's magnitude never falls below eps: the guard is applied on
+// the side of the forecast's own sign, so a negative forecast (derived
+// KPIs can dip below zero) keeps its sign and cannot push the denominator
+// across zero — which would flip the deviation's sign or blow it up.
 func (l Leaf) Dev(eps float64) float64 {
-	return (l.Forecast - l.Actual) / (l.Forecast + eps)
+	den := l.Forecast + eps
+	if l.Forecast < 0 {
+		den = l.Forecast - eps
+	}
+	return (l.Forecast - l.Actual) / den
 }
 
 // Snapshot is the basic dataset D: the leaves of Cub_{A,B,...} observed at
@@ -102,11 +109,14 @@ func (s *Snapshot) NumAnomalous() int {
 // building it on first use. Indexers depend only on the schema, which is
 // immutable, so the cache never goes stale. Safe for concurrent use.
 func (s *Snapshot) Indexer(c Cuboid) *CuboidIndexer {
-	// Attribute indexes are tiny; one byte each is a collision-free key.
-	var kb [16]byte
+	// Attribute indexes are encoded big-endian as two bytes each, which is
+	// collision-free for schemas up to 1<<16 attributes (far beyond any
+	// realistic KPI schema; a single byte would silently collide attribute
+	// a with attribute a+256 and hand back the wrong cuboid's indexer).
+	var kb [32]byte
 	key := kb[:0]
 	for _, a := range c {
-		key = append(key, byte(a))
+		key = append(key, byte(a>>8), byte(a))
 	}
 	s.mu.Lock()
 	ix, ok := s.indexers[string(key)]

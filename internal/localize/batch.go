@@ -2,10 +2,14 @@ package localize
 
 import (
 	"context"
+	"fmt"
+	"log/slog"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/kpi"
+	"repro/internal/obs"
 )
 
 // BatchResult pairs one snapshot's localization outcome with its error.
@@ -28,7 +32,12 @@ type BatchLocalizer interface {
 // item localized with l. It is the generic implementation behind
 // BatchLocalizer for methods whose Localize is safe for concurrent use
 // (every method in this repository is). Once ctx is canceled the remaining
-// unstarted items are marked with ctx.Err() instead of running.
+// unstarted items are marked with ctx.Err() instead of running; localizers
+// implementing ContextLocalizer additionally see ctx inside each item, so
+// an in-flight item stops at its next cancellation point with a degraded
+// partial result. A panicking item fails only itself: the panic is
+// converted to that item's error and its stack logged, so one poisoned
+// snapshot cannot take down the process or its batch neighbors.
 func BatchLocalize(ctx context.Context, l Localizer, snapshots []*kpi.Snapshot, k, workers int) []BatchResult {
 	if ctx == nil {
 		ctx = context.Background()
@@ -60,11 +69,33 @@ func BatchLocalize(ctx context.Context, l Localizer, snapshots []*kpi.Snapshot, 
 					out[i] = BatchResult{Err: err}
 					continue
 				}
-				res, err := l.Localize(snapshots[i], k)
+				res, err := SafeLocalize(ctx, l, snapshots[i], k)
 				out[i] = BatchResult{Result: res, Err: err}
 			}
 		}()
 	}
 	wg.Wait()
 	return out
+}
+
+// SafeLocalize runs one localization with panic isolation: a panic inside
+// the localizer is recovered into an error (its stack logged through the
+// "localize" component logger) instead of unwinding the calling goroutine.
+// Localizers implementing ContextLocalizer run under ctx so cancellation
+// bounds the item's work; the rest run to completion as plain Localize.
+func SafeLocalize(ctx context.Context, l Localizer, snapshot *kpi.Snapshot, k int) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			obs.Logger("localize").Error("localizer panicked",
+				slog.String("localizer", l.Name()),
+				slog.Any("panic", r),
+				slog.String("stack", string(debug.Stack())))
+			res = Result{}
+			err = fmt.Errorf("localize: %s panicked: %v", l.Name(), r)
+		}
+	}()
+	if cl, ok := l.(ContextLocalizer); ok {
+		return cl.LocalizeContext(ctx, snapshot, k)
+	}
+	return l.Localize(snapshot, k)
 }

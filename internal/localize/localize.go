@@ -5,6 +5,7 @@
 package localize
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -23,6 +24,13 @@ type ScoredPattern struct {
 type Result struct {
 	// Patterns is sorted by descending score.
 	Patterns []ScoredPattern
+	// Degraded reports that the run stopped early — cancellation, an
+	// expired deadline, or an exhausted per-run budget — and Patterns
+	// holds only the best-so-far candidates found up to the stop point.
+	Degraded bool
+	// DegradedReason says why a degraded run stopped ("canceled",
+	// "deadline exceeded", "max cuboids"); empty on complete runs.
+	DegradedReason string
 }
 
 // TopK returns the first k combinations (or all when fewer are available).
@@ -55,6 +63,19 @@ type Localizer interface {
 	Localize(snapshot *kpi.Snapshot, k int) (Result, error)
 	// Name identifies the method in reports ("RAPMiner", "Squeeze", ...).
 	Name() string
+}
+
+// ContextLocalizer is a Localizer whose runs honor context cancellation: a
+// canceled or deadline-expired ctx stops the run at its next safe point and
+// returns the best-so-far candidates as a degraded partial result
+// (Result.Degraded) instead of running to completion. Serving layers
+// type-assert to it so per-request deadlines actually bound localization
+// work rather than only gating whether it starts.
+type ContextLocalizer interface {
+	Localizer
+	// LocalizeContext is Localize under ctx. A nil ctx behaves like
+	// context.Background().
+	LocalizeContext(ctx context.Context, snapshot *kpi.Snapshot, k int) (Result, error)
 }
 
 // SortPatterns sorts candidates by descending score, breaking ties first by

@@ -110,6 +110,12 @@ func (e *BatchExecutor) ObserveDecode(elapsed time.Duration) {
 }
 
 // admit reserves n items against capacity, all-or-nothing.
+//
+// The gauge mirrors the pending counter with commutative Add/Dec deltas
+// rather than Set snapshots: a Set of a precomputed value (cur+n here, the
+// Add result in finish) can land after concurrent releases and publish a
+// stale-high depth that nothing ever corrects. Deltas commute, so the gauge
+// always converges to the counter no matter how the publications interleave.
 func (e *BatchExecutor) admit(n int) bool {
 	for {
 		cur := e.pending.Load()
@@ -117,7 +123,7 @@ func (e *BatchExecutor) admit(n int) bool {
 			return false
 		}
 		if e.pending.CompareAndSwap(cur, cur+int64(n)) {
-			e.depth.Set(float64(cur + int64(n)))
+			e.depth.Add(float64(n))
 			return true
 		}
 	}
@@ -125,14 +131,20 @@ func (e *BatchExecutor) admit(n int) bool {
 
 // finish releases one admitted item.
 func (e *BatchExecutor) finish() {
-	e.depth.Set(float64(e.pending.Add(-1)))
+	e.pending.Add(-1)
+	e.depth.Dec()
 }
 
 // Execute localizes every snapshot with l at the given k, fanning items
 // across the executor's worker slots. Results are positional. The whole
 // batch is rejected with ErrBatchBusy when its items do not fit the queue.
 // Canceling ctx fails the not-yet-started items with ctx.Err(); items
-// already holding a slot run to completion.
+// already holding a slot see ctx through localize.SafeLocalize, so a
+// context-aware localizer stops at its next cancellation point with a
+// degraded partial result instead of pinning the slot. A panicking item
+// fails only itself: SafeLocalize converts the panic into the item's error
+// (stack logged), keeping one poisoned snapshot from killing the process or
+// failing its batch neighbors.
 func (e *BatchExecutor) Execute(ctx context.Context, l localize.Localizer, snapshots []*kpi.Snapshot, k int) ([]localize.BatchResult, error) {
 	out := make([]localize.BatchResult, len(snapshots))
 	if len(snapshots) == 0 {
@@ -161,7 +173,7 @@ func (e *BatchExecutor) Execute(ctx context.Context, l localize.Localizer, snaps
 			e.stages[stageBatchWait].Observe(time.Since(waitStart).Seconds())
 			defer func() { <-e.slots }()
 			start := time.Now()
-			res, err := l.Localize(snapshots[i], k)
+			res, err := localize.SafeLocalize(ctx, l, snapshots[i], k)
 			e.stages[stageBatchLocalize].Observe(time.Since(start).Seconds())
 			out[i] = localize.BatchResult{Result: res, Err: err}
 			if err != nil {

@@ -1,0 +1,136 @@
+package pipeline
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/kpi"
+	"repro/internal/localize"
+	"repro/internal/obs"
+)
+
+// zeroForecastSnapshot builds a snapshot whose aggregate forecast is zero
+// while actual traffic flows — the shape a total forecasting-backend outage
+// produces.
+func zeroForecastSnapshot(t *testing.T, actual float64) *kpi.Snapshot {
+	t.Helper()
+	s := testSchema()
+	var leaves []kpi.Leaf
+	for a := int32(0); a < 3; a++ {
+		for b := int32(0); b < 2; b++ {
+			leaves = append(leaves, kpi.Leaf{
+				Combo: kpi.Combination{a, b}, Actual: actual, Forecast: 0,
+			})
+		}
+	}
+	snap, err := kpi.NewSnapshot(s, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestZeroForecastOutageAlarms is the regression test for the zero-forecast
+// blind spot: nonzero actuals against an all-zero forecast used to divide
+// into a 0.0 deviation and read as a perfectly clean tick. The monitor must
+// instead see the maximal relative deviation and start arming.
+func TestZeroForecastOutageAlarms(t *testing.T) {
+	m := testMonitor(t)
+	ev, err := m.Process(t0, zeroForecastSnapshot(t, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Deviation != 1 {
+		t.Fatalf("deviation = %v, want 1 (maximal) on a forecast outage", ev.Deviation)
+	}
+	if ev.Kind != EventArming {
+		t.Fatalf("event = %v, want %v: a forecast outage must arm the alarm", ev.Kind, EventArming)
+	}
+
+	// Zero forecast with zero actuals stays a clean tick (no traffic, no
+	// forecast — nothing to alarm about).
+	m2 := testMonitor(t)
+	ev, err = m2.Process(t0, zeroForecastSnapshot(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Deviation != 0 || ev.Kind != EventTick {
+		t.Fatalf("all-zero tick: deviation %v kind %v, want 0 and %v", ev.Deviation, ev.Kind, EventTick)
+	}
+}
+
+// panicLocalizer panics on snapshots with exactly boomLen leaves.
+type panicLocalizer struct{ boomLen int }
+
+func (p panicLocalizer) Name() string { return "panic" }
+
+func (p panicLocalizer) Localize(s *kpi.Snapshot, k int) (localize.Result, error) {
+	if s.Len() == p.boomLen {
+		panic("poisoned snapshot")
+	}
+	return localize.Result{Patterns: []localize.ScoredPattern{{Score: float64(s.Len())}}}, nil
+}
+
+// TestBatchExecutorPanicIsolation checks a panicking localizer fails only
+// its own batch item: neighbors complete, the pool survives, and the
+// executor's accounting drains back to zero.
+func TestBatchExecutorPanicIsolation(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := NewBatchExecutor(reg, 2, -1)
+	snaps := batchSnapshots(t, 5) // leaf counts 2..6
+	results, err := e.Execute(context.Background(), panicLocalizer{boomLen: 4}, snaps, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, br := range results {
+		if snaps[i].Len() == 4 {
+			if br.Err == nil || !strings.Contains(br.Err.Error(), "panicked") {
+				t.Fatalf("poisoned item error = %v, want a panic-derived error", br.Err)
+			}
+			continue
+		}
+		if br.Err != nil {
+			t.Fatalf("healthy item %d failed: %v", i, br.Err)
+		}
+		if want := float64(snaps[i].Len()); br.Result.Patterns[0].Score != want {
+			t.Fatalf("healthy item %d score %v, want %v", i, br.Result.Patterns[0].Score, want)
+		}
+	}
+	if got := e.pending.Load(); got != 0 {
+		t.Fatalf("pending = %d after panic batch, want 0", got)
+	}
+	if got := e.depth.Value(); got != 0 {
+		t.Fatalf("queue depth gauge = %v after panic batch, want 0", got)
+	}
+}
+
+// TestBatchQueueDepthGaugeConverges is the regression test for the
+// admit/finish gauge race: under concurrent batches the published depth must
+// track the pending counter via commutative deltas, never stick at a
+// stale-high snapshot. After every batch drains, both must read zero.
+func TestBatchQueueDepthGaugeConverges(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := NewBatchExecutor(reg, 4, 1000)
+	var wg sync.WaitGroup
+	for b := 0; b < 8; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := e.Execute(context.Background(), indexLocalizer{}, batchSnapshots(t, 3), 3); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := e.pending.Load(); got != 0 {
+		t.Fatalf("pending = %d after all batches, want 0", got)
+	}
+	if got := e.depth.Value(); got != 0 {
+		t.Fatalf("queue depth gauge = %v after all batches, want 0 (stale Set race)", got)
+	}
+}

@@ -210,8 +210,16 @@ func (m *Monitor) process(ctx context.Context, ts time.Time, snap *kpi.Snapshot)
 	}
 	v, f := snap.Sum(kpi.NewRoot(snap.Schema.NumAttributes()))
 	dev := 0.0
-	if f != 0 {
+	switch {
+	case f != 0:
 		dev = math.Abs(f-v) / math.Abs(f)
+	case v != 0:
+		// Zero aggregate forecast with nonzero actuals is a total forecast
+		// outage, not a clean tick: forcing deviation to 0 here would blind
+		// the alarm exactly when the forecasting backend fails. Report the
+		// maximal relative deviation (the same value a total actual outage
+		// |f-0|/|f| = 1 produces on the other side) so the alarm can arm.
+		dev = 1
 	}
 	alarming := dev > m.cfg.AlarmThreshold
 
@@ -303,6 +311,13 @@ func (m *Monitor) localize(ctx context.Context, snap *kpi.Snapshot) ([]localize.
 			m.cfg.Runs.Put(explain.New(obs.TraceIDFromContext(locCtx),
 				"pipeline", m.cfg.Localizer.Name(), snap, m.cfg.K, diag,
 				time.Since(runStart)))
+		}
+		if err == nil && diag.Degraded {
+			// Partial results are still served, but a degraded incident
+			// scope deserves an operator-visible line.
+			m.log.Warn("localization degraded",
+				slog.String("reason", diag.DegradedReason),
+				slog.Int("candidates", diag.Candidates))
 		}
 	} else if dl, ok := m.cfg.Localizer.(rapminer.DiagnosticLocalizer); ok {
 		var diag rapminer.Diagnostics

@@ -2,6 +2,7 @@ package rapminer
 
 import (
 	"math"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -90,11 +91,20 @@ func classificationPowers(s *kpi.Snapshot, workers int) []AttributeCP {
 	var (
 		next atomic.Int64
 		wg   sync.WaitGroup
+		trap panicTrap
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// A panic on a worker goroutine would kill the process; trap it
+			// and rethrow on the caller, where localize's recover converts
+			// it into the run's error.
+			defer func() {
+				if r := recover(); r != nil {
+					trap.capture(r, debug.Stack())
+				}
+			}()
 			for {
 				a := int(next.Add(1)) - 1
 				if a >= len(out) {
@@ -105,6 +115,7 @@ func classificationPowers(s *kpi.Snapshot, workers int) []AttributeCP {
 		}()
 	}
 	wg.Wait()
+	trap.rethrow()
 	return out
 }
 

@@ -54,6 +54,11 @@ type Report struct {
 	EarlyStopped   bool `json:"early_stopped"`
 	EarlyStopLayer int  `json:"early_stop_layer,omitempty"`
 
+	// Degraded reports a run cut off by cancellation, deadline, or budget;
+	// the candidate set is the best-so-far prefix of the search.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+
 	// Candidates is the full candidate set in ranked order; the first
 	// min(K, len) entries are what the caller received.
 	Candidates []Candidate `json:"candidates"`
@@ -106,6 +111,8 @@ func New(traceID, source, method string, snap *kpi.Snapshot, k int, diag rapmine
 		Layers:              append([]rapminer.LayerStats(nil), diag.Layers...),
 		EarlyStopped:        diag.EarlyStopped,
 		EarlyStopLayer:      diag.EarlyStopLayer,
+		Degraded:            diag.Degraded,
+		DegradedReason:      diag.DegradedReason,
 	}
 
 	kept := make(map[int]bool, len(diag.KeptAttributes))
@@ -178,9 +185,12 @@ func (r Report) Render(w io.Writer) {
 	}
 	fmt.Fprintf(w, "  visited %d/%d cuboids, scanned %d combinations, pruned %d (Criteria 3)\n",
 		r.CuboidsVisited, r.CuboidsSearchable, r.CombinationsScanned, r.CombinationsPruned)
-	if r.EarlyStopped {
+	switch {
+	case r.Degraded:
+		fmt.Fprintf(w, "  DEGRADED (%s): search cut off, candidates are best-so-far only\n", r.DegradedReason)
+	case r.EarlyStopped:
 		fmt.Fprintf(w, "  early stop at layer %d: candidates cover every anomalous leaf\n", r.EarlyStopLayer)
-	} else {
+	default:
 		fmt.Fprintln(w, "  no early stop: search exhausted the lattice")
 	}
 

@@ -22,6 +22,7 @@ const (
 	MetricRuns                = "rapminer_runs_total"
 	MetricEarlyStops          = "rapminer_early_stops_total"
 	MetricEarlyStopRatio      = "rapminer_early_stop_ratio"
+	MetricRunsDegraded        = "rapminer_runs_degraded_total"
 )
 
 // minerMetrics is the set of instruments PublishDiagnostics writes, bound
@@ -30,6 +31,7 @@ type minerMetrics struct {
 	cuboidsTotal, cuboidsSearchable, cuboidsVisited *obs.Gauge
 	candidates, attributesDeleted, earlyStopRatio   *obs.Gauge
 	combinationsScanned, runs, earlyStops           *obs.Counter
+	runsDegraded                                    *obs.Counter
 }
 
 // minerInstruments acquires (registering on first use) every family, so
@@ -56,6 +58,8 @@ func minerInstruments(reg *obs.Registry) minerMetrics {
 		runs: reg.Counter(MetricRuns, "Localization runs published."),
 		earlyStops: reg.Counter(MetricEarlyStops,
 			"Runs ended early by candidate coverage (Criteria 3 early stop)."),
+		runsDegraded: reg.Counter(MetricRunsDegraded,
+			"Runs cut off by cancellation, deadline, or budget, returning best-so-far partial results."),
 	}
 }
 
@@ -77,6 +81,9 @@ func PublishDiagnostics(reg *obs.Registry, d Diagnostics) {
 	mx.runs.Inc()
 	if d.EarlyStopped {
 		mx.earlyStops.Inc()
+	}
+	if d.Degraded {
+		mx.runsDegraded.Inc()
 	}
 	if r := mx.runs.Value(); r > 0 {
 		mx.earlyStopRatio.Set(mx.earlyStops.Value() / r)

@@ -57,6 +57,18 @@ func TestParallelSearchMatchesSequential(t *testing.T) {
 				t.Errorf("case %d workers %d: diagnostics diverge\n got %+v\nwant %+v",
 					si, workers, gotDiag, wantDiag)
 			}
+			// Threading a live context (cancellation plumbing active, no
+			// deadline) must not perturb the run either.
+			ctxRes, ctxDiag, err := par.LocalizeWithDiagnosticsContext(context.Background(), snap, 10)
+			if err != nil {
+				t.Fatalf("case %d workers %d (ctx): %v", si, workers, err)
+			}
+			if ctxRes.Degraded {
+				t.Fatalf("case %d workers %d: unbudgeted ctx run reported degraded", si, workers)
+			}
+			if !reflect.DeepEqual(ctxRes, gotRes) || !reflect.DeepEqual(ctxDiag, gotDiag) {
+				t.Errorf("case %d workers %d: ctx-threaded run diverges from context-free run", si, workers)
+			}
 		}
 	}
 }

@@ -19,7 +19,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
+	"runtime/debug"
+	"time"
 
 	"repro/internal/kpi"
 	"repro/internal/localize"
@@ -47,6 +50,16 @@ type Config struct {
 	// result is bit-identical for every worker count. 0 means GOMAXPROCS;
 	// 1 runs fully sequential on the caller's goroutine.
 	Workers int
+	// MaxDuration is the per-run wall-clock budget: a search that is still
+	// running when it expires stops at the next cuboid boundary and
+	// returns the best-so-far candidates as a degraded partial result
+	// (Diagnostics.Degraded). 0 means unlimited. Context deadlines compose
+	// with it — the earlier of the two wins.
+	MaxDuration time.Duration
+	// MaxCuboids bounds how many cuboids one run may scan before it is cut
+	// off the same way; unlike MaxDuration the cut-off is deterministic.
+	// 0 means unlimited.
+	MaxCuboids int
 }
 
 // DefaultConfig returns the thresholds used in the paper's experiments:
@@ -74,6 +87,12 @@ func New(cfg Config) (*Miner, error) {
 	}
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("rapminer: workers %d, want >= 0", cfg.Workers)
+	}
+	if cfg.MaxDuration < 0 {
+		return nil, fmt.Errorf("rapminer: max duration %v, want >= 0", cfg.MaxDuration)
+	}
+	if cfg.MaxCuboids < 0 {
+		return nil, fmt.Errorf("rapminer: max cuboids %d, want >= 0", cfg.MaxCuboids)
 	}
 	return &Miner{cfg: cfg}, nil
 }
@@ -151,6 +170,12 @@ type Diagnostics struct {
 	// stop fired on (0 when the search ran to completion).
 	EarlyStopped   bool
 	EarlyStopLayer int
+	// Degraded reports that the run was cut off — context cancellation, an
+	// expired deadline, or an exhausted MaxDuration/MaxCuboids budget —
+	// and the candidate set holds only the best-so-far prefix of the
+	// search. DegradedReason is one of the Degraded* constants.
+	Degraded       bool
+	DegradedReason string
 }
 
 // LayerStats is one lattice layer's search effort (Algorithm 2 telemetry).
@@ -208,6 +233,17 @@ func (m *Miner) Localize(snapshot *kpi.Snapshot, k int) (localize.Result, error)
 	return res, err
 }
 
+// LocalizeContext implements localize.ContextLocalizer: Localize under ctx,
+// honoring cancellation and deadline. A run cut off mid-search returns its
+// best-so-far candidates with Result.Degraded set rather than an error, so
+// a tight deadline yields a usable partial answer.
+func (m *Miner) LocalizeContext(ctx context.Context, snapshot *kpi.Snapshot, k int) (localize.Result, error) {
+	res, _, err := m.localize(ctx, snapshot, k, nil)
+	return res, err
+}
+
+var _ localize.ContextLocalizer = (*Miner)(nil)
+
 // LocalizeBatch implements localize.BatchLocalizer: the snapshots are
 // localized concurrently across cfg.Workers goroutines, each item's run
 // fully sequential (item-level parallelism maximizes batch throughput, and
@@ -238,8 +274,25 @@ func (m *Miner) LocalizeWithDiagnosticsContext(ctx context.Context, snapshot *kp
 }
 
 // localize runs both stages. diag, when non-nil, accumulates the run
-// journal; ctx, when non-nil, traces the stages as spans.
-func (m *Miner) localize(ctx context.Context, snapshot *kpi.Snapshot, k int, diag *Diagnostics) (localize.Result, Diagnostics, error) {
+// journal; ctx, when non-nil, traces the stages as spans and bounds the run
+// (cancellation and deadline), composing with the configured
+// MaxDuration/MaxCuboids budget. A panic anywhere in the run — including on
+// a search or classification-power worker goroutine — is recovered into the
+// run's error with the stack logged, so one poisoned snapshot fails one
+// call, not the process.
+func (m *Miner) localize(ctx context.Context, snapshot *kpi.Snapshot, k int, diag *Diagnostics) (res localize.Result, out Diagnostics, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			val, stack := r, debug.Stack()
+			if wp, ok := r.(*workerPanic); ok {
+				val, stack = wp.val, wp.stack
+			}
+			obs.Logger("rapminer").Error("localization panicked",
+				slog.Any("panic", val), slog.String("stack", string(stack)))
+			res, out = localize.Result{}, Diagnostics{}
+			err = fmt.Errorf("rapminer: panic during localization: %v", val)
+		}
+	}()
 	var zero Diagnostics
 	if snapshot == nil {
 		return localize.Result{}, zero, ErrNilSnapshot
@@ -259,7 +312,7 @@ func (m *Miner) localize(ctx context.Context, snapshot *kpi.Snapshot, k int, dia
 		// coarsest anomalous combination and it has no parents, so it
 		// is the unique RAP by Definition 1.
 		root := kpi.NewRoot(snapshot.Schema.NumAttributes())
-		out := zero
+		out = zero
 		if diag != nil {
 			diag.TCP, diag.TConf = m.cfg.TCP, m.cfg.TConf
 			diag.Candidates = 1
@@ -297,9 +350,13 @@ func (m *Miner) localize(ctx context.Context, snapshot *kpi.Snapshot, k int, dia
 	if ctx != nil {
 		_, span = obs.StartSpan(ctx, "rapminer.search")
 	}
-	patterns := m.search(snapshot, attrs, diag) // already ranked
+	budget := newRunBudget(ctx, m.cfg)
+	patterns, degraded := m.search(snapshot, attrs, diag, budget) // already ranked
 	if span != nil {
 		span.SetAttr("candidates", len(patterns))
+		if degraded != "" {
+			span.SetAttr("degraded", degraded)
+		}
 		if diag != nil {
 			span.SetAttr("cuboids_visited", diag.CuboidsVisited)
 			span.SetAttr("early_stopped", diag.EarlyStopped)
@@ -309,11 +366,15 @@ func (m *Miner) localize(ctx context.Context, snapshot *kpi.Snapshot, k int, dia
 	if k < len(patterns) {
 		patterns = patterns[:k]
 	}
-	out := zero
+	out = zero
 	if diag != nil {
 		out = *diag
 	}
-	return localize.Result{Patterns: patterns}, out, nil
+	return localize.Result{
+		Patterns:       patterns,
+		Degraded:       degraded != "",
+		DegradedReason: degraded,
+	}, out, nil
 }
 
 // selectSearchAttributes runs stage 1 (or returns all attributes when the

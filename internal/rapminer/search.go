@@ -2,6 +2,7 @@ package rapminer
 
 import (
 	"math"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -29,7 +30,9 @@ type candidate struct {
 // The result is ranked by RAPScore (Eq. 3); ties are broken toward coarser
 // candidates and then toward larger anomalous support, so a genuine RAP
 // always precedes a stray false-alarm leaf that happens to share its score.
-// diag, when non-nil, accumulates search statistics.
+// diag, when non-nil, accumulates search statistics. budget bounds the run;
+// when it trips the search stops at the next cuboid boundary and returns
+// the best-so-far candidates with a non-empty degraded reason.
 //
 // Concurrency model: the expensive part of a layer — one count-only
 // group-by per cuboid — fans out across cfg.Workers goroutines, while the
@@ -42,12 +45,23 @@ type candidate struct {
 // Definition 1 and Criteria 3 rely on. Pruning and early-stop state
 // (ancestorIndex, coverage) are touched only by the merging goroutine, so
 // the parallel path needs no locks beyond the snapshot's internal caches.
-func (m *Miner) search(snapshot *kpi.Snapshot, attrs []int, diag *Diagnostics) []localize.ScoredPattern {
+//
+// Cancellation model: the budget is polled between cuboids by the merging
+// goroutine and inside scans (every few thousand leaves) by the workers, so
+// every stop lands on the cuboid boundary — Algorithm 2's own layer barrier
+// is never split, and the candidate set at the stop point is a prefix of
+// the sequential run's candidate stream. The first cuboid of the run is
+// always merged before the budget is consulted, so even an
+// already-expired deadline yields the coarsest layer's best-so-far
+// candidates instead of an empty answer.
+func (m *Miner) search(snapshot *kpi.Snapshot, attrs []int, diag *Diagnostics, budget *runBudget) ([]localize.ScoredPattern, string) {
 	var (
 		candidates []candidate
+		degraded   string
+		merged     int
 		anc        = newAncestorIndex()
 		covered    = newCoverage(snapshot)
-		scanner    = layerScanner{snap: snapshot, workers: m.workers()}
+		scanner    = layerScanner{snap: snapshot, workers: m.workers(), halt: budget.halt()}
 		// probe is the scratch combination groups are decoded into; it is
 		// cloned only when a group becomes a candidate.
 		probe = kpi.NewRoot(snapshot.Schema.NumAttributes())
@@ -63,12 +77,33 @@ layers:
 		cuboids := kpi.CuboidsAtLayer(attrs, layer)
 		prefetched := scanner.prefetch(cuboids)
 		for ci, cuboid := range cuboids {
+			// The budget is enforced on the cuboid boundary: the layer's
+			// merge replay is sequential, so stopping here is deterministic
+			// for deterministic budgets (pre-canceled context, MaxCuboids)
+			// and never splits a cuboid's group stream. The first cuboid is
+			// exempt so a degraded run still carries best-so-far work.
+			if merged > 0 && budget.exceeded() {
+				degraded = budget.reason
+				break layers
+			}
+			groups, ok := scanner.groups(prefetched, ci, cuboid, merged == 0)
+			if !ok {
+				// The scan itself aborted mid-pass (budget tripped inside a
+				// large snapshot); its partial counts are discarded.
+				budget.exceeded()
+				if degraded = budget.reason; degraded == "" {
+					degraded = DegradedDeadline
+				}
+				break layers
+			}
+			merged++
+			budget.noteCuboid()
 			if diag != nil {
 				diag.CuboidsVisited++
 				stats.Cuboids++
 			}
 			ix := snapshot.Indexer(cuboid)
-			for _, g := range scanner.groups(prefetched, ci, cuboid) {
+			for _, g := range groups {
 				if diag != nil {
 					diag.CombinationsScanned++
 					stats.Combinations++
@@ -120,6 +155,10 @@ layers:
 	}
 	if diag != nil {
 		diag.Candidates = len(candidates)
+		if degraded != "" {
+			diag.Degraded = true
+			diag.DegradedReason = degraded
+		}
 	}
 	for i := range candidates {
 		candidates[i].key = candidates[i].combo.Key()
@@ -156,7 +195,7 @@ layers:
 			}
 		}
 	}
-	return out
+	return out, degraded
 }
 
 // rapScore computes Eq. 3: Confidence / sqrt(Layer). Coarser candidates win
@@ -171,17 +210,25 @@ func rapScore(conf float64, layer int) float64 {
 // eagerly across a bounded goroutine pool. Scan buffers are owned by the
 // scanner and recycled across layers — the layer barrier guarantees the
 // previous layer's results are fully merged before they are overwritten.
+// halt, when non-nil, is polled inside scans and before each prefetch claim
+// so an expired budget stops the pool within a fraction of a millisecond.
 type layerScanner struct {
 	snap    *kpi.Snapshot
 	workers int
+	halt    kpi.Halt
 	bufs    [][]kpi.GroupCount
+	scanned []bool
 	lazy    []kpi.GroupCount
 }
 
 // prefetch concurrently scans every cuboid of the layer when parallelism is
 // available and worthwhile; it reports whether it did. Each worker claims
 // cuboids from an atomic cursor, so results land at deterministic slots
-// regardless of scheduling.
+// regardless of scheduling. A worker that observes an expired budget stops
+// claiming and leaves the remaining slots unscanned (scanned[i] false) for
+// the merge loop to notice; a worker that panics poisons only the run — the
+// panic is rethrown on the merging goroutine after Wait, where localize's
+// recover turns it into the run's error.
 func (ls *layerScanner) prefetch(cuboids []kpi.Cuboid) bool {
 	if ls.workers <= 1 || len(cuboids) <= 1 {
 		return false
@@ -189,6 +236,10 @@ func (ls *layerScanner) prefetch(cuboids []kpi.Cuboid) bool {
 	for len(ls.bufs) < len(cuboids) {
 		ls.bufs = append(ls.bufs, nil)
 	}
+	for len(ls.scanned) < len(cuboids) {
+		ls.scanned = append(ls.scanned, false)
+	}
+	clear(ls.scanned[:len(cuboids)])
 	n := ls.workers
 	if n > len(cuboids) {
 		n = len(cuboids)
@@ -196,32 +247,53 @@ func (ls *layerScanner) prefetch(cuboids []kpi.Cuboid) bool {
 	var (
 		next atomic.Int64
 		wg   sync.WaitGroup
+		trap panicTrap
 	)
 	for w := 0; w < n; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					trap.capture(r, debug.Stack())
+				}
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(cuboids) {
 					return
 				}
-				ls.bufs[i] = ls.snap.ScanCuboid(cuboids[i], ls.bufs[i])
+				if ls.halt != nil && ls.halt() {
+					return
+				}
+				var ok bool
+				ls.bufs[i], ok = ls.snap.ScanCuboidHalt(cuboids[i], ls.bufs[i], ls.halt)
+				ls.scanned[i] = ok
 			}
 		}()
 	}
 	wg.Wait()
+	trap.rethrow()
 	return true
 }
 
-// groups returns cuboid ci's scan: the prefetched buffer, or a lazy scan on
-// the sequential path.
-func (ls *layerScanner) groups(prefetched bool, ci int, cuboid kpi.Cuboid) []kpi.GroupCount {
-	if prefetched {
-		return ls.bufs[ci]
+// groups returns cuboid ci's scan, reporting ok=false when the budget
+// aborted it: the prefetched buffer when the workers completed it, else a
+// lazy scan (the sequential path, and the fallback for prefetch slots the
+// budget skipped). first marks the run's guaranteed cuboid, which scans
+// without the halt hook so a degraded run always merges at least one
+// cuboid.
+func (ls *layerScanner) groups(prefetched bool, ci int, cuboid kpi.Cuboid, first bool) ([]kpi.GroupCount, bool) {
+	if prefetched && ls.scanned[ci] {
+		return ls.bufs[ci], true
 	}
-	ls.lazy = ls.snap.ScanCuboid(cuboid, ls.lazy)
-	return ls.lazy
+	halt := ls.halt
+	if first {
+		halt = nil
+	}
+	var ok bool
+	ls.lazy, ok = ls.snap.ScanCuboidHalt(cuboid, ls.lazy, halt)
+	return ls.lazy, ok
 }
 
 // ancestorIndex answers the Criteria 3 test — "is any accepted candidate a
