@@ -17,11 +17,22 @@
 //
 // Lines that are not benchmark results (test output, PASS/FAIL, timing)
 // are ignored, so piping a whole `go test` transcript through is fine.
+//
+// With -baseline, the run is additionally diffed against a previously
+// archived report:
+//
+//	go test -bench=. -benchmem | benchjson -baseline BENCH_pr5.json > new.json
+//
+// Benchmarks whose ns/op regressed past -warn-threshold (a ratio; default
+// 1.25) are reported on stderr as GitHub workflow `::warning::` lines. The
+// diff is advisory — shared CI runners are too noisy for a hard gate — so
+// regressions never change the exit status.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -49,20 +60,65 @@ type benchReport struct {
 }
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	baseline := flag.String("baseline", "", "archived benchjson report to diff ns/op against (soft warnings)")
+	threshold := flag.Float64("warn-threshold", 1.25, "warn when ns/op exceeds baseline by this ratio")
+	flag.Parse()
+	report, err := run(os.Stdin, os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if *baseline != "" {
+		compareBaseline(os.Stderr, report, *baseline, *threshold)
+	}
 }
 
-func run(r io.Reader, w io.Writer) error {
+func run(r io.Reader, w io.Writer) (*benchReport, error) {
 	report, err := parse(r)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(report)
+	return report, enc.Encode(report)
+}
+
+// compareBaseline diffs the run against an archived report, emitting GitHub
+// `::warning::` lines for ns/op regressions past the threshold ratio.
+// Everything here is advisory: a missing or unreadable baseline, benchmarks
+// present on only one side, and regressions all leave the exit status
+// untouched, because shared-runner timings are too noisy for a hard gate.
+func compareBaseline(w io.Writer, report *benchReport, path string, threshold float64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(w, "::warning::benchjson: baseline %s unreadable (%v); skipping comparison\n", path, err)
+		return
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(w, "::warning::benchjson: baseline %s is not a benchjson report (%v); skipping comparison\n", path, err)
+		return
+	}
+	byName := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	regressions := 0
+	for _, b := range report.Benchmarks {
+		old, ok := byName[b.Name]
+		if !ok || old.NsPerOp <= 0 || b.NsPerOp <= 0 {
+			continue
+		}
+		if ratio := b.NsPerOp / old.NsPerOp; ratio > threshold {
+			regressions++
+			fmt.Fprintf(w, "::warning::bench regression: %s %.0f ns/op vs baseline %.0f ns/op (%.2fx, threshold %.2fx)\n",
+				b.Name, b.NsPerOp, old.NsPerOp, ratio, threshold)
+		}
+	}
+	if regressions == 0 {
+		fmt.Fprintf(w, "benchjson: %d benchmarks within %.2fx of baseline %s\n",
+			len(report.Benchmarks), threshold, path)
+	}
 }
 
 // parse scans bench output, collecting the environment header and every

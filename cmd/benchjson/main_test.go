@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -46,7 +47,7 @@ func TestParseSampleOutput(t *testing.T) {
 
 func TestRunEmitsValidJSON(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader(sampleOutput), &out); err != nil {
+	if _, err := run(strings.NewReader(sampleOutput), &out); err != nil {
 		t.Fatal(err)
 	}
 	var decoded benchReport
@@ -70,10 +71,59 @@ func TestParseSkipsGarbage(t *testing.T) {
 
 func TestParseEmptyInput(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader(""), &out); err != nil {
+	if _, err := run(strings.NewReader(""), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Contains(out.Bytes(), []byte(`"benchmarks": []`)) {
 		t.Fatalf("empty input should emit an empty benchmarks array: %s", out.String())
+	}
+}
+
+func TestCompareBaseline(t *testing.T) {
+	baseline := `{"benchmarks": [
+		{"name": "BenchmarkA-8", "runs": 100, "ns_per_op": 1000},
+		{"name": "BenchmarkB-8", "runs": 100, "ns_per_op": 1000}
+	]}`
+	path := t.TempDir() + "/base.json"
+	if err := os.WriteFile(path, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report := &benchReport{Benchmarks: []benchResult{
+		{Name: "BenchmarkA-8", NsPerOp: 2000}, // 2x: regression
+		{Name: "BenchmarkB-8", NsPerOp: 1100}, // 1.1x: within threshold
+		{Name: "BenchmarkNew-8", NsPerOp: 99}, // no baseline: skipped
+	}}
+	var out bytes.Buffer
+	compareBaseline(&out, report, path, 1.25)
+	got := out.String()
+	if !strings.Contains(got, "::warning::bench regression: BenchmarkA-8") {
+		t.Errorf("missing regression warning for BenchmarkA:\n%s", got)
+	}
+	if strings.Contains(got, "BenchmarkB-8") || strings.Contains(got, "BenchmarkNew-8") {
+		t.Errorf("warned about non-regressed benchmarks:\n%s", got)
+	}
+}
+
+func TestCompareBaselineClean(t *testing.T) {
+	path := t.TempDir() + "/base.json"
+	if err := os.WriteFile(path, []byte(`{"benchmarks": [{"name": "BenchmarkA-8", "ns_per_op": 1000}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report := &benchReport{Benchmarks: []benchResult{{Name: "BenchmarkA-8", NsPerOp: 900}}}
+	var out bytes.Buffer
+	compareBaseline(&out, report, path, 1.25)
+	if strings.Contains(out.String(), "::warning::") {
+		t.Errorf("clean run produced a warning:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "within") {
+		t.Errorf("clean run should summarize the comparison:\n%s", out.String())
+	}
+}
+
+func TestCompareBaselineMissingFileIsSoft(t *testing.T) {
+	var out bytes.Buffer
+	compareBaseline(&out, &benchReport{}, "/nonexistent/base.json", 1.25)
+	if !strings.Contains(out.String(), "skipping comparison") {
+		t.Errorf("missing baseline should soft-skip:\n%s", out.String())
 	}
 }

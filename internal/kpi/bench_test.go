@@ -1,6 +1,7 @@
 package kpi
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -103,6 +104,59 @@ func BenchmarkCuboidIndexer(b *testing.B) {
 		}
 		if sum == 0 {
 			b.Fatal("degenerate sum")
+		}
+	}
+}
+
+// BenchmarkFusedVsPerCuboid compares one BFS layer's group counting under
+// the per-cuboid engine (one ScanCuboid pass per cuboid) against the fused
+// columnar pass (one LayerScan pass for the whole layer), across layers 1-3
+// of the CDN-sized snapshot and worker counts 1/2/4/8. The percuboid mode
+// only varies with the layer — the per-cuboid scans of the old engine ran
+// one at a time on the merge goroutine — so it is benchmarked once per
+// layer as the workers=1 baseline.
+func BenchmarkFusedVsPerCuboid(b *testing.B) {
+	snap := benchSnapshot(b)
+	attrs := []int{0, 1, 2, 3}
+	_ = snap.Columns() // build the columnar store outside the timer
+	for layer := 1; layer <= 3; layer++ {
+		cuboids := CuboidsAtLayer(attrs, layer)
+		b.Run(fmt.Sprintf("layer=%d/mode=percuboid", layer), func(b *testing.B) {
+			var buf []GroupCount
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				total := 0
+				for _, c := range cuboids {
+					buf = snap.ScanCuboid(c, buf)
+					total += len(buf)
+				}
+				if total == 0 {
+					b.Fatal("no groups")
+				}
+			}
+		})
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("layer=%d/mode=fused/workers=%d", layer, workers), func(b *testing.B) {
+				var buf []GroupCount
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ls := snap.NewLayerScan(cuboids)
+					if !ls.Run(workers, nil) {
+						b.Fatal("Run aborted")
+					}
+					total := 0
+					for ci := range cuboids {
+						buf = ls.Groups(ci, buf)
+						total += len(buf)
+					}
+					ls.Close()
+					if total == 0 {
+						b.Fatal("no groups")
+					}
+				}
+			})
 		}
 	}
 }

@@ -1,0 +1,134 @@
+package kpi
+
+// Columns is the snapshot's columnar mirror: the dictionary-encoded leaf
+// data laid out struct-of-arrays so scans touch contiguous memory instead
+// of chasing one heap-allocated Combination per leaf. Per attribute there
+// is a dense []uint32 element-ID column (the schema's interned codes), the
+// actual/forecast values live in two float64 columns, and the anomaly
+// labels are packed into a bitset with a cached population count.
+//
+// Columns are built lazily per snapshot (Snapshot.Columns) together with
+// the other label-derived caches, and are invalidated as a unit by
+// InvalidateLabels: relabeling a snapshot in place and invalidating yields
+// fresh columns, a fresh bitset and a fresh anomalous count on the next
+// access. The element and value columns are derived from the leaves, which
+// are immutable apart from their Anomalous labels, so they can be shared
+// across relabelings.
+type Columns struct {
+	schema *Schema
+	n      int
+	frame  *colFrame
+	// anom is the packed anomaly bitset: bit i set iff leaf i is
+	// anomalous. len(anom) == (n+63)/64.
+	anom []uint64
+	// numAnomalous caches the bitset's population count.
+	numAnomalous int
+}
+
+// colFrame holds the label-independent columns: the per-attribute element
+// IDs and the v/f value columns. One frame is built per snapshot and shared
+// across label invalidations.
+type colFrame struct {
+	elem     [][]uint32
+	actual   []float64
+	forecast []float64
+}
+
+// buildColFrame encodes the leaves' combinations and values column-wise.
+func buildColFrame(schema *Schema, leaves []Leaf) *colFrame {
+	nAttr := schema.NumAttributes()
+	n := len(leaves)
+	// One backing array for all element columns keeps them adjacent in
+	// memory and cuts the build to two allocations.
+	backing := make([]uint32, nAttr*n)
+	f := &colFrame{
+		elem:     make([][]uint32, nAttr),
+		actual:   make([]float64, n),
+		forecast: make([]float64, n),
+	}
+	for a := 0; a < nAttr; a++ {
+		f.elem[a] = backing[a*n : (a+1)*n : (a+1)*n]
+	}
+	for i := range leaves {
+		l := &leaves[i]
+		for a, code := range l.Combo {
+			f.elem[a][i] = uint32(code)
+		}
+		f.actual[i] = l.Actual
+		f.forecast[i] = l.Forecast
+	}
+	return f
+}
+
+// newColumns assembles a Columns view from a frame plus the anomalous leaf
+// indexes (the labelDerived cache's anomIdx).
+func newColumns(schema *Schema, frame *colFrame, n int, anomIdx []int) *Columns {
+	c := &Columns{
+		schema:       schema,
+		n:            n,
+		frame:        frame,
+		anom:         make([]uint64, (n+63)/64),
+		numAnomalous: len(anomIdx),
+	}
+	for _, i := range anomIdx {
+		c.anom[i>>6] |= 1 << (uint(i) & 63)
+	}
+	return c
+}
+
+// EncodeColumns builds a fresh, uncached columnar encoding of the snapshot.
+// Most callers want the cached Snapshot.Columns instead; this entry point
+// exists for tests and tools that need an encoding independent of the
+// snapshot's cache state.
+func EncodeColumns(s *Snapshot) *Columns {
+	frame := buildColFrame(s.Schema, s.Leaves)
+	var anomIdx []int
+	for i := range s.Leaves {
+		if s.Leaves[i].Anomalous {
+			anomIdx = append(anomIdx, i)
+		}
+	}
+	return newColumns(s.Schema, frame, len(s.Leaves), anomIdx)
+}
+
+// Len returns the number of encoded leaves.
+func (c *Columns) Len() int { return c.n }
+
+// Elem returns attribute a's dense element-ID column; treat it as
+// read-only.
+func (c *Columns) Elem(a int) []uint32 { return c.frame.elem[a] }
+
+// Actual returns the actual-value column; treat it as read-only.
+func (c *Columns) Actual() []float64 { return c.frame.actual }
+
+// Forecast returns the forecast-value column; treat it as read-only.
+func (c *Columns) Forecast() []float64 { return c.frame.forecast }
+
+// AnomalousBits returns the packed anomaly bitset (bit i == leaf i); treat
+// it as read-only.
+func (c *Columns) AnomalousBits() []uint64 { return c.anom }
+
+// Anomalous reports whether leaf i is labeled anomalous.
+func (c *Columns) Anomalous(i int) bool {
+	return c.anom[i>>6]>>(uint(i)&63)&1 != 0
+}
+
+// NumAnomalous returns the cached anomalous leaf count (the bitset's
+// population count).
+func (c *Columns) NumAnomalous() int { return c.numAnomalous }
+
+// Leaf decodes leaf i back from the columns — the inverse of the encoding,
+// allocating a fresh Combination. Used to verify the round trip; scans read
+// the columns directly instead.
+func (c *Columns) Leaf(i int) Leaf {
+	combo := make(Combination, len(c.frame.elem))
+	for a := range c.frame.elem {
+		combo[a] = int32(c.frame.elem[a][i])
+	}
+	return Leaf{
+		Combo:     combo,
+		Actual:    c.frame.actual[i],
+		Forecast:  c.frame.forecast[i],
+		Anomalous: c.Anomalous(i),
+	}
+}

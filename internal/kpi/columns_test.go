@@ -1,0 +1,86 @@
+package kpi
+
+import "testing"
+
+// TestEncodeColumnsRoundTrip checks the dictionary encoding is lossless:
+// every leaf decodes back identical from the columns.
+func TestEncodeColumnsRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		snap := scanTestSnapshot(t, seed)
+		cols := EncodeColumns(snap)
+		if cols.Len() != snap.Len() {
+			t.Fatalf("seed %d: %d encoded leaves, want %d", seed, cols.Len(), snap.Len())
+		}
+		for i := range snap.Leaves {
+			want := snap.Leaves[i]
+			got := cols.Leaf(i)
+			if !got.Combo.Equal(want.Combo) || got.Actual != want.Actual ||
+				got.Forecast != want.Forecast || got.Anomalous != want.Anomalous {
+				t.Fatalf("seed %d leaf %d: decoded %+v, want %+v", seed, i, got, want)
+			}
+		}
+	}
+}
+
+// TestColumnsBitsetMatchesLabels pins the packed bitset and its cached count
+// to the leaves' Anomalous labels.
+func TestColumnsBitsetMatchesLabels(t *testing.T) {
+	snap := scanTestSnapshot(t, 3)
+	cols := snap.Columns()
+	n := 0
+	for i := range snap.Leaves {
+		if cols.Anomalous(i) != snap.Leaves[i].Anomalous {
+			t.Fatalf("leaf %d: bitset says %v, label says %v",
+				i, cols.Anomalous(i), snap.Leaves[i].Anomalous)
+		}
+		if snap.Leaves[i].Anomalous {
+			n++
+		}
+	}
+	if cols.NumAnomalous() != n {
+		t.Fatalf("NumAnomalous() = %d, want %d", cols.NumAnomalous(), n)
+	}
+}
+
+// TestColumnsCached checks Snapshot.Columns returns the same store across
+// calls until labels are invalidated.
+func TestColumnsCached(t *testing.T) {
+	snap := scanTestSnapshot(t, 1)
+	if snap.Columns() != snap.Columns() {
+		t.Fatal("Columns() rebuilt the store on a second call")
+	}
+}
+
+// TestColumnsInvalidateLabels is the stale-column regression test: after
+// relabeling in place and calling InvalidateLabels, the columnar store must
+// serve a fresh anomaly bitset AND a fresh cached count — never one without
+// the other — while the label-independent element/value columns are reused.
+func TestColumnsInvalidateLabels(t *testing.T) {
+	snap := scanTestSnapshot(t, 2)
+	before := snap.Columns()
+	wasAnomalous := before.NumAnomalous()
+
+	// Relabel in place: flip every label.
+	for i := range snap.Leaves {
+		snap.Leaves[i].Anomalous = !snap.Leaves[i].Anomalous
+	}
+	snap.InvalidateLabels()
+
+	after := snap.Columns()
+	if after == before {
+		t.Fatal("InvalidateLabels did not invalidate the columnar store")
+	}
+	if want := snap.Len() - wasAnomalous; after.NumAnomalous() != want {
+		t.Fatalf("stale anomalous count: got %d, want %d", after.NumAnomalous(), want)
+	}
+	for i := range snap.Leaves {
+		if after.Anomalous(i) != snap.Leaves[i].Anomalous {
+			t.Fatalf("leaf %d: stale bitset after relabel", i)
+		}
+	}
+	// The element/value columns depend only on the immutable leaf structure
+	// and must be shared across the invalidation, not rebuilt.
+	if after.frame != before.frame {
+		t.Error("label invalidation rebuilt the label-independent column frame")
+	}
+}

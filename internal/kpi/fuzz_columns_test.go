@@ -1,0 +1,114 @@
+package kpi
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// fuzzSnapshot derives a randomized snapshot from the fuzz inputs: a schema
+// with 2-4 attributes of cardinality 2-5, and a random subset of the domain
+// observed with random values and labels.
+func fuzzSnapshot(seed int64, density, anomRate byte) *Snapshot {
+	r := rand.New(rand.NewSource(seed))
+	nAttr := 2 + r.Intn(3)
+	attrs := make([]Attribute, nAttr)
+	domain := 1
+	for a := range attrs {
+		card := 2 + r.Intn(4)
+		vals := make([]string, card)
+		for i := range vals {
+			vals[i] = fmt.Sprintf("a%dv%d", a, i)
+		}
+		attrs[a] = Attribute{Name: fmt.Sprintf("a%d", a), Values: vals}
+		domain *= card
+	}
+	schema := MustSchema(attrs...)
+
+	keep := float64(density%100) / 100
+	anom := float64(anomRate%100) / 100
+	var leaves []Leaf
+	combo := make(Combination, nAttr)
+	for g := 0; g < domain; g++ {
+		if r.Float64() >= keep {
+			continue
+		}
+		rest := g
+		for a := nAttr - 1; a >= 0; a-- {
+			card := schema.Cardinality(a)
+			combo[a] = int32(rest % card)
+			rest /= card
+		}
+		leaves = append(leaves, Leaf{
+			Combo:     combo.Clone(),
+			Actual:    r.NormFloat64() * 50,
+			Forecast:  r.NormFloat64() * 50,
+			Anomalous: r.Float64() < anom,
+		})
+	}
+	snap, err := NewSnapshot(schema, leaves)
+	if err != nil {
+		panic(err) // the generator only emits valid snapshots
+	}
+	return snap
+}
+
+// FuzzColumnsFusedScan is the dictionary-encoding property test: on
+// randomized snapshots, EncodeColumns->decode round-trips every leaf, and
+// the fused layer scan's group counts equal the existing per-cuboid
+// GroupCount output for every cuboid of the lattice at several worker
+// counts.
+func FuzzColumnsFusedScan(f *testing.F) {
+	f.Add(int64(1), byte(60), byte(30))
+	f.Add(int64(2), byte(95), byte(5))
+	f.Add(int64(3), byte(10), byte(90))
+	f.Add(int64(42), byte(0), byte(50)) // empty snapshot
+	f.Fuzz(func(t *testing.T, seed int64, density, anomRate byte) {
+		snap := fuzzSnapshot(seed, density, anomRate)
+
+		// Property 1: lossless dictionary encoding.
+		cols := EncodeColumns(snap)
+		for i := range snap.Leaves {
+			want := snap.Leaves[i]
+			got := cols.Leaf(i)
+			if !got.Combo.Equal(want.Combo) || got.Actual != want.Actual ||
+				got.Forecast != want.Forecast || got.Anomalous != want.Anomalous {
+				t.Fatalf("leaf %d: decoded %+v, want %+v", i, got, want)
+			}
+		}
+
+		// Property 2: fused counts == per-cuboid scan counts, layer by
+		// layer, independent of the worker count.
+		attrs := make([]int, snap.Schema.NumAttributes())
+		for a := range attrs {
+			attrs[a] = a
+		}
+		var want, got []GroupCount
+		for layer := 1; layer <= len(attrs); layer++ {
+			cuboids := CuboidsAtLayer(attrs, layer)
+			for _, workers := range []int{1, 3, 8} {
+				ls := snap.NewLayerScan(cuboids)
+				if !ls.Run(workers, nil) {
+					t.Fatalf("layer %d workers %d: Run aborted without a halt", layer, workers)
+				}
+				for ci, cuboid := range cuboids {
+					want, _ = snap.ScanCuboidHalt(cuboid, want, nil)
+					if !ls.Done(ci) {
+						continue // sparse fallback: not part of the fusion
+					}
+					got = ls.Groups(ci, got)
+					if len(got) != len(want) {
+						t.Fatalf("layer %d cuboid %v: %d fused groups, %d scanned", layer, cuboid, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("layer %d cuboid %v group %d: fused %+v, scan %+v",
+								layer, cuboid, i, got[i], want[i])
+						}
+					}
+				}
+				ls.Close()
+			}
+		}
+	})
+}

@@ -1,0 +1,362 @@
+package kpi
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// LayerScan is the fused count-only group-by of one BFS layer: one pass
+// over the columnar leaf store accumulates the support counts of every
+// cuboid in the layer simultaneously, instead of one full scan of the
+// leaves per cuboid. Each fused cuboid owns a contiguous slot range of a
+// flat accumulator array; a leaf contributes to cuboid c at slot
+// base(c) + mixed-radix group index, computed straight from the element-ID
+// columns with the same strides CuboidIndexer uses — so the per-cuboid
+// group counts are identical to ScanCuboid's, in the same ascending group
+// order.
+//
+// Cuboids whose Cartesian size exceeds the dense limit are left out of the
+// fusion (Fused reports false); callers scan those individually through the
+// existing sparse path. When the fused slot total of a layer exceeds the
+// limit the layer splits into several batches, each its own pass.
+//
+// The pass partitions across workers by contiguous leaf range: every worker
+// accumulates into a private copy of the batch's count arrays and the
+// copies are summed after the pool drains. Integer addition commutes
+// exactly, so the merged counts — and everything derived from them — are
+// bit-identical at any worker count.
+type LayerScan struct {
+	snap    *Snapshot
+	cols    *Columns
+	cuboids []Cuboid
+	// fcOf maps a cuboid index to its entry in fcs, or -1 when the cuboid
+	// is not fused (sparse domain).
+	fcOf []int32
+	fcs  []fusedCuboid
+	// termCol/termStride are the flattened per-attribute scan terms; a
+	// fused cuboid's terms live at [t0, t1).
+	termCol    [][]uint32
+	termStride []int32
+	batches    []scanBatch
+	// passes counts completed full passes over the leaf columns.
+	passes int
+}
+
+// fusedCuboid is one cuboid's slice of the fused accumulator.
+type fusedCuboid struct {
+	ci     int32 // index into the layer's cuboid list
+	batch  int32 // owning batch
+	base   int32 // slot offset within the batch accumulator
+	size   int32 // Cartesian size (CuboidIndexer.Size)
+	t0, t1 int32 // term range in termCol/termStride
+}
+
+// scanBatch is one fused pass: a run of fused cuboids whose combined slot
+// count fits the dense accumulator budget.
+type scanBatch struct {
+	f0, f1 int32 // fused-cuboid range in fcs
+	size   int   // total slots
+	done   bool
+	// buf is the pooled backing array ([parts][2][size]); tot/anm are the
+	// merged count views into it, valid once done.
+	buf *[]int32
+	tot []int32
+	anm []int32
+}
+
+// scanChunk is the cache-blocking unit of the fused pass: within one chunk
+// of leaves every cuboid of the batch accumulates before the scan advances,
+// so the chunk's columns stay hot across cuboids. It doubles as the halt
+// polling stride (matching haltStride of the per-cuboid scans).
+const scanChunk = haltStride
+
+// fusedScratchPool recycles the flat accumulator arrays across layers and
+// runs, so steady-state fused scans allocate only their plan.
+var fusedScratchPool = sync.Pool{New: func() any { return new([]int32) }}
+
+// NewLayerScan plans the fused scan of cuboids over the snapshot's columnar
+// store, building the store on first use. Run executes the plan; Groups
+// extracts per-cuboid counts afterwards. Call Close to recycle the
+// accumulators when the layer's results have been consumed.
+func (s *Snapshot) NewLayerScan(cuboids []Cuboid) *LayerScan {
+	ls := &LayerScan{
+		snap:    s,
+		cols:    s.Columns(),
+		cuboids: cuboids,
+		fcOf:    make([]int32, len(cuboids)),
+	}
+	limit := denseGroupByLimit(len(s.Leaves))
+	for ci, c := range cuboids {
+		ix := s.Indexer(c)
+		size := ix.Size()
+		if size < 0 || size > limit {
+			// Sparse domain: the flat accumulator would dwarf the data.
+			ls.fcOf[ci] = -1
+			continue
+		}
+		if len(ls.batches) == 0 || ls.batches[len(ls.batches)-1].size+size > limit {
+			ls.batches = append(ls.batches, scanBatch{
+				f0: int32(len(ls.fcs)), f1: int32(len(ls.fcs)),
+			})
+		}
+		b := &ls.batches[len(ls.batches)-1]
+		fc := fusedCuboid{
+			ci:    int32(ci),
+			batch: int32(len(ls.batches) - 1),
+			base:  int32(b.size),
+			size:  int32(size),
+			t0:    int32(len(ls.termCol)),
+		}
+		for i, a := range c {
+			ls.termCol = append(ls.termCol, ls.cols.frame.elem[a])
+			ls.termStride = append(ls.termStride, int32(ix.strides[i]))
+		}
+		fc.t1 = int32(len(ls.termCol))
+		ls.fcOf[ci] = int32(len(ls.fcs))
+		ls.fcs = append(ls.fcs, fc)
+		b.f1++
+		b.size += size
+	}
+	return ls
+}
+
+// Fused reports whether cuboid ci is covered by the fused plan (dense
+// domain). Non-fused cuboids must be scanned individually.
+func (ls *LayerScan) Fused(ci int) bool { return ls.fcOf[ci] >= 0 }
+
+// Done reports whether cuboid ci's counts are available: its batch's pass
+// completed without the halt hook tripping.
+func (ls *LayerScan) Done(ci int) bool {
+	fi := ls.fcOf[ci]
+	return fi >= 0 && ls.batches[ls.fcs[fi].batch].done
+}
+
+// Passes returns the number of completed full passes over the leaf columns
+// — the denominator of the "one pass per layer, not one per cuboid" claim.
+func (ls *LayerScan) Passes() int { return ls.passes }
+
+// Run executes every fused batch, partitioning each pass across workers
+// goroutines by contiguous leaf range. halt (when non-nil) is polled every
+// scanChunk leaves on each worker and before each batch; a tripped halt
+// abandons the current batch — its partial counts are discarded and its
+// cuboids report Done false — and stops the run, returning false. A panic
+// on a scan worker is captured and rethrown on the calling goroutine as a
+// *ScanPanic carrying the worker's stack.
+func (ls *LayerScan) Run(workers int, halt Halt) bool {
+	for bi := range ls.batches {
+		if halt != nil && halt() {
+			return false
+		}
+		if !ls.runBatch(&ls.batches[bi], workers, halt) {
+			return false
+		}
+		ls.passes++
+	}
+	return true
+}
+
+// runBatch runs one fused pass, merging the per-part accumulators after the
+// pool drains.
+func (ls *LayerScan) runBatch(b *scanBatch, workers int, halt Halt) bool {
+	n := ls.cols.n
+	parts := 1
+	if workers > 1 && n >= 2*scanChunk {
+		parts = workers
+		// Never split below one chunk per part: tiny ranges cost more in
+		// goroutine handoff than they save in scan time.
+		if mp := (n + scanChunk - 1) / scanChunk; parts > mp {
+			parts = mp
+		}
+	}
+	buf := fusedScratchPool.Get().(*[]int32)
+	need := parts * 2 * b.size
+	if cap(*buf) < need {
+		*buf = make([]int32, need)
+	} else {
+		*buf = (*buf)[:need]
+		clear(*buf)
+	}
+	b.buf = buf
+
+	ok := true
+	if parts == 1 {
+		ok = ls.scanRange(b, 0, n, (*buf)[:b.size], (*buf)[b.size:2*b.size], halt)
+	} else {
+		var (
+			wg      sync.WaitGroup
+			aborted atomic.Bool
+			trap    scanTrap
+		)
+		for p := 0; p < parts; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				defer trap.capture()
+				lo, hi := p*n/parts, (p+1)*n/parts
+				tot := (*buf)[p*2*b.size : p*2*b.size+b.size]
+				anm := (*buf)[p*2*b.size+b.size : (p+1)*2*b.size]
+				if !ls.scanRange(b, lo, hi, tot, anm, halt) {
+					aborted.Store(true)
+				}
+			}(p)
+		}
+		wg.Wait()
+		trap.rethrow()
+		ok = !aborted.Load()
+	}
+	if !ok {
+		b.buf = nil
+		fusedScratchPool.Put(buf)
+		return false
+	}
+	// Deterministic merge: per-slot integer sums are order-independent.
+	tot0, anm0 := (*buf)[:b.size], (*buf)[b.size:2*b.size]
+	for p := 1; p < parts; p++ {
+		pt := (*buf)[p*2*b.size : p*2*b.size+b.size]
+		pa := (*buf)[p*2*b.size+b.size : (p+1)*2*b.size]
+		for j, v := range pt {
+			tot0[j] += v
+		}
+		for j, v := range pa {
+			anm0[j] += v
+		}
+	}
+	b.tot, b.anm = tot0, anm0
+	b.done = true
+	return true
+}
+
+// scanRange accumulates leaves [lo, hi) of every cuboid in the batch,
+// chunk by chunk so the chunk's columns stay cached across cuboids.
+func (ls *LayerScan) scanRange(b *scanBatch, lo, hi int, tot, anm []int32, halt Halt) bool {
+	bits := ls.cols.anom
+	for cs := lo; cs < hi; cs += scanChunk {
+		if halt != nil && cs > lo && halt() {
+			return false
+		}
+		ce := cs + scanChunk
+		if ce > hi {
+			ce = hi
+		}
+		for fi := b.f0; fi < b.f1; fi++ {
+			ls.accumulate(&ls.fcs[fi], bits, cs, ce, tot, anm)
+		}
+	}
+	return true
+}
+
+// accumulate adds leaves [cs, ce) into one cuboid's slot range. The loop is
+// specialized by arity — the mixed-radix key of a layer-ℓ cuboid has ℓ
+// terms — so the common shallow layers run without the inner term loop.
+func (ls *LayerScan) accumulate(fc *fusedCuboid, bits []uint64, cs, ce int, tot, anm []int32) {
+	base := int(fc.base)
+	switch fc.t1 - fc.t0 {
+	case 1:
+		col0 := ls.termCol[fc.t0]
+		s0 := int(ls.termStride[fc.t0])
+		for i := cs; i < ce; i++ {
+			k := base + int(col0[i])*s0
+			tot[k]++
+			if bits[i>>6]>>(uint(i)&63)&1 != 0 {
+				anm[k]++
+			}
+		}
+	case 2:
+		col0, col1 := ls.termCol[fc.t0], ls.termCol[fc.t0+1]
+		s0, s1 := int(ls.termStride[fc.t0]), int(ls.termStride[fc.t0+1])
+		for i := cs; i < ce; i++ {
+			k := base + int(col0[i])*s0 + int(col1[i])*s1
+			tot[k]++
+			if bits[i>>6]>>(uint(i)&63)&1 != 0 {
+				anm[k]++
+			}
+		}
+	case 3:
+		col0, col1, col2 := ls.termCol[fc.t0], ls.termCol[fc.t0+1], ls.termCol[fc.t0+2]
+		s0, s1, s2 := int(ls.termStride[fc.t0]), int(ls.termStride[fc.t0+1]), int(ls.termStride[fc.t0+2])
+		for i := cs; i < ce; i++ {
+			k := base + int(col0[i])*s0 + int(col1[i])*s1 + int(col2[i])*s2
+			tot[k]++
+			if bits[i>>6]>>(uint(i)&63)&1 != 0 {
+				anm[k]++
+			}
+		}
+	default:
+		for i := cs; i < ce; i++ {
+			k := base
+			for t := fc.t0; t < fc.t1; t++ {
+				k += int(ls.termCol[t][i]) * int(ls.termStride[t])
+			}
+			tot[k]++
+			if bits[i>>6]>>(uint(i)&63)&1 != 0 {
+				anm[k]++
+			}
+		}
+	}
+}
+
+// Groups appends cuboid ci's non-empty groups into dst (reusing its
+// capacity after truncation to zero length), in ascending group index —
+// byte-for-byte the output ScanCuboid would produce. Valid only when
+// Done(ci) is true.
+func (ls *LayerScan) Groups(ci int, dst []GroupCount) []GroupCount {
+	dst = dst[:0]
+	fc := &ls.fcs[ls.fcOf[ci]]
+	b := &ls.batches[fc.batch]
+	tot := b.tot[fc.base : fc.base+fc.size]
+	anm := b.anm[fc.base : fc.base+fc.size]
+	for g, v := range tot {
+		if v == 0 {
+			continue
+		}
+		dst = append(dst, GroupCount{Group: g, Total: int(v), Anomalous: int(anm[g])})
+	}
+	return dst
+}
+
+// Close returns the accumulator arrays to the pool. The LayerScan must not
+// be used afterwards.
+func (ls *LayerScan) Close() {
+	for bi := range ls.batches {
+		b := &ls.batches[bi]
+		if b.buf != nil {
+			buf := b.buf
+			b.buf, b.tot, b.anm, b.done = nil, nil, nil, false
+			fusedScratchPool.Put(buf)
+		}
+	}
+}
+
+// ScanPanic wraps a panic captured on a fused-scan worker goroutine so it
+// can be rethrown on the calling goroutine with the worker's stack intact
+// (a goroutine's panic cannot be recovered by its parent directly).
+type ScanPanic struct {
+	Val   any
+	Stack []byte
+}
+
+func (p *ScanPanic) String() string {
+	return fmt.Sprintf("%v (from kpi scan worker)", p.Val)
+}
+
+// scanTrap captures the first worker panic of a scan pool.
+type scanTrap struct {
+	once sync.Once
+	sp   *ScanPanic
+}
+
+// capture must be deferred inside each worker goroutine.
+func (t *scanTrap) capture() {
+	if r := recover(); r != nil {
+		t.once.Do(func() { t.sp = &ScanPanic{Val: r, Stack: debug.Stack()} })
+	}
+}
+
+// rethrow re-panics on the calling goroutine after the pool's Wait.
+func (t *scanTrap) rethrow() {
+	if t.sp != nil {
+		panic(t.sp)
+	}
+}

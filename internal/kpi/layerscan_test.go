@@ -1,0 +1,285 @@
+package kpi
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestLayerScanMatchesScanCuboid pins the fused pass to the per-cuboid scan:
+// for every layer of the lattice and every worker count, Groups must produce
+// byte-identical output to ScanCuboid for every fused cuboid.
+func TestLayerScanMatchesScanCuboid(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		snap := scanTestSnapshot(t, seed)
+		attrs := []int{0, 1, 2}
+		var want, got []GroupCount
+		for layer := 1; layer <= len(attrs); layer++ {
+			cuboids := CuboidsAtLayer(attrs, layer)
+			for _, workers := range []int{1, 2, 4, 8} {
+				ls := snap.NewLayerScan(cuboids)
+				if !ls.Run(workers, nil) {
+					t.Fatalf("seed %d layer %d workers %d: Run aborted without a halt", seed, layer, workers)
+				}
+				if ls.Passes() < 1 {
+					t.Fatalf("seed %d layer %d: Passes() = %d after a completed run", seed, layer, ls.Passes())
+				}
+				for ci, cuboid := range cuboids {
+					if !ls.Fused(ci) || !ls.Done(ci) {
+						t.Fatalf("seed %d layer %d cuboid %v: not fused/done on a small dense domain", seed, layer, cuboid)
+					}
+					want = snap.ScanCuboid(cuboid, want)
+					got = ls.Groups(ci, got)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("seed %d layer %d workers %d cuboid %v:\nfused %v\n scan %v",
+							seed, layer, workers, cuboid, got, want)
+					}
+				}
+				ls.Close()
+			}
+		}
+	}
+}
+
+// TestLayerScanSinglePass checks the headline claim: a whole layer of a
+// dense schema costs one pass over the leaf columns, not one per cuboid.
+func TestLayerScanSinglePass(t *testing.T) {
+	snap := scanTestSnapshot(t, 0)
+	cuboids := CuboidsAtLayer([]int{0, 1, 2}, 2) // 3 cuboids
+	ls := snap.NewLayerScan(cuboids)
+	defer ls.Close()
+	if !ls.Run(1, nil) {
+		t.Fatal("Run aborted")
+	}
+	if ls.Passes() != 1 {
+		t.Fatalf("Passes() = %d for a layer that fits one batch, want 1", ls.Passes())
+	}
+}
+
+// TestLayerScanHaltAborts checks a tripped halt abandons the pass: Run
+// reports false and no cuboid reports Done, so callers fall back to the
+// per-cuboid path that owns the degraded semantics.
+func TestLayerScanHaltAborts(t *testing.T) {
+	snap := scanTestSnapshot(t, 0)
+	cuboids := CuboidsAtLayer([]int{0, 1, 2}, 1)
+	ls := snap.NewLayerScan(cuboids)
+	defer ls.Close()
+	if ls.Run(1, func() bool { return true }) {
+		t.Fatal("Run completed under an always-tripped halt")
+	}
+	if ls.Passes() != 0 {
+		t.Fatalf("Passes() = %d after an aborted run, want 0", ls.Passes())
+	}
+	for ci := range cuboids {
+		if ls.Done(ci) {
+			t.Fatalf("cuboid %d reports Done after an aborted run", ci)
+		}
+	}
+}
+
+// hugeDomainSnapshot builds a snapshot whose two-attribute cuboids exceed
+// the dense accumulator budget, forcing the sparse (non-fused) path.
+func hugeDomainSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	mk := func(name string, n int) Attribute {
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = fmt.Sprintf("%s%04d", name, i)
+		}
+		return Attribute{Name: name, Values: vals}
+	}
+	s := MustSchema(mk("x", 5000), mk("y", 5000))
+	r := rand.New(rand.NewSource(11))
+	seen := map[[2]int32]bool{}
+	var leaves []Leaf
+	for len(leaves) < 300 {
+		k := [2]int32{int32(r.Intn(5000)), int32(r.Intn(5000))}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		leaves = append(leaves, Leaf{
+			Combo:     Combination{k[0], k[1]},
+			Actual:    r.Float64(),
+			Forecast:  r.Float64(),
+			Anomalous: r.Float64() < 0.3,
+		})
+	}
+	snap, err := NewSnapshot(s, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestLayerScanSparseFallback checks cuboids whose Cartesian domain dwarfs
+// the data are excluded from the fusion (Fused false, Done false) while
+// dense cuboids of the same layer still fuse.
+func TestLayerScanSparseFallback(t *testing.T) {
+	snap := hugeDomainSnapshot(t)
+	// Layer 2 of the 5000x5000 schema has a 25M-slot domain — far past the
+	// dense limit for 300 leaves; layer 1 (5000 slots each) stays dense.
+	sparse := CuboidsAtLayer([]int{0, 1}, 2)
+	ls := snap.NewLayerScan(sparse)
+	defer ls.Close()
+	if !ls.Run(4, nil) {
+		t.Fatal("Run aborted")
+	}
+	if ls.Passes() != 0 {
+		t.Fatalf("Passes() = %d for an all-sparse layer, want 0", ls.Passes())
+	}
+	if ls.Fused(0) || ls.Done(0) {
+		t.Fatal("sparse-domain cuboid reported fused")
+	}
+
+	dense := CuboidsAtLayer([]int{0, 1}, 1)
+	ld := snap.NewLayerScan(dense)
+	defer ld.Close()
+	if !ld.Run(4, nil) {
+		t.Fatal("Run aborted")
+	}
+	var want, got []GroupCount
+	for ci, cuboid := range dense {
+		if !ld.Done(ci) {
+			t.Fatalf("dense cuboid %v not fused", cuboid)
+		}
+		want = snap.ScanCuboid(cuboid, want)
+		got = ld.Groups(ci, got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cuboid %v: fused %v, scan %v", cuboid, got, want)
+		}
+	}
+}
+
+// batchedSnapshot builds a schema whose layer-2 slot total exceeds one
+// dense accumulator budget while each cuboid stays under it, so the layer
+// splits into multiple fused batches.
+func batchedSnapshot(t *testing.T) (*Snapshot, []Cuboid) {
+	t.Helper()
+	mk := func(name string, n int) Attribute {
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = fmt.Sprintf("%s%03d", name, i)
+		}
+		return Attribute{Name: name, Values: vals}
+	}
+	s := MustSchema(mk("a", 141), mk("b", 141), mk("c", 141), mk("d", 141))
+	r := rand.New(rand.NewSource(7))
+	seen := map[[4]int32]bool{}
+	var leaves []Leaf
+	for len(leaves) < 500 {
+		k := [4]int32{int32(r.Intn(141)), int32(r.Intn(141)), int32(r.Intn(141)), int32(r.Intn(141))}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		leaves = append(leaves, Leaf{
+			Combo:     Combination{k[0], k[1], k[2], k[3]},
+			Actual:    r.Float64(),
+			Forecast:  r.Float64(),
+			Anomalous: r.Float64() < 0.25,
+		})
+	}
+	snap, err := NewSnapshot(s, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layer 2: six 19,881-slot cuboids, ~119k slots total against a
+	// 65,536-slot budget (500 leaves) — splits into two batches of three.
+	return snap, CuboidsAtLayer([]int{0, 1, 2, 3}, 2)
+}
+
+// TestLayerScanBatches checks a layer whose slot total exceeds the dense
+// budget splits into multiple passes and still matches ScanCuboid.
+func TestLayerScanBatches(t *testing.T) {
+	snap, cuboids := batchedSnapshot(t)
+	ls := snap.NewLayerScan(cuboids)
+	defer ls.Close()
+	if !ls.Run(4, nil) {
+		t.Fatal("Run aborted")
+	}
+	if ls.Passes() < 2 {
+		t.Fatalf("Passes() = %d, want >= 2 (layer exceeds one accumulator budget)", ls.Passes())
+	}
+	if ls.Passes() >= len(cuboids) {
+		t.Fatalf("Passes() = %d for %d cuboids: batching bought nothing", ls.Passes(), len(cuboids))
+	}
+	var want, got []GroupCount
+	for ci, cuboid := range cuboids {
+		if !ls.Done(ci) {
+			t.Fatalf("cuboid %v not done", cuboid)
+		}
+		want = snap.ScanCuboid(cuboid, want)
+		got = ls.Groups(ci, got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cuboid %v: fused and per-cuboid scans diverge", cuboid)
+		}
+	}
+}
+
+// TestLayerScanCloseReuse checks the pooled accumulators survive recycling:
+// a second scan after Close produces the same results.
+func TestLayerScanCloseReuse(t *testing.T) {
+	snap := scanTestSnapshot(t, 4)
+	cuboids := CuboidsAtLayer([]int{0, 1, 2}, 2)
+	var first [][]GroupCount
+	ls := snap.NewLayerScan(cuboids)
+	if !ls.Run(2, nil) {
+		t.Fatal("Run aborted")
+	}
+	for ci := range cuboids {
+		first = append(first, ls.Groups(ci, nil))
+	}
+	ls.Close()
+
+	again := snap.NewLayerScan(cuboids)
+	defer again.Close()
+	if !again.Run(2, nil) {
+		t.Fatal("second Run aborted")
+	}
+	for ci := range cuboids {
+		if got := again.Groups(ci, nil); !reflect.DeepEqual(got, first[ci]) {
+			t.Fatalf("cuboid %d: results changed after pool recycling", ci)
+		}
+	}
+}
+
+// TestLayerScanWorkerPanic checks a panic on a fused-scan worker goroutine
+// is rethrown on the calling goroutine as *ScanPanic instead of killing the
+// process. The snapshot is poisoned via a struct literal (bypassing
+// NewSnapshot validation) with an element code outside its attribute's
+// cardinality, and is large enough that Run actually forks workers.
+func TestLayerScanWorkerPanic(t *testing.T) {
+	s := MustSchema(
+		Attribute{Name: "a", Values: []string{"a1", "a2"}},
+		Attribute{Name: "b", Values: []string{"b1", "b2"}},
+	)
+	// >= 2*scanChunk leaves so workers > 1 actually partitions the pass.
+	n := 2*scanChunk + 100
+	leaves := make([]Leaf, n)
+	for i := range leaves {
+		leaves[i] = Leaf{Combo: Combination{int32(i % 2), int32(i / 2 % 2)}}
+	}
+	leaves[n-1].Combo = Combination{9, 0} // out of range for cardinality 2
+	snap := &Snapshot{Schema: s, Leaves: leaves}
+
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers %d: poisoned scan did not panic", workers)
+				}
+				if workers > 1 {
+					if _, ok := r.(*ScanPanic); !ok {
+						t.Fatalf("workers %d: recovered %T, want *ScanPanic", workers, r)
+					}
+				}
+			}()
+			ls := snap.NewLayerScan(CuboidsAtLayer([]int{0, 1}, 1))
+			defer ls.Close()
+			ls.Run(workers, nil)
+		}()
+	}
+}

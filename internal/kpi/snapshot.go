@@ -50,6 +50,9 @@ type Snapshot struct {
 	mu       sync.Mutex
 	indexers map[string]*CuboidIndexer
 	labeled  *labelDerived
+	// frame is the label-independent half of the columnar store (element
+	// IDs, v/f columns); built once, shared across label invalidations.
+	frame *colFrame
 }
 
 // labelDerived bundles every cache computed from the Anomalous labels, so
@@ -61,6 +64,11 @@ type labelDerived struct {
 	// of the anomalous leaves carrying that code: postings[a][code].
 	postings     [][][]int32
 	postingsOnce sync.Once
+	// cols is the columnar leaf store (element-ID columns plus the packed
+	// anomaly bitset and its cached count); it shares the snapshot's frame
+	// and is rebuilt — bitset and count together — after InvalidateLabels.
+	cols     *Columns
+	colsOnce sync.Once
 }
 
 // NewSnapshot validates that every leaf is fully constrained, carries valid
@@ -131,9 +139,11 @@ func (s *Snapshot) Indexer(c Cuboid) *CuboidIndexer {
 	return ix
 }
 
-// InvalidateLabels drops every cache derived from the Anomalous labels.
-// Callers that rewrite labels in place (detectors relabeling a snapshot)
-// must invalidate before the snapshot is searched again.
+// InvalidateLabels drops every cache derived from the Anomalous labels —
+// the anomalous leaf set, the inverted postings, and the columnar store's
+// anomaly bitset together with its cached count. Callers that rewrite
+// labels in place (detectors relabeling a snapshot) must invalidate before
+// the snapshot is searched again.
 func (s *Snapshot) InvalidateLabels() {
 	s.mu.Lock()
 	s.labeled = nil
@@ -155,6 +165,42 @@ func (s *Snapshot) labelCache() *labelDerived {
 	}
 	s.mu.Unlock()
 	return ld
+}
+
+// colFrameCached returns the snapshot's label-independent columns, building
+// them on first use. The frame depends only on the leaves' combinations and
+// values, which are immutable, so it survives InvalidateLabels.
+func (s *Snapshot) colFrameCached() *colFrame {
+	s.mu.Lock()
+	f := s.frame
+	s.mu.Unlock()
+	if f != nil {
+		return f
+	}
+	// Build outside the lock: the encode is O(leaves) and concurrent
+	// builders produce identical frames, so the first store wins.
+	f = buildColFrame(s.Schema, s.Leaves)
+	s.mu.Lock()
+	if s.frame == nil {
+		s.frame = f
+	} else {
+		f = s.frame
+	}
+	s.mu.Unlock()
+	return f
+}
+
+// Columns returns the snapshot's columnar leaf store, building it on first
+// use. The store is cached with the other label-derived structures and
+// invalidated as a unit by InvalidateLabels, so the anomaly bitset and its
+// cached count can never go stale independently of each other. Safe for
+// concurrent use; treat the result as read-only.
+func (s *Snapshot) Columns() *Columns {
+	ld := s.labelCache()
+	ld.colsOnce.Do(func() {
+		ld.cols = newColumns(s.Schema, s.colFrameCached(), len(s.Leaves), ld.anomIdx)
+	})
+	return ld.cols
 }
 
 // AnomalousLeafSet returns the index positions (into Leaves) of the

@@ -25,26 +25,30 @@ type AttributeCP struct {
 // When Info(D) is zero (no anomalies, or every leaf anomalous) no attribute
 // can reduce entropy and CP is defined as 0.
 func ClassificationPower(s *kpi.Snapshot, attr int) float64 {
-	total := s.Len()
+	// The columnar store carries the anomaly bitset with a cached
+	// population count, so a run computing CP for n attributes counts
+	// anomalies once and never re-walks the leaf structs.
+	cols := s.Columns()
+	total := cols.Len()
 	if total == 0 {
 		return 0
 	}
-	// The anomalous count comes from the snapshot's cached leaf set, so a
-	// run computing CP for n attributes counts anomalies once, not n times.
-	anomalous := len(s.AnomalousLeafSet())
+	anomalous := cols.NumAnomalous()
 	infoD := binaryEntropy(float64(anomalous) / float64(total))
 	if infoD == 0 {
 		return 0
 	}
 
-	// One pass: per-element counts of the attribute's branches.
+	// One pass over the attribute's dense element column and the packed
+	// bitset: per-element counts of the attribute's branches.
 	card := s.Schema.Cardinality(attr)
 	branchTotal := make([]int, card)
 	branchAnom := make([]int, card)
-	for _, l := range s.Leaves {
-		c := l.Combo[attr]
+	elem := cols.Elem(attr)
+	bits := cols.AnomalousBits()
+	for i, c := range elem {
 		branchTotal[c]++
-		if l.Anomalous {
+		if bits[i>>6]>>(uint(i)&63)&1 != 0 {
 			branchAnom[c]++
 		}
 	}
@@ -86,8 +90,8 @@ func classificationPowers(s *kpi.Snapshot, workers int) []AttributeCP {
 		}
 		return out
 	}
-	// Build the shared label cache before forking so workers only read it.
-	_ = s.AnomalousLeafSet()
+	// Build the shared columnar store before forking so workers only read it.
+	_ = s.Columns()
 	var (
 		next atomic.Int64
 		wg   sync.WaitGroup

@@ -214,3 +214,40 @@ func TestSelectAttributesSortedByCP(t *testing.T) {
 		}
 	}
 }
+
+// TestClassificationPowerAfterRelabel is the stale-column regression test
+// at the consumer level: ClassificationPower reads the columnar store's
+// anomaly bitset, so relabeling a snapshot in place and calling
+// InvalidateLabels must change the CP — a stale bitset or a stale cached
+// anomalous count would silently reproduce the old verdicts.
+func TestClassificationPowerAfterRelabel(t *testing.T) {
+	snap := fig6Snapshot(t)
+	if got := ClassificationPower(snap, 0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("CP_A = %v before relabel, want 1", got)
+	}
+
+	// Move the anomaly from (a1, *, *) to (*, b1, *): now B separates
+	// perfectly and A carries no information.
+	for i := range snap.Leaves {
+		snap.Leaves[i].Anomalous = snap.Leaves[i].Combo[1] == 0
+	}
+	snap.InvalidateLabels()
+
+	if got := ClassificationPower(snap, 0); math.Abs(got) > 1e-12 {
+		t.Errorf("CP_A = %v after relabel, want 0 (stale columnar store?)", got)
+	}
+	if got := ClassificationPower(snap, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("CP_B = %v after relabel, want 1 (stale columnar store?)", got)
+	}
+
+	// The parallel fan-out reads the same store.
+	for _, cp := range classificationPowers(snap, 4) {
+		want := 0.0
+		if cp.Attr == 1 {
+			want = 1.0
+		}
+		if math.Abs(cp.CP-want) > 1e-12 {
+			t.Errorf("workers=4: CP of attribute %d = %v, want %v", cp.Attr, cp.CP, want)
+		}
+	}
+}

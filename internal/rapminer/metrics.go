@@ -2,6 +2,7 @@ package rapminer
 
 import (
 	"context"
+	"sync"
 
 	"repro/internal/kpi"
 	"repro/internal/localize"
@@ -23,6 +24,13 @@ const (
 	MetricEarlyStops          = "rapminer_early_stops_total"
 	MetricEarlyStopRatio      = "rapminer_early_stop_ratio"
 	MetricRunsDegraded        = "rapminer_runs_degraded_total"
+	// Layer-scan metrics are observed live by the search engine itself
+	// (they time the fused columnar passes), not via PublishDiagnostics:
+	// wall-clock timings are nondeterministic and must stay out of
+	// Diagnostics, whose contents are bit-identical across worker counts.
+	MetricLayerScanSeconds      = "rapminer_layer_scan_seconds"
+	MetricLayerScanPasses       = "rapminer_layer_scan_passes_total"
+	MetricLayerScanFusedCuboids = "rapminer_layer_scan_fused_cuboids_total"
 )
 
 // minerMetrics is the set of instruments PublishDiagnostics writes, bound
@@ -65,7 +73,57 @@ func minerInstruments(reg *obs.Registry) minerMetrics {
 
 // RegisterMetrics pre-registers the miner's metric families on reg (nil
 // means the default registry) so they expose at zero before the first run.
-func RegisterMetrics(reg *obs.Registry) { minerInstruments(reg) }
+func RegisterMetrics(reg *obs.Registry) {
+	minerInstruments(reg)
+	scanInstrumentsOn(reg)
+}
+
+// layerScanBuckets resolves fused-pass timings: the passes are
+// microsecond-to-millisecond on realistic snapshots, well under the default
+// request-latency buckets.
+var layerScanBuckets = []float64{
+	50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3, 1,
+}
+
+// scanMetrics are the live layer-scan instruments the search engine writes
+// during the run (unlike minerMetrics, which publish a finished run's
+// Diagnostics after the fact).
+type scanMetrics struct {
+	seconds *obs.Histogram
+	passes  *obs.Counter
+	fused   *obs.Counter
+}
+
+// scanInstrumentsOn acquires the layer-scan families on reg (nil means the
+// default registry).
+func scanInstrumentsOn(reg *obs.Registry) scanMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return scanMetrics{
+		seconds: reg.Histogram(MetricLayerScanSeconds,
+			"Wall-clock seconds per fused layer scan (one observation per BFS layer).",
+			layerScanBuckets),
+		passes: reg.Counter(MetricLayerScanPasses,
+			"Completed passes over the leaf store across all runs (fused batches plus per-cuboid fallbacks)."),
+		fused: reg.Counter(MetricLayerScanFusedCuboids,
+			"Cuboids whose group counts were served by a fused layer scan."),
+	}
+}
+
+var (
+	scanMetricsOnce sync.Once
+	scanMetricsDef  scanMetrics
+)
+
+// layerScanInstruments returns the default registry's layer-scan
+// instruments, resolved once — the search engine is on the hot path and must
+// not pay a registry lookup per layer.
+func layerScanInstruments() scanMetrics {
+	scanMetricsOnce.Do(func() { scanMetricsDef = scanInstrumentsOn(nil) })
+	return scanMetricsDef
+}
 
 // PublishDiagnostics exports one run's Diagnostics into reg (nil means the
 // default registry). Callers holding a Diagnostics — the HTTP API, the

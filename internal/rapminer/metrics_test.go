@@ -77,9 +77,48 @@ func TestRegisterMetricsExposesZeroSchema(t *testing.T) {
 			t.Errorf("registration did not expose %s at zero:\n%s", name, body)
 		}
 	}
+	// The live layer-scan instruments register too: the counters at zero,
+	// the histogram with its bucket series.
+	for _, name := range []string{MetricLayerScanPasses, MetricLayerScanFusedCuboids} {
+		if !strings.Contains(body, name+" 0") {
+			t.Errorf("registration did not expose %s at zero:\n%s", name, body)
+		}
+	}
+	if !strings.Contains(body, MetricLayerScanSeconds+"_count 0") {
+		t.Errorf("registration did not expose %s histogram:\n%s", MetricLayerScanSeconds, body)
+	}
 	// Registration must not count a run.
 	if got := reg.Counter(MetricRuns, "").Value(); got != 0 {
 		t.Errorf("RegisterMetrics counted %v runs", got)
+	}
+}
+
+// TestSearchObservesLayerScanMetrics checks a localization run feeds the
+// live layer-scan instruments on the default registry: passes and fused
+// cuboids accumulate, and the seconds histogram records one observation per
+// layer entered.
+func TestSearchObservesLayerScanMetrics(t *testing.T) {
+	mx := layerScanInstruments()
+	passes0 := mx.passes.Value()
+	fused0 := mx.fused.Value()
+
+	snap := fig6Snapshot(t)
+	res, diag, err := MustNew(DefaultConfig()).LocalizeWithDiagnostics(snap, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("no patterns")
+	}
+	wantPasses := 0
+	for _, l := range diag.Layers {
+		wantPasses += l.ScanPasses
+	}
+	if got := mx.passes.Value() - passes0; got != float64(wantPasses) {
+		t.Errorf("%s advanced by %v, want %d", MetricLayerScanPasses, got, wantPasses)
+	}
+	if got := mx.fused.Value() - fused0; got < 1 {
+		t.Errorf("%s advanced by %v, want >= 1", MetricLayerScanFusedCuboids, got)
 	}
 }
 

@@ -36,6 +36,18 @@ func TestParallelSearchMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatalf("case %d: sequential run failed: %v", si, err)
 		}
+		// The fused layer scan must actually fuse: any layer that merged two
+		// or more cuboids has to cost at most half as many leaf-scan passes
+		// as the per-cuboid engine would (which paid one pass per cuboid).
+		for _, l := range wantDiag.Layers {
+			if l.Cuboids >= 2 && l.ScanPasses*2 > l.Cuboids {
+				t.Errorf("case %d layer %d: %d scan passes for %d cuboids, want <= half",
+					si, l.Layer, l.ScanPasses, l.Cuboids)
+			}
+			if l.FusedCuboids > l.Cuboids {
+				t.Errorf("case %d layer %d: %d fused cuboids > %d merged", si, l.Layer, l.FusedCuboids, l.Cuboids)
+			}
+		}
 		for _, workers := range []int{2, 4, 8} {
 			par := base.WithWorkers(workers)
 			gotRes, gotDiag, err := par.LocalizeWithDiagnostics(snap, 10)

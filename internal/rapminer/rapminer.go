@@ -191,6 +191,15 @@ type LayerStats struct {
 	Pruned int `json:"pruned"`
 	// Candidates counts RAP candidates accepted at this layer.
 	Candidates int `json:"candidates"`
+	// ScanPasses counts completed passes over the leaf store for this
+	// layer: one per fused columnar batch (however many cuboids it
+	// covered, and regardless of how many workers partitioned it) plus one
+	// per per-cuboid fallback scan. Without fusion this would equal
+	// Cuboids; fusion drives it toward the batch count.
+	ScanPasses int `json:"scan_passes"`
+	// FusedCuboids counts cuboids of this layer whose counts were served
+	// by the fused pass rather than a per-cuboid scan.
+	FusedCuboids int `json:"fused_cuboids"`
 }
 
 // CandidateInfo is one RAP candidate with the statistics behind its Eq. 3
@@ -286,6 +295,9 @@ func (m *Miner) localize(ctx context.Context, snapshot *kpi.Snapshot, k int, dia
 			val, stack := r, debug.Stack()
 			if wp, ok := r.(*workerPanic); ok {
 				val, stack = wp.val, wp.stack
+			}
+			if sp, ok := r.(*kpi.ScanPanic); ok {
+				val, stack = sp.Val, sp.Stack
 			}
 			obs.Logger("rapminer").Error("localization panicked",
 				slog.Any("panic", val), slog.String("stack", string(stack)))

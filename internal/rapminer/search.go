@@ -1,11 +1,12 @@
 package rapminer
 
 import (
+	"context"
 	"math"
-	"runtime/debug"
+	"runtime/pprof"
 	"sort"
-	"sync"
-	"sync/atomic"
+	"strconv"
+	"time"
 
 	"repro/internal/kpi"
 	"repro/internal/localize"
@@ -34,17 +35,21 @@ type candidate struct {
 // when it trips the search stops at the next cuboid boundary and returns
 // the best-so-far candidates with a non-empty degraded reason.
 //
-// Concurrency model: the expensive part of a layer — one count-only
-// group-by per cuboid — fans out across cfg.Workers goroutines, while the
-// cheap per-group decisions (Criteria 2/3, coverage, journaling) replay
-// sequentially over the scan results in cuboid order, then group-index
-// order. That merge order is exactly the sequential visit order, so
-// candidates, scores, ranking and Diagnostics are bit-identical to a
-// single-worker run. The layer barrier is preserved: no combination is
-// judged before every shallower layer has been fully merged, which is what
-// Definition 1 and Criteria 3 rely on. Pruning and early-stop state
-// (ancestorIndex, coverage) are touched only by the merging goroutine, so
-// the parallel path needs no locks beyond the snapshot's internal caches.
+// Concurrency model: the expensive part of a layer — the count-only
+// group-bys of its cuboids — is one fused pass over the snapshot's columnar
+// leaf store (kpi.LayerScan) that accumulates every cuboid of the layer
+// simultaneously, partitioned across cfg.Workers goroutines by contiguous
+// leaf range; per-range partial counts merge by integer addition, which is
+// exact and order-independent. The cheap per-group decisions (Criteria 2/3,
+// coverage, journaling) replay sequentially over the fused results in
+// cuboid order, then group-index order. That merge order is exactly the
+// sequential visit order, so candidates, scores, ranking and Diagnostics
+// are bit-identical to a single-worker run. The layer barrier is preserved:
+// no combination is judged before every shallower layer has been fully
+// merged, which is what Definition 1 and Criteria 3 rely on. Pruning and
+// early-stop state (ancestorIndex, coverage) are touched only by the
+// merging goroutine, so the parallel path needs no locks beyond the
+// snapshot's internal caches.
 //
 // Cancellation model: the budget is polled between cuboids by the merging
 // goroutine and inside scans (every few thousand leaves) by the workers, so
@@ -62,20 +67,32 @@ func (m *Miner) search(snapshot *kpi.Snapshot, attrs []int, diag *Diagnostics, b
 		anc        = newAncestorIndex()
 		covered    = newCoverage(snapshot)
 		scanner    = layerScanner{snap: snapshot, workers: m.workers(), halt: budget.halt()}
+		mx         = layerScanInstruments()
 		// probe is the scratch combination groups are decoded into; it is
 		// cloned only when a group becomes a candidate.
 		probe = kpi.NewRoot(snapshot.Schema.NumAttributes())
 	)
+	defer scanner.close()
 
 layers:
 	for layer := 1; layer <= len(attrs); layer++ {
+		// The budget is checked before the fused pass as well as between
+		// cuboids: an exhausted budget at a layer boundary must not pay for
+		// a whole layer's scan it will never merge. The trip point is the
+		// same cuboid boundary either way, so determinism is unaffected.
+		if merged > 0 && budget.exceeded() {
+			degraded = budget.reason
+			break layers
+		}
 		var stats *LayerStats
 		if diag != nil {
 			diag.Layers = append(diag.Layers, LayerStats{Layer: layer})
 			stats = &diag.Layers[len(diag.Layers)-1]
 		}
 		cuboids := kpi.CuboidsAtLayer(attrs, layer)
-		prefetched := scanner.prefetch(cuboids)
+		scanStart := time.Now()
+		scanner.prefetch(cuboids, layer)
+		mx.seconds.Observe(time.Since(scanStart).Seconds())
 		for ci, cuboid := range cuboids {
 			// The budget is enforced on the cuboid boundary: the layer's
 			// merge replay is sequential, so stopping here is deterministic
@@ -86,7 +103,7 @@ layers:
 				degraded = budget.reason
 				break layers
 			}
-			groups, ok := scanner.groups(prefetched, ci, cuboid, merged == 0)
+			groups, fused, ok := scanner.groups(ci, cuboid, merged == 0)
 			if !ok {
 				// The scan itself aborted mid-pass (budget tripped inside a
 				// large snapshot); its partial counts are discarded.
@@ -101,6 +118,13 @@ layers:
 			if diag != nil {
 				diag.CuboidsVisited++
 				stats.Cuboids++
+				stats.ScanPasses = scanner.passes
+				if fused {
+					stats.FusedCuboids++
+				}
+			}
+			if fused {
+				scanner.fusedMerged++
 			}
 			ix := snapshot.Indexer(cuboid)
 			for _, g := range groups {
@@ -153,6 +177,8 @@ layers:
 			}
 		}
 	}
+	mx.passes.Add(float64(scanner.totalPasses))
+	mx.fused.Add(float64(scanner.fusedMerged))
 	if diag != nil {
 		diag.Candidates = len(candidates)
 		if degraded != "" {
@@ -204,96 +230,74 @@ func rapScore(conf float64, layer int) float64 {
 	return conf / math.Sqrt(float64(layer))
 }
 
-// layerScanner runs the per-cuboid count-only group-bys of one BFS layer,
-// either lazily (single worker: each cuboid scans on demand in the merge
-// loop, preserving the sequential path's early-stop work skipping) or
-// eagerly across a bounded goroutine pool. Scan buffers are owned by the
-// scanner and recycled across layers — the layer barrier guarantees the
-// previous layer's results are fully merged before they are overwritten.
-// halt, when non-nil, is polled inside scans and before each prefetch claim
-// so an expired budget stops the pool within a fraction of a millisecond.
+// layerScanner produces the count-only group-bys of one BFS layer. The
+// primary path is the fused columnar pass (kpi.LayerScan): one scan of the
+// leaf columns accumulates every dense cuboid of the layer at once,
+// partitioned across the worker pool by leaf range. Cuboids the fused pass
+// did not cover — sparse domains, or batches a tripped budget abandoned —
+// fall back to the per-cuboid scan in the merge loop, where the run's first
+// cuboid scans without the halt hook so a degraded run always merges at
+// least one cuboid. A panic on a fused-scan worker is rethrown on the
+// merging goroutine (as *kpi.ScanPanic), where localize's recover turns it
+// into the run's error.
 type layerScanner struct {
 	snap    *kpi.Snapshot
 	workers int
 	halt    kpi.Halt
-	bufs    [][]kpi.GroupCount
-	scanned []bool
+	scan    *kpi.LayerScan
+	fbuf    []kpi.GroupCount
 	lazy    []kpi.GroupCount
+	// passes counts completed full passes over the leaf store for the
+	// current layer (fused batches plus per-cuboid fallbacks); totalPasses
+	// and fusedMerged accumulate across the run for the scan metrics.
+	passes      int
+	totalPasses int
+	fusedMerged int
 }
 
-// prefetch concurrently scans every cuboid of the layer when parallelism is
-// available and worthwhile; it reports whether it did. Each worker claims
-// cuboids from an atomic cursor, so results land at deterministic slots
-// regardless of scheduling. A worker that observes an expired budget stops
-// claiming and leaves the remaining slots unscanned (scanned[i] false) for
-// the merge loop to notice; a worker that panics poisons only the run — the
-// panic is rethrown on the merging goroutine after Wait, where localize's
-// recover turns it into the run's error.
-func (ls *layerScanner) prefetch(cuboids []kpi.Cuboid) bool {
-	if ls.workers <= 1 || len(cuboids) <= 1 {
-		return false
-	}
-	for len(ls.bufs) < len(cuboids) {
-		ls.bufs = append(ls.bufs, nil)
-	}
-	for len(ls.scanned) < len(cuboids) {
-		ls.scanned = append(ls.scanned, false)
-	}
-	clear(ls.scanned[:len(cuboids)])
-	n := ls.workers
-	if n > len(cuboids) {
-		n = len(cuboids)
-	}
-	var (
-		next atomic.Int64
-		wg   sync.WaitGroup
-		trap panicTrap
-	)
-	for w := 0; w < n; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					trap.capture(r, debug.Stack())
-				}
-			}()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(cuboids) {
-					return
-				}
-				if ls.halt != nil && ls.halt() {
-					return
-				}
-				var ok bool
-				ls.bufs[i], ok = ls.snap.ScanCuboidHalt(cuboids[i], ls.bufs[i], ls.halt)
-				ls.scanned[i] = ok
-			}
-		}()
-	}
-	wg.Wait()
-	trap.rethrow()
-	return true
+// prefetch plans and runs the layer's fused pass. The scan workers carry
+// pprof labels (layer, cuboid_count) so CPU profiles attribute scan time to
+// lattice layers. A tripped budget abandons the pass; the merge loop's
+// per-cuboid fallback notices via Done.
+func (ls *layerScanner) prefetch(cuboids []kpi.Cuboid, layer int) {
+	ls.close()
+	ls.scan = ls.snap.NewLayerScan(cuboids)
+	pprof.Do(context.Background(), pprof.Labels(
+		"layer", strconv.Itoa(layer),
+		"cuboid_count", strconv.Itoa(len(cuboids)),
+	), func(context.Context) {
+		ls.scan.Run(ls.workers, ls.halt)
+	})
+	ls.passes = ls.scan.Passes()
+	ls.totalPasses += ls.scan.Passes()
 }
 
-// groups returns cuboid ci's scan, reporting ok=false when the budget
-// aborted it: the prefetched buffer when the workers completed it, else a
-// lazy scan (the sequential path, and the fallback for prefetch slots the
-// budget skipped). first marks the run's guaranteed cuboid, which scans
-// without the halt hook so a degraded run always merges at least one
-// cuboid.
-func (ls *layerScanner) groups(prefetched bool, ci int, cuboid kpi.Cuboid, first bool) ([]kpi.GroupCount, bool) {
-	if prefetched && ls.scanned[ci] {
-		return ls.bufs[ci], true
+// groups returns cuboid ci's counts, reporting whether they came from the
+// fused pass and ok=false when the budget aborted the fallback scan. first
+// marks the run's guaranteed cuboid, which scans without the halt hook.
+func (ls *layerScanner) groups(ci int, cuboid kpi.Cuboid, first bool) (groups []kpi.GroupCount, fused, ok bool) {
+	if ls.scan.Done(ci) {
+		ls.fbuf = ls.scan.Groups(ci, ls.fbuf)
+		return ls.fbuf, true, true
 	}
 	halt := ls.halt
 	if first {
 		halt = nil
 	}
-	var ok bool
 	ls.lazy, ok = ls.snap.ScanCuboidHalt(cuboid, ls.lazy, halt)
-	return ls.lazy, ok
+	if ok {
+		ls.passes++
+		ls.totalPasses++
+	}
+	return ls.lazy, false, ok
+}
+
+// close releases the current layer's fused accumulators back to their pool.
+func (ls *layerScanner) close() {
+	if ls.scan != nil {
+		ls.scan.Close()
+		ls.scan = nil
+	}
 }
 
 // ancestorIndex answers the Criteria 3 test — "is any accepted candidate a
