@@ -27,6 +27,14 @@
 // 1.25) are reported on stderr as GitHub workflow `::warning::` lines. The
 // diff is advisory — shared CI runners are too noisy for a hard gate — so
 // regressions never change the exit status.
+//
+// With -loadgen, stdin is a cmd/loadgen JSON report instead of bench text:
+//
+//	loadgen -duration 20s -out - | benchjson -loadgen -baseline LOADGEN_pr6.json
+//
+// The report is echoed to stdout unchanged (so the same invocation archives
+// the artifact) and its p50/p99 and error/degraded rates are diffed against
+// the baseline with the same soft `::warning::` discipline.
 package main
 
 import (
@@ -38,6 +46,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/loadreport"
 )
 
 // benchResult is one parsed benchmark line.
@@ -60,9 +70,17 @@ type benchReport struct {
 }
 
 func main() {
-	baseline := flag.String("baseline", "", "archived benchjson report to diff ns/op against (soft warnings)")
-	threshold := flag.Float64("warn-threshold", 1.25, "warn when ns/op exceeds baseline by this ratio")
+	baseline := flag.String("baseline", "", "archived report to diff against (soft warnings)")
+	threshold := flag.Float64("warn-threshold", 1.25, "warn when a diffed value exceeds baseline by this ratio")
+	loadgen := flag.Bool("loadgen", false, "stdin is a cmd/loadgen JSON report, not `go test -bench` text")
 	flag.Parse()
+	if *loadgen {
+		if err := runLoadgen(os.Stdin, os.Stdout, os.Stderr, *baseline, *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	report, err := run(os.Stdin, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -71,6 +89,22 @@ func main() {
 	if *baseline != "" {
 		compareBaseline(os.Stderr, report, *baseline, *threshold)
 	}
+}
+
+// runLoadgen ingests a loadgen report, re-emits it on w (pass-through for
+// artifact archiving) and diffs it against the baseline when one is given.
+func runLoadgen(r io.Reader, w, diag io.Writer, baseline string, threshold float64) error {
+	rep, err := loadreport.Read(r)
+	if err != nil {
+		return err
+	}
+	if err := rep.Write(w); err != nil {
+		return err
+	}
+	if baseline != "" {
+		loadreport.Compare(diag, rep, baseline, threshold)
+	}
+	return nil
 }
 
 func run(r io.Reader, w io.Writer) (*benchReport, error) {

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/loadreport"
 )
 
 const sampleOutput = `goos: linux
@@ -125,5 +128,34 @@ func TestCompareBaselineMissingFileIsSoft(t *testing.T) {
 	compareBaseline(&out, &benchReport{}, "/nonexistent/base.json", 1.25)
 	if !strings.Contains(out.String(), "skipping comparison") {
 		t.Errorf("missing baseline should soft-skip:\n%s", out.String())
+	}
+}
+
+func TestLoadgenPassThroughAndDiff(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(base, []byte(`{"mode":"open","requests":100,"latency":{"p50_ms":10,"p99_ms":40}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader(`{"mode":"open","requests":100,"latency":{"p50_ms":10,"p99_ms":200}}`)
+	var out, diag bytes.Buffer
+	if err := runLoadgen(in, &out, &diag, base, 1.5); err != nil {
+		t.Fatalf("runLoadgen: %v", err)
+	}
+	rep, err := loadreport.Read(&out)
+	if err != nil {
+		t.Fatalf("pass-through output not a report: %v", err)
+	}
+	if rep.Requests != 100 {
+		t.Fatalf("pass-through lost fields: %+v", rep)
+	}
+	if !strings.Contains(diag.String(), "::warning::") || !strings.Contains(diag.String(), "p99") {
+		t.Fatalf("p99 regression not flagged: %s", diag.String())
+	}
+}
+
+func TestLoadgenRejectsBenchText(t *testing.T) {
+	in := strings.NewReader("goos: linux\nBenchmarkFoo-8 100 5 ns/op\n")
+	if err := runLoadgen(in, &bytes.Buffer{}, &bytes.Buffer{}, "", 1.5); err == nil {
+		t.Fatal("accepted bench text as a loadgen report")
 	}
 }

@@ -6,6 +6,16 @@
 //
 //	gendata -corpus rapmd   [-cases 105] [-seed 2022] [-out dir]
 //	gendata -corpus squeeze [-dim 2] [-raps 3] [-cases 10] [-seed 2022] [-out dir]
+//	gendata -corpus stream  [-attrs region:40,isp:30,os:10,site:24] [-raps 2]
+//	        [-cases 1] [-seed 2022] [-workers 0] [-batch-size 8192] [-out dir]
+//
+// The stream corpus is the cardinality-driven generator: attribute
+// cardinalities are declared on the command line, leaves are derived from
+// the seed batch by batch on a worker pool, and each case is written as a
+// JSON snapshot (loadgen's and /v1/localize's wire format) without ever
+// materializing the corpus in memory — so 10^6-10^7-leaf corpora are just
+// bigger files, not bigger processes. Case i uses seed+i: distinct but
+// reproducible failures.
 package main
 
 import (
@@ -13,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"repro/internal/gendata"
 	"repro/internal/kpi"
@@ -28,16 +40,30 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gendata", flag.ContinueOnError)
 	var (
-		corpusKind = fs.String("corpus", "rapmd", "corpus to generate: rapmd or squeeze")
+		corpusKind = fs.String("corpus", "rapmd", "corpus to generate: rapmd, squeeze or stream")
 		cases      = fs.Int("cases", 10, "number of failure cases")
 		seed       = fs.Int64("seed", 2022, "generation seed")
 		dim        = fs.Int("dim", 1, "squeeze corpus: RAP dimension (1-3)")
-		raps       = fs.Int("raps", 1, "squeeze corpus: RAPs per case (1-3)")
+		raps       = fs.Int("raps", 1, "squeeze corpus: RAPs per case (1-3); stream corpus: RAPs per case")
 		outDir     = fs.String("out", ".", "output directory")
-		format     = fs.String("format", "csv", "output format: csv (Table III files + truth list) or external (the published dataset layout)")
+		format     = fs.String("format", "csv", "output format: csv (Table III files + truth list) or external (the published dataset layout); stream corpora always write JSON snapshots")
+		attrs      = fs.String("attrs", "region:40,isp:30,os:10,site:24", "stream corpus: comma-separated name:cardinality attribute list")
+		workers    = fs.Int("workers", 0, "stream corpus: generation workers (0 = GOMAXPROCS)")
+		batchSize  = fs.Int("batch-size", 0, "stream corpus: leaves per generated batch (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *corpusKind == "stream" {
+		spec, err := parseStreamAttrs(*attrs)
+		if err != nil {
+			return err
+		}
+		spec.Seed = *seed
+		spec.NumRAPs = *raps
+		spec.Workers = *workers
+		spec.BatchSize = *batchSize
+		return writeStreamCorpus(spec, *cases, *outDir)
 	}
 
 	var (
@@ -89,6 +115,77 @@ func run(args []string) error {
 		fmt.Fprintln(truth)
 	}
 	fmt.Printf("wrote %d cases and %s\n", len(corpus.Cases), truthPath)
+	return nil
+}
+
+// parseStreamAttrs parses "name:card,name:card,..." into a StreamSpec.
+func parseStreamAttrs(s string) (gendata.StreamSpec, error) {
+	var spec gendata.StreamSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, cardStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return spec, fmt.Errorf("attribute %q: want name:cardinality", part)
+		}
+		card, err := strconv.Atoi(cardStr)
+		if err != nil || card < 1 {
+			return spec, fmt.Errorf("attribute %q: bad cardinality %q", name, cardStr)
+		}
+		spec.Attributes = append(spec.Attributes, gendata.StreamAttr{Name: name, Cardinality: card})
+	}
+	if len(spec.Attributes) == 0 {
+		return spec, fmt.Errorf("-attrs %q declares no attributes", s)
+	}
+	return spec, nil
+}
+
+// writeStreamCorpus streams nCases JSON snapshots (case i seeded seed+i)
+// plus a truth list into dir.
+func writeStreamCorpus(spec gendata.StreamSpec, nCases int, dir string) error {
+	if nCases < 1 {
+		return fmt.Errorf("cases %d, want >= 1", nCases)
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	schema, err := spec.Schema()
+	if err != nil {
+		return err
+	}
+	truthPath := filepath.Join(dir, "stream-truth.txt")
+	truth, err := os.Create(truthPath)
+	if err != nil {
+		return err
+	}
+	defer truth.Close()
+	baseSeed := spec.Seed
+	for i := 0; i < nCases; i++ {
+		spec.Seed = baseSeed + int64(i)
+		name := fmt.Sprintf("stream-case%03d.json", i)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := spec.StreamWriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("case %d: %w", i, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(truth, "%s:", name)
+		for _, rap := range spec.RAPs() {
+			fmt.Fprintf(truth, " %s", rap.Format(schema))
+		}
+		fmt.Fprintln(truth)
+	}
+	fmt.Printf("wrote %d stream cases (%d leaves each) and %s\n", nCases, spec.NumLeaves(), truthPath)
 	return nil
 }
 

@@ -1,0 +1,481 @@
+// Command loadgen replays localization traffic against a running serve
+// instance and reports the client-observed latency distribution, so the
+// saturation behavior the server's /debug/slo page claims can be checked
+// from the outside.
+//
+//	loadgen [-addr localhost:8080] [-endpoint localize|batch]
+//	        [-mode open|closed] [-qps 20] [-ramp 0s] [-concurrency 8]
+//	        [-duration 30s] [-method rapminer] [-k 3]
+//	        [-corpus squeeze|rapmd|stream] [-seed 42] [-cases 8]
+//	        [-attrs region:7,isp:5,proto:3] [-batch-items 4]
+//	        [-slowest 5] [-out -] [-max-error-rate -1]
+//
+// Two driving disciplines:
+//
+//   - open (default): an open-loop arrival process offers -qps requests per
+//     second regardless of how fast the server answers, optionally ramping
+//     from zero over -ramp. Requests that would exceed the -concurrency
+//     in-flight cap are counted as dropped rather than queued, so a server
+//     that falls behind shows up as drops and rising latency instead of
+//     silent client-side queueing (coordinated omission).
+//   - closed: -concurrency workers each issue the next request as soon as
+//     the previous answer lands. Throughput then measures the server's
+//     capacity at that concurrency.
+//
+// Request bodies are pre-rendered from an internal/gendata corpus (the
+// squeeze or rapmd evaluation corpora, or the cardinality-driven stream
+// generator) and cycled; every request carries a fresh W3C traceparent so
+// a slow request in the report can be chased into the server's
+// /debug/runs/{trace-id} explain page. Latency lands in a log-bucketed
+// histogram; the final report (JSON, schema in internal/loadreport) carries
+// p50/p90/p99/p999, throughput, per-status counts and the degraded /
+// 503-backpressure / 504-deadline rates. cmd/benchjson diffs such reports
+// against a committed baseline with `benchjson -loadgen`.
+//
+// With -max-error-rate >= 0 the run exits non-zero when the hard error rate
+// (network failures plus 5xx other than 503/504) exceeds it — CI's
+// load-smoke job runs with -max-error-rate 0.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gendata"
+	"repro/internal/kpi"
+	"repro/internal/loadreport"
+	"repro/internal/obs"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// latencyBuckets resolve client-observed latency from 0.5ms to ~4min on a
+// log scale — wide enough that a saturated server's tail still lands in a
+// finite bucket.
+var latencyBuckets = obs.ExpBuckets(0.0005, 2, 20)
+
+// collector accumulates one run's client-side telemetry. The histogram is
+// lock-free; the mutex only guards the status map and the slowest list.
+type collector struct {
+	hist      *obs.Histogram
+	requests  atomic.Uint64
+	netErrors atomic.Uint64
+	hardErrs  atomic.Uint64 // net errors + 5xx other than 503/504
+	degraded  atomic.Uint64
+	rejected  atomic.Uint64 // 503
+	retryable atomic.Uint64 // 503 with Retry-After
+	timeouts  atomic.Uint64 // 504
+	dropped   atomic.Uint64 // open loop: in-flight cap reached
+
+	mu      sync.Mutex
+	status  map[string]uint64
+	maxSec  float64
+	slowest []loadreport.SlowRequest
+	keep    int
+}
+
+func newCollector(keepSlowest int) *collector {
+	return &collector{
+		hist:   obs.NewRegistry().Histogram("loadgen_latency_seconds", "Client-observed request latency.", latencyBuckets),
+		status: make(map[string]uint64),
+		keep:   keepSlowest,
+	}
+}
+
+// record folds one finished request into the run.
+func (c *collector) record(traceID string, elapsed time.Duration, status int, degraded, retryAfter bool, netErr error) {
+	c.requests.Add(1)
+	sec := elapsed.Seconds()
+	c.hist.Observe(sec)
+	key := "error"
+	switch {
+	case netErr != nil:
+		c.netErrors.Add(1)
+		c.hardErrs.Add(1)
+	default:
+		key = strconv.Itoa(status)
+		switch {
+		case status == http.StatusServiceUnavailable:
+			c.rejected.Add(1)
+			if retryAfter {
+				c.retryable.Add(1)
+			}
+		case status == http.StatusGatewayTimeout:
+			c.timeouts.Add(1)
+		case status >= 500:
+			c.hardErrs.Add(1)
+		}
+		if degraded {
+			c.degraded.Add(1)
+		}
+	}
+	c.mu.Lock()
+	c.status[key]++
+	if sec > c.maxSec {
+		c.maxSec = sec
+	}
+	// Keep the top-keep slowest requests by replacing the current fastest
+	// entry; at the sizes -slowest allows, a linear scan beats a heap.
+	if c.keep > 0 {
+		entry := loadreport.SlowRequest{TraceID: traceID, LatencyMS: sec * 1000, Status: status}
+		if len(c.slowest) < c.keep {
+			c.slowest = append(c.slowest, entry)
+		} else {
+			minIdx := 0
+			for i, s := range c.slowest {
+				if s.LatencyMS < c.slowest[minIdx].LatencyMS {
+					minIdx = i
+				}
+			}
+			if entry.LatencyMS > c.slowest[minIdx].LatencyMS {
+				c.slowest[minIdx] = entry
+			}
+		}
+	}
+	c.mu.Unlock()
+}
+
+// report assembles the final document. elapsed is the measured wall time.
+func (c *collector) report(elapsed time.Duration) *loadreport.Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.requests.Load()
+	rep := &loadreport.Report{
+		DurationSeconds: elapsed.Seconds(),
+		Requests:        n,
+		Status:          c.status,
+		NetErrors:       c.netErrors.Load(),
+		Degraded:        c.degraded.Load(),
+		Rejected503:     c.rejected.Load(),
+		Timeout504:      c.timeouts.Load(),
+		Dropped:         c.dropped.Load(),
+		Latency: loadreport.LatencySummary{
+			P50MS:  c.hist.Quantile(0.50) * 1000,
+			P90MS:  c.hist.Quantile(0.90) * 1000,
+			P99MS:  c.hist.Quantile(0.99) * 1000,
+			P999MS: c.hist.Quantile(0.999) * 1000,
+			MaxMS:  c.maxSec * 1000,
+		},
+	}
+	if cnt := c.hist.Count(); cnt > 0 {
+		rep.Latency.MeanMS = c.hist.Sum() / float64(cnt) * 1000
+	}
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(n) / elapsed.Seconds()
+	}
+	if n > 0 {
+		rep.ErrorRate = float64(c.hardErrs.Load()) / float64(n)
+		rep.DegradedRate = float64(c.degraded.Load()) / float64(n)
+		rep.RetryRate = float64(c.retryable.Load()) / float64(n)
+		rep.TimeoutRate = float64(c.timeouts.Load()) / float64(n)
+	}
+	// Slowest first.
+	for i := 0; i < len(c.slowest); i++ {
+		for j := i + 1; j < len(c.slowest); j++ {
+			if c.slowest[j].LatencyMS > c.slowest[i].LatencyMS {
+				c.slowest[i], c.slowest[j] = c.slowest[j], c.slowest[i]
+			}
+		}
+	}
+	rep.Slowest = c.slowest
+	return rep
+}
+
+func run(ctx context.Context, w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "localhost:8080", "serve address (host:port or full URL)")
+		endpoint    = fs.String("endpoint", "localize", "target endpoint: localize or batch")
+		mode        = fs.String("mode", "open", "driving discipline: open (target -qps arrival rate) or closed (-concurrency request loops)")
+		qps         = fs.Float64("qps", 20, "open loop: offered requests per second at full ramp")
+		ramp        = fs.Duration("ramp", 0, "open loop: ramp the offered rate from 0 to -qps over this long")
+		concurrency = fs.Int("concurrency", 8, "closed loop: worker count; open loop: max in-flight requests before sends are dropped")
+		duration    = fs.Duration("duration", 30*time.Second, "how long to drive load")
+		method      = fs.String("method", "rapminer", "localization method to request")
+		k           = fs.Int("k", 3, "patterns to request per localization")
+		corpus      = fs.String("corpus", "squeeze", "request corpus: squeeze, rapmd or stream")
+		seed        = fs.Int64("seed", 42, "corpus seed")
+		cases       = fs.Int("cases", 8, "distinct snapshots to pre-render and cycle through")
+		attrs       = fs.String("attrs", "region:7,isp:5,proto:3", "stream corpus: comma-separated name:cardinality attribute spec")
+		batchItems  = fs.Int("batch-items", 4, "batch endpoint: snapshots per request")
+		slowest     = fs.Int("slowest", 5, "slowest requests to report with trace IDs")
+		out         = fs.String("out", "-", "report path (- = stdout)")
+		timeout     = fs.Duration("timeout", time.Minute, "per-request client timeout")
+		maxErrRate  = fs.Float64("max-error-rate", -1, "exit non-zero when the hard error rate exceeds this fraction (negative = never)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *mode != "open" && *mode != "closed" {
+		return fmt.Errorf("unknown mode %q (want open or closed)", *mode)
+	}
+	if *endpoint != "localize" && *endpoint != "batch" {
+		return fmt.Errorf("unknown endpoint %q (want localize or batch)", *endpoint)
+	}
+	if *concurrency < 1 || *cases < 1 || *batchItems < 1 {
+		return fmt.Errorf("concurrency, cases and batch-items must be positive")
+	}
+	if *mode == "open" && *qps <= 0 {
+		return fmt.Errorf("open loop needs -qps > 0")
+	}
+
+	bodies, err := renderBodies(*corpus, *seed, *cases, *attrs, *endpoint, *batchItems)
+	if err != nil {
+		return err
+	}
+	var sizeTotal int
+	for _, b := range bodies {
+		sizeTotal += len(b)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d %s bodies (%.1f KB avg) -> %s %s for %s\n",
+		len(bodies), *corpus, float64(sizeTotal)/float64(len(bodies))/1024,
+		*mode, *endpoint, *duration)
+
+	url := normalizeAddr(*addr)
+	switch *endpoint {
+	case "localize":
+		url += "/v1/localize"
+	case "batch":
+		url += "/v1/localize/batch"
+	}
+	url += "?method=" + *method + "&k=" + strconv.Itoa(*k)
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: *concurrency,
+		},
+	}
+	col := newCollector(*slowest)
+	next := new(atomic.Uint64) // cycles through bodies
+
+	shoot := func(ctx context.Context) {
+		body := bodies[next.Add(1)%uint64(len(bodies))]
+		tc := obs.NewTraceContext()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			col.record(tc.TraceID, 0, 0, false, false, err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("traceparent", tc.Traceparent())
+		start := time.Now()
+		resp, err := client.Do(req)
+		elapsed := time.Since(start)
+		if err != nil {
+			col.record(tc.TraceID, elapsed, 0, false, false, err)
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		degraded := resp.Header.Get("X-Rapminer-Degraded") != ""
+		retryAfter := resp.Header.Get("Retry-After") != ""
+		col.record(tc.TraceID, elapsed, resp.StatusCode, degraded, retryAfter, nil)
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, *duration)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	switch *mode {
+	case "closed":
+		for i := 0; i < *concurrency; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for runCtx.Err() == nil {
+					shoot(ctx) // the request itself may outlive the window
+				}
+			}()
+		}
+		<-runCtx.Done()
+	case "open":
+		inflight := make(chan struct{}, *concurrency)
+		for runCtx.Err() == nil {
+			// Offered rate ramps linearly from 0 to -qps over -ramp, with a
+			// 1 rps floor so the first request is not postponed forever.
+			rate := *qps
+			if *ramp > 0 {
+				if frac := time.Since(start).Seconds() / ramp.Seconds(); frac < 1 {
+					rate = max(*qps*frac, 1)
+				}
+			}
+			select {
+			case <-runCtx.Done():
+			case <-time.After(time.Duration(float64(time.Second) / rate)):
+				select {
+				case inflight <- struct{}{}:
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						defer func() { <-inflight }()
+						shoot(ctx)
+					}()
+				default:
+					// Open-loop discipline: never queue client-side. A full
+					// in-flight window means the server is behind the offered
+					// rate; count it instead of distorting the latency tail.
+					col.dropped.Add(1)
+				}
+			}
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := col.report(elapsed)
+	rep.Mode = *mode
+	rep.Endpoint = *endpoint
+	rep.Method = *method
+	rep.Concurrency = *concurrency
+	if *mode == "open" {
+		rep.TargetQPS = *qps
+	}
+
+	dst := w
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := rep.Write(dst); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d requests in %.1fs (%.1f rps)  p50 %.1fms  p99 %.1fms  errors %.2f%%  degraded %.2f%%  503 %d  504 %d  dropped %d\n",
+		rep.Requests, rep.DurationSeconds, rep.ThroughputRPS,
+		rep.Latency.P50MS, rep.Latency.P99MS,
+		100*rep.ErrorRate, 100*rep.DegradedRate, rep.Rejected503, rep.Timeout504, rep.Dropped)
+	if *maxErrRate >= 0 && rep.ErrorRate > *maxErrRate {
+		return fmt.Errorf("hard error rate %.2f%% exceeds limit %.2f%% (%d net errors, status %v)",
+			100*rep.ErrorRate, 100**maxErrRate, rep.NetErrors, rep.Status)
+	}
+	return nil
+}
+
+// renderBodies pre-renders the request bodies the run cycles through, so
+// generation cost never pollutes the measured latency.
+func renderBodies(corpus string, seed int64, cases int, attrs, endpoint string, batchItems int) ([][]byte, error) {
+	snaps, err := renderSnapshots(corpus, seed, cases, attrs)
+	if err != nil {
+		return nil, err
+	}
+	if endpoint == "localize" {
+		return snaps, nil
+	}
+	// Batch bodies: batchItems consecutive snapshots per request.
+	bodies := make([][]byte, 0, cases)
+	for i := 0; i < cases; i++ {
+		raw := make([]json.RawMessage, batchItems)
+		for j := 0; j < batchItems; j++ {
+			raw[j] = snaps[(i+j)%len(snaps)]
+		}
+		body, err := json.Marshal(map[string]any{"snapshots": raw})
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, body)
+	}
+	return bodies, nil
+}
+
+// renderSnapshots produces cases JSON snapshot documents from the chosen
+// corpus.
+func renderSnapshots(corpus string, seed int64, cases int, attrs string) ([][]byte, error) {
+	switch corpus {
+	case "stream":
+		spec, err := parseStreamAttrs(attrs)
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]byte, cases)
+		for i := range out {
+			spec.Seed = seed + int64(i)
+			spec.NumRAPs = 2
+			var buf bytes.Buffer
+			if err := spec.StreamWriteJSON(&buf); err != nil {
+				return nil, err
+			}
+			out[i] = buf.Bytes()
+		}
+		return out, nil
+	case "squeeze":
+		c, err := gendata.SqueezeB0(seed, gendata.SqueezeGroups()[0], cases)
+		if err != nil {
+			return nil, err
+		}
+		return renderCorpus(c)
+	case "rapmd":
+		c, err := gendata.RAPMD(seed, cases)
+		if err != nil {
+			return nil, err
+		}
+		return renderCorpus(c)
+	default:
+		return nil, fmt.Errorf("unknown corpus %q (want squeeze, rapmd or stream)", corpus)
+	}
+}
+
+func renderCorpus(c *gendata.Corpus) ([][]byte, error) {
+	out := make([][]byte, len(c.Cases))
+	for i, cs := range c.Cases {
+		var buf bytes.Buffer
+		if err := kpi.WriteJSON(&buf, cs.Snapshot); err != nil {
+			return nil, err
+		}
+		out[i] = buf.Bytes()
+	}
+	return out, nil
+}
+
+// parseStreamAttrs parses "name:cardinality,..." into a StreamSpec.
+func parseStreamAttrs(s string) (gendata.StreamSpec, error) {
+	var spec gendata.StreamSpec
+	for _, part := range strings.Split(s, ",") {
+		name, card, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return spec, fmt.Errorf("attr %q: want name:cardinality", part)
+		}
+		n, err := strconv.Atoi(card)
+		if err != nil || n < 1 {
+			return spec, fmt.Errorf("attr %q: bad cardinality", part)
+		}
+		spec.Attributes = append(spec.Attributes, gendata.StreamAttr{Name: strings.TrimSpace(name), Cardinality: n})
+	}
+	if len(spec.Attributes) == 0 {
+		return spec, fmt.Errorf("empty attribute spec")
+	}
+	return spec, nil
+}
+
+// normalizeAddr accepts host:port shorthand for the -addr flag.
+func normalizeAddr(addr string) string {
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return strings.TrimRight(addr, "/")
+	}
+	if strings.HasPrefix(addr, ":") {
+		addr = "localhost" + addr
+	}
+	return "http://" + strings.TrimRight(addr, "/")
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/httpapi"
+	"repro/internal/loadreport"
+	"repro/internal/obs"
+)
+
+// testServer serves the real API handler on a loopback listener.
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(httpapi.NewHandlerOpts(httpapi.Options{
+		Registry: obs.NewRegistry(),
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestClosedLoopReport(t *testing.T) {
+	srv := testServer(t)
+	out := filepath.Join(t.TempDir(), "report.json")
+	err := run(context.Background(), &bytes.Buffer{}, []string{
+		"-addr", srv.URL, "-mode", "closed", "-concurrency", "2",
+		"-duration", "1s", "-cases", "2", "-corpus", "squeeze",
+		"-out", out, "-max-error-rate", "0",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	rep, err := loadreport.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	if rep.Mode != "closed" || rep.Endpoint != "localize" {
+		t.Fatalf("report shape = %s/%s", rep.Mode, rep.Endpoint)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests recorded")
+	}
+	if rep.Status["200"] != rep.Requests {
+		t.Fatalf("status map %v does not account for all %d requests", rep.Status, rep.Requests)
+	}
+	if rep.ErrorRate != 0 {
+		t.Fatalf("error rate %v on a healthy server", rep.ErrorRate)
+	}
+	if rep.Latency.P50MS <= 0 || rep.Latency.P99MS < rep.Latency.P50MS {
+		t.Fatalf("implausible latency summary %+v", rep.Latency)
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Fatalf("throughput %v", rep.ThroughputRPS)
+	}
+	if len(rep.Slowest) == 0 {
+		t.Fatal("no slowest requests retained")
+	}
+	for _, s := range rep.Slowest {
+		if len(s.TraceID) != 32 {
+			t.Fatalf("slow request trace id %q is not 32 hex chars", s.TraceID)
+		}
+	}
+}
+
+func TestOpenLoopBatchWithRamp(t *testing.T) {
+	srv := testServer(t)
+	var buf bytes.Buffer
+	err := run(context.Background(), &buf, []string{
+		"-addr", strings.TrimPrefix(srv.URL, "http://"), // exercise host:port shorthand
+		"-mode", "open", "-qps", "50", "-ramp", "200ms", "-concurrency", "8",
+		"-duration", "1s", "-cases", "2", "-batch-items", "2",
+		"-endpoint", "batch", "-corpus", "stream", "-attrs", "region:4,isp:3",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	rep, err := loadreport.Read(&buf)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	if rep.Mode != "open" || rep.Endpoint != "batch" || rep.TargetQPS != 50 {
+		t.Fatalf("report shape %s/%s qps=%v", rep.Mode, rep.Endpoint, rep.TargetQPS)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests recorded")
+	}
+	if rep.NetErrors != 0 {
+		t.Fatalf("%d net errors against a live server (status %v)", rep.NetErrors, rep.Status)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "bursty"},
+		{"-endpoint", "incidents"},
+		{"-corpus", "netflix"},
+		{"-mode", "open", "-qps", "0"},
+		{"-corpus", "stream", "-attrs", "region"},
+	} {
+		if err := run(context.Background(), &bytes.Buffer{}, append(args, "-duration", "10ms")); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestRenderSnapshotsDeterministic(t *testing.T) {
+	a, err := renderSnapshots("stream", 7, 3, "region:4,isp:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := renderSnapshots("stream", 7, 3, "region:4,isp:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("snapshot %d differs across identical renders", i)
+		}
+	}
+	if bytes.Equal(a[0], a[1]) {
+		t.Fatal("distinct cases rendered identical snapshots")
+	}
+}
+
+func TestRunHonorsContextCancel(t *testing.T) {
+	srv := testServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, &bytes.Buffer{}, []string{
+			"-addr", srv.URL, "-mode", "closed", "-concurrency", "1",
+			"-duration", "1h", "-cases", "1",
+		})
+	}()
+	time.Sleep(300 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run after cancel: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not stop after context cancel")
+	}
+}

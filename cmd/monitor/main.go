@@ -139,9 +139,10 @@ func run(w io.Writer, args []string) error {
 		ctx, cancel := context.WithCancel(context.Background())
 		defer cancel()
 		obs.StartRuntimeCollector(ctx, nil, 0)
+		obs.RegisterBuildInfo(nil)
 		mux := http.NewServeMux()
-		mux.Handle("GET /metrics", obs.Default().Handler())
-		mux.Handle("GET /debug/vars", obs.Default().VarsHandler())
+		mux.Handle("GET /metrics", obs.WithUptime(nil, obs.Default().Handler()))
+		mux.Handle("GET /debug/vars", obs.WithUptime(nil, obs.Default().VarsHandler()))
 		mux.Handle("GET /debug/spans", obs.SpansHandler())
 		mux.Handle("GET /debug/runs", explain.Default().RunsHandler())
 		mux.Handle("GET /debug/runs/{id}", explain.Default().RunHandler())

@@ -7,6 +7,7 @@
 //
 //	rapmctl runs    [-addr http://localhost:8080]
 //	rapmctl explain [-addr http://localhost:8080] [-json] [trace-id]
+//	rapmctl slo     [-addr http://localhost:8080] [-json]
 //
 // `runs` lists the retained localization runs, newest first. `explain`
 // renders one run's full report — which attributes survived the t_CP cut,
@@ -15,6 +16,11 @@
 // explains the most recent run. The trace ID is returned by POST
 // /v1/localize (trace_id field and traceparent response header), so a
 // client that keeps it can always ask the service to explain its answer.
+//
+// `slo` renders the service's GET /debug/slo page — rolling 1m/5m latency
+// quantiles, degraded/backpressure/timeout rates per endpoint and the
+// instantaneous saturation gauges — as a table, for a terminal answer to
+// "is the service healthy right now".
 package main
 
 import (
@@ -25,9 +31,11 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/httpapi"
 	"repro/internal/rapminer/explain"
 )
 
@@ -40,7 +48,8 @@ func main() {
 
 const usage = `usage:
   rapmctl runs    [-addr http://localhost:8080]
-  rapmctl explain [-addr http://localhost:8080] [-json] [trace-id]`
+  rapmctl explain [-addr http://localhost:8080] [-json] [trace-id]
+  rapmctl slo     [-addr http://localhost:8080] [-json]`
 
 func run(w io.Writer, args []string) error {
 	if len(args) == 0 {
@@ -51,6 +60,8 @@ func run(w io.Writer, args []string) error {
 		return runList(w, args[1:])
 	case "explain":
 		return runExplain(w, args[1:])
+	case "slo":
+		return runSLO(w, args[1:])
 	case "help", "-h", "--help":
 		fmt.Fprintln(w, usage)
 		return nil
@@ -115,6 +126,62 @@ func runList(w io.Writer, args []string) error {
 			r.AnomalousLeaves, r.Leaves, r.Candidates, r.ElapsedMS, stop)
 	}
 	return nil
+}
+
+func runSLO(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("rapmctl slo", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the serve/monitor instance")
+	asJSON := fs.Bool("json", false, "print the raw /debug/slo JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var report httpapi.SLOReport
+	if err := getJSON(normalizeAddr(*addr)+"/debug/slo", &report); err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	renderSLO(w, report)
+	return nil
+}
+
+// renderSLO prints the SLO report as one table per window, endpoints in
+// stable sorted order.
+func renderSLO(w io.Writer, report httpapi.SLOReport) {
+	fmt.Fprintf(w, "uptime %s   in-flight %d   batch queue %d/%d\n",
+		(time.Duration(report.UptimeSeconds * float64(time.Second))).Round(time.Second),
+		report.InflightRequests, report.BatchQueueDepth, report.BatchCapacity)
+	windows := make([]string, 0, len(report.Windows))
+	for name := range report.Windows {
+		windows = append(windows, name)
+	}
+	// Shortest window first; names are "1m"/"5m" so length-then-lexical works.
+	sort.Slice(windows, func(i, j int) bool {
+		if len(windows[i]) != len(windows[j]) {
+			return len(windows[i]) < len(windows[j])
+		}
+		return windows[i] < windows[j]
+	})
+	for _, name := range windows {
+		per := report.Windows[name]
+		routes := make([]string, 0, len(per))
+		for r := range per {
+			routes = append(routes, r)
+		}
+		sort.Strings(routes)
+		fmt.Fprintf(w, "\nlast %s\n", name)
+		fmt.Fprintf(w, "  %-28s %8s %8s %9s %9s %7s %7s %7s %7s\n",
+			"endpoint", "reqs", "rps", "p50", "p99", "degr", "503", "504", "err")
+		for _, r := range routes {
+			v := per[r]
+			fmt.Fprintf(w, "  %-28s %8.0f %8.1f %7.1fms %7.1fms %6.1f%% %6.1f%% %6.1f%% %6.1f%%\n",
+				r, v.Requests, v.RatePerSec, v.P50MS, v.P99MS,
+				100*v.DegradedRate, 100*v.BackpressureRate, 100*v.TimeoutRate, 100*v.ErrorRate)
+		}
+	}
 }
 
 func runExplain(w io.Writer, args []string) error {

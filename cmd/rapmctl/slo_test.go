@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/httpapi"
+)
+
+func sloServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	report := httpapi.SLOReport{
+		UptimeSeconds:    125,
+		InflightRequests: 1,
+		BatchQueueDepth:  2,
+		BatchCapacity:    48,
+		Windows: map[string]map[string]httpapi.SLOEndpointWindow{
+			"1m": {
+				"POST /v1/localize": {Requests: 30, RatePerSec: 0.5, P50MS: 12, P99MS: 80, DegradedRate: 0.1},
+			},
+			"5m": {
+				"POST /v1/localize": {Requests: 100, RatePerSec: 0.33, P50MS: 11, P99MS: 70},
+			},
+		},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/slo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(report)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestSLOSubcommand(t *testing.T) {
+	srv := sloServer(t)
+	var out bytes.Buffer
+	if err := run(&out, []string{"slo", "-addr", srv.URL}); err != nil {
+		t.Fatalf("slo: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"uptime 2m5s", "in-flight 1", "batch queue 2/48",
+		"last 1m", "last 5m", "POST /v1/localize", "10.0%",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("slo output lacks %q:\n%s", want, text)
+		}
+	}
+	// 1m must render before 5m.
+	if strings.Index(text, "last 1m") > strings.Index(text, "last 5m") {
+		t.Fatalf("windows out of order:\n%s", text)
+	}
+}
+
+func TestSLOSubcommandJSON(t *testing.T) {
+	srv := sloServer(t)
+	var out bytes.Buffer
+	if err := run(&out, []string{"slo", "-addr", srv.URL, "-json"}); err != nil {
+		t.Fatalf("slo -json: %v", err)
+	}
+	var rep httpapi.SLOReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("slo -json not JSON: %v\n%s", err, out.String())
+	}
+	if rep.BatchCapacity != 48 || rep.Windows["1m"]["POST /v1/localize"].Requests != 30 {
+		t.Fatalf("slo -json lost fields: %+v", rep)
+	}
+}
+
+func TestSLOSubcommandUnreachable(t *testing.T) {
+	if err := run(&bytes.Buffer{}, []string{"slo", "-addr", "localhost:1"}); err == nil {
+		t.Fatal("expected error against a closed port")
+	}
+}

@@ -3,6 +3,7 @@
 //	serve [-addr :8080] [-pprof] [-log-level info] [-log-json]
 //	      [-span-capacity 512] [-workers 0] [-batch-queue -1]
 //	      [-request-timeout 0] [-read-timeout 1m] [-write-timeout 2m]
+//	      [-exemplar-threshold 0] [-log-max-per-sec 50]
 //
 // Endpoints:
 //
@@ -17,6 +18,7 @@
 //	GET  /debug/spans      recent trace spans (?trace=<id>, ?group=trace)
 //	GET  /debug/runs       recent localization runs (explain reports)
 //	GET  /debug/runs/{id}  one run's explain report by trace ID
+//	GET  /debug/slo        rolling 1m/5m latency/degraded/backpressure windows
 //	GET  /debug/pprof/     Go profiler (only with -pprof)
 //
 // POST /v1/localize accepts the Table III snapshot layout as
@@ -80,6 +82,8 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		requestTimeout  = fs.Duration("request-timeout", 0, "per-request localization deadline; expired requests answer 504 with best-so-far partial results (0 = none)")
 		readTimeout     = fs.Duration("read-timeout", time.Minute, "max time to read one request including the body (0 = none)")
 		writeTimeout    = fs.Duration("write-timeout", 2*time.Minute, "max time to write one response (0 = none; keep above -request-timeout and pprof profile windows)")
+		exemplarMin     = fs.Duration("exemplar-threshold", 0, "retain trace exemplars only for requests at least this slow (0 = every bucket's most recent request)")
+		logMaxPerSec    = fs.Float64("log-max-per-sec", 50, "per-request log lines allowed per second before sampling kicks in; excess requests are counted in rapminer_logs_suppressed_total (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,9 +100,11 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 
 	mux := http.NewServeMux()
 	mux.Handle("/", httpapi.NewHandlerOpts(httpapi.Options{
-		BatchWorkers:   *workers,
-		BatchQueue:     *batchQueue,
-		RequestTimeout: *requestTimeout,
+		BatchWorkers:      *workers,
+		BatchQueue:        *batchQueue,
+		RequestTimeout:    *requestTimeout,
+		ExemplarThreshold: exemplarMin.Seconds(),
+		LogMaxPerSec:      *logMaxPerSec,
 	}))
 	if *pprofOn {
 		// Mounted on the outer mux so profiler traffic skips the API

@@ -1,0 +1,363 @@
+package gendata
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/inject"
+	"repro/internal/kpi"
+)
+
+// Cardinality-driven streaming generation: StreamSpec describes an
+// attribute space purely by per-attribute cardinalities and a seed, and the
+// generator derives every leaf independently from its index — so corpora
+// from the paper's RAPMD scale (~288k leaves) up toward 10^6-10^7 leaves
+// can be produced batch by batch, worker-pooled, without ever holding the
+// whole leaf set in memory. Leaf i is a pure function of (seed, i): the
+// output is bit-identical at any worker count or batch size, and a consumer
+// that only needs a slice of the corpus can regenerate exactly that slice.
+
+// StreamAttr is one attribute of a streamed corpus: a name and how many
+// distinct elements it has. Element names are synthesized as
+// "<name>_<j>".
+type StreamAttr struct {
+	Name        string `json:"name"`
+	Cardinality int    `json:"cardinality"`
+}
+
+// StreamSpec configures the streaming generator. The leaf count is the
+// product of the attribute cardinalities (the corpus is dense, like the
+// paper's CDN table).
+type StreamSpec struct {
+	// Attributes defines the schema; every cardinality must be >= 1.
+	Attributes []StreamAttr
+	// Seed makes the corpus deterministic: same spec, same corpus.
+	Seed int64
+	// NumRAPs root anomaly patterns are injected (ground truth for
+	// localization). 0 means no failure — a clean background.
+	NumRAPs int
+	// RAPDim bounds each injected RAP's dimensionality; 0 means a random
+	// dimension in [1, min(3, attrs)].
+	RAPDim int
+	// BatchSize is how many leaves one callback receives; <= 0 means
+	// DefaultStreamBatch.
+	BatchSize int
+	// Workers generate batches in parallel; <= 0 means GOMAXPROCS.
+	// Parallelism never changes the output, only the wall time.
+	Workers int
+}
+
+// DefaultStreamBatch is the batch size used when StreamSpec.BatchSize is
+// unset: big enough to amortize scheduling, small enough that a handful of
+// in-flight batches stay cache-friendly.
+const DefaultStreamBatch = 8192
+
+// Validate reports whether the spec can generate a corpus.
+func (s StreamSpec) Validate() error {
+	if len(s.Attributes) == 0 {
+		return fmt.Errorf("gendata: stream spec has no attributes")
+	}
+	total := 1
+	for i, a := range s.Attributes {
+		if a.Name == "" {
+			return fmt.Errorf("gendata: stream attribute %d has no name", i)
+		}
+		if a.Cardinality < 1 {
+			return fmt.Errorf("gendata: stream attribute %q cardinality %d, want >= 1", a.Name, a.Cardinality)
+		}
+		if total > math.MaxInt/a.Cardinality {
+			return fmt.Errorf("gendata: stream leaf count overflows int")
+		}
+		total *= a.Cardinality
+	}
+	if s.NumRAPs < 0 {
+		return fmt.Errorf("gendata: NumRAPs %d, want >= 0", s.NumRAPs)
+	}
+	if s.RAPDim < 0 || s.RAPDim > len(s.Attributes) {
+		return fmt.Errorf("gendata: RAPDim %d, want 0..%d", s.RAPDim, len(s.Attributes))
+	}
+	return nil
+}
+
+// NumLeaves returns the corpus size: the product of the cardinalities.
+func (s StreamSpec) NumLeaves() int {
+	total := 1
+	for _, a := range s.Attributes {
+		total *= a.Cardinality
+	}
+	return total
+}
+
+// Schema materializes the attribute space with synthesized element names.
+func (s StreamSpec) Schema() (*kpi.Schema, error) {
+	attrs := make([]kpi.Attribute, len(s.Attributes))
+	for i, a := range s.Attributes {
+		vals := make([]string, a.Cardinality)
+		for j := range vals {
+			vals[j] = fmt.Sprintf("%s_%d", a.Name, j+1)
+		}
+		attrs[i] = kpi.Attribute{Name: a.Name, Values: vals}
+	}
+	return kpi.NewSchema(attrs...)
+}
+
+// RAPs returns the spec's injected ground-truth patterns, drawn from the
+// seed alone (independent of batching and workers).
+func (s StreamSpec) RAPs() []kpi.Combination {
+	if s.NumRAPs == 0 {
+		return nil
+	}
+	r := rand.New(rand.NewSource(s.Seed ^ 0x5261504d)) // "RaPM"
+	n := len(s.Attributes)
+	raps := make([]kpi.Combination, s.NumRAPs)
+	for i := range raps {
+		dim := s.RAPDim
+		if dim == 0 {
+			dim = 1 + r.Intn(min(3, n))
+		}
+		combo := make(kpi.Combination, n)
+		for a := range combo {
+			combo[a] = kpi.Wildcard
+		}
+		for _, a := range r.Perm(n)[:dim] {
+			combo[a] = int32(r.Intn(s.Attributes[a].Cardinality))
+		}
+		raps[i] = combo
+	}
+	return raps
+}
+
+// splitmix64 is the per-leaf deterministic hash: good avalanche, no shared
+// state, so leaf i's randomness is independent of every other leaf.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unitFloat maps a hash to [0, 1).
+func unitFloat(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// genLeaf derives leaf i: the combo is the mixed-radix decode of i over the
+// cardinalities, the forecast a heavy-tailed log-normal, and the actual
+// value either a small normal wobble (Dev in [-0.02, 0.09], the paper's
+// Randomness 2 normal range) or, under an injected RAP, a per-leaf
+// anomalous deviation in [0.1, 0.9].
+func (s StreamSpec) genLeaf(i int, raps []kpi.Combination, combo kpi.Combination) kpi.Leaf {
+	rem := i
+	for a := len(s.Attributes) - 1; a >= 0; a-- {
+		card := s.Attributes[a].Cardinality
+		combo[a] = int32(rem % card)
+		rem /= card
+	}
+	base := splitmix64(uint64(s.Seed)*0x9e3779b97f4a7c15 + uint64(i))
+	// Forecast: exp(3 + N(0,1)-ish), approximated by the sum of uniforms
+	// (Irwin-Hall with n=4, variance 1/3*4... scaled) — cheap and smooth.
+	u1, u2 := unitFloat(base), unitFloat(splitmix64(base))
+	gauss := (u1 + u2 + unitFloat(splitmix64(base^0xabcd)) + unitFloat(splitmix64(base^0x1234)) - 2) * 1.73
+	f := math.Exp(3 + gauss)
+
+	leaf := kpi.Leaf{Combo: combo, Actual: f, Forecast: f}
+	dev := -0.02 + 0.11*unitFloat(splitmix64(base^0x6e6f726d)) // normal wobble
+	for _, rap := range raps {
+		if rap.Matches(combo) {
+			dev = 0.1 + 0.8*unitFloat(splitmix64(base^0x616e6f6d)) // anomalous drop
+			leaf.Anomalous = true
+			break
+		}
+	}
+	leaf.Actual = f * (1 - dev)
+	return leaf
+}
+
+// StreamLeaves generates the corpus batch by batch, invoking fn in leaf
+// order with each batch's starting index. Batches are generated on
+// StreamSpec.Workers goroutines but delivered in order; at most workers+1
+// batches exist at once, so memory stays bounded no matter the corpus
+// size. Each delivered batch is freshly allocated — fn may retain it. A
+// non-nil error from fn stops generation and is returned.
+func (s StreamSpec) StreamLeaves(fn func(start int, batch []kpi.Leaf) error) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	total := s.NumLeaves()
+	bs := s.BatchSize
+	if bs <= 0 {
+		bs = DefaultStreamBatch
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	raps := s.RAPs()
+	numBatches := (total + bs - 1) / bs
+
+	// chans[b] carries batch b from its generating worker to the ordered
+	// consumer below; buffered so the send never blocks. The semaphore
+	// bounds generated-but-unconsumed batches to workers+1, and the feeder
+	// acquires it BEFORE dispatching a job so tokens are granted in batch
+	// order — if workers raced for tokens themselves, the worker holding
+	// the lowest (next-to-consume) batch could starve behind higher
+	// batches and deadlock the ordered consumer.
+	chans := make([]chan []kpi.Leaf, numBatches)
+	for b := range chans {
+		chans[b] = make(chan []kpi.Leaf, 1)
+	}
+	jobs := make(chan int)
+	stop := make(chan struct{})
+	sem := make(chan struct{}, workers+1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range jobs {
+				start := b * bs
+				n := min(bs, total-start)
+				batch := make([]kpi.Leaf, n)
+				// One combo arena per batch: n fixed-size combos carved out
+				// of a single allocation, owned by the delivered leaves.
+				arena := make([]int32, n*len(s.Attributes))
+				for i := range batch {
+					combo := kpi.Combination(arena[i*len(s.Attributes) : (i+1)*len(s.Attributes)])
+					batch[i] = s.genLeaf(start+i, raps, combo)
+				}
+				chans[b] <- batch
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for b := 0; b < numBatches; b++ {
+			select {
+			case sem <- struct{}{}:
+			case <-stop:
+				return
+			}
+			select {
+			case jobs <- b:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	var err error
+	for b := 0; b < numBatches; b++ {
+		batch := <-chans[b]
+		if err = fn(b*bs, batch); err != nil {
+			break
+		}
+		<-sem
+	}
+	close(stop)
+	wg.Wait()
+	return err
+}
+
+// StreamSnapshot materializes the whole corpus as one labeled snapshot —
+// convenient below a few million leaves; truly huge corpora should stay on
+// the streaming path.
+func (s StreamSpec) StreamSnapshot() (*kpi.Snapshot, error) {
+	schema, err := s.Schema()
+	if err != nil {
+		return nil, err
+	}
+	leaves := make([]kpi.Leaf, 0, s.NumLeaves())
+	if err := s.StreamLeaves(func(_ int, batch []kpi.Leaf) error {
+		leaves = append(leaves, batch...)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return kpi.NewSnapshot(schema, leaves)
+}
+
+// StreamCase materializes the corpus as an inject.Case (snapshot + ground
+// truth RAPs), so streamed corpora plug into the evaluation harness.
+func (s StreamSpec) StreamCase() (inject.Case, error) {
+	snap, err := s.StreamSnapshot()
+	if err != nil {
+		return inject.Case{}, err
+	}
+	return inject.Case{Snapshot: snap, RAPs: s.RAPs()}, nil
+}
+
+// StreamWriteJSON streams the corpus to w in the kpi snapshot JSON wire
+// format (readable by kpi.ReadJSON and POSTable to /v1/localize), writing
+// the schema header then each batch's rows without materializing the leaf
+// set.
+func (s StreamSpec) StreamWriteJSON(w io.Writer) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	schema, err := s.Schema()
+	if err != nil {
+		return err
+	}
+	bw := newErrWriter(w)
+	bw.WriteString(`{"attributes":[`)
+	for i := 0; i < schema.NumAttributes(); i++ {
+		if i > 0 {
+			bw.WriteString(",")
+		}
+		a := schema.Attribute(i)
+		bw.WriteString(fmt.Sprintf(`{"name":%q,"values":[`, a.Name))
+		for j, v := range a.Values {
+			if j > 0 {
+				bw.WriteString(",")
+			}
+			bw.WriteString(fmt.Sprintf("%q", v))
+		}
+		bw.WriteString("]}")
+	}
+	bw.WriteString(`],"leaves":[`)
+	first := true
+	err = s.StreamLeaves(func(_ int, batch []kpi.Leaf) error {
+		for _, l := range batch {
+			if !first {
+				bw.WriteString(",")
+			}
+			first = false
+			bw.WriteString(`{"combination":[`)
+			for a, code := range l.Combo {
+				if a > 0 {
+					bw.WriteString(",")
+				}
+				bw.WriteString(fmt.Sprintf("%q", schema.Value(a, code)))
+			}
+			bw.WriteString(fmt.Sprintf(`],"actual":%g,"forecast":%g`, l.Actual, l.Forecast))
+			if l.Anomalous {
+				bw.WriteString(`,"anomalous":true`)
+			}
+			bw.WriteString("}")
+		}
+		return bw.err
+	})
+	if err != nil {
+		return err
+	}
+	bw.WriteString("]}\n")
+	return bw.err
+}
+
+// errWriter sticks at the first write error so the JSON assembly above can
+// skip per-call error plumbing.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func newErrWriter(w io.Writer) *errWriter { return &errWriter{w: w} }
+
+func (e *errWriter) WriteString(s string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = io.WriteString(e.w, s)
+}

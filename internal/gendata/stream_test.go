@@ -1,0 +1,216 @@
+package gendata
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/kpi"
+)
+
+func streamSpec() StreamSpec {
+	return StreamSpec{
+		Attributes: []StreamAttr{
+			{Name: "region", Cardinality: 7},
+			{Name: "isp", Cardinality: 5},
+			{Name: "proto", Cardinality: 3},
+		},
+		Seed:    42,
+		NumRAPs: 2,
+	}
+}
+
+func TestStreamSpecValidate(t *testing.T) {
+	bad := []StreamSpec{
+		{},
+		{Attributes: []StreamAttr{{Name: "", Cardinality: 2}}},
+		{Attributes: []StreamAttr{{Name: "a", Cardinality: 0}}},
+		{Attributes: []StreamAttr{{Name: "a", Cardinality: 2}}, NumRAPs: -1},
+		{Attributes: []StreamAttr{{Name: "a", Cardinality: 2}}, RAPDim: 5},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d validated, want error", i)
+		}
+	}
+	if err := streamSpec().Validate(); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}
+
+// TestStreamDeterministicAcrossWorkers pins the core contract: the corpus
+// is a pure function of the spec, independent of workers and batch size.
+func TestStreamDeterministicAcrossWorkers(t *testing.T) {
+	base := streamSpec()
+	base.Workers = 1
+	base.BatchSize = 16
+	want, err := base.StreamSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Len() != 7*5*3 {
+		t.Fatalf("leaves = %d, want %d", want.Len(), 7*5*3)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		for _, bs := range []int{1, 7, 64, 1000} {
+			spec := base
+			spec.Workers = workers
+			spec.BatchSize = bs
+			got, err := spec.StreamSnapshot()
+			if err != nil {
+				t.Fatalf("workers=%d bs=%d: %v", workers, bs, err)
+			}
+			if !reflect.DeepEqual(got.Leaves, want.Leaves) {
+				t.Fatalf("workers=%d bs=%d: corpus differs from sequential", workers, bs)
+			}
+		}
+	}
+}
+
+func TestStreamBatchesArriveInOrder(t *testing.T) {
+	spec := streamSpec()
+	spec.Workers = 4
+	spec.BatchSize = 10
+	next := 0
+	if err := spec.StreamLeaves(func(start int, batch []kpi.Leaf) error {
+		if start != next {
+			t.Fatalf("batch start %d, want %d", start, next)
+		}
+		next = start + len(batch)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if next != spec.NumLeaves() {
+		t.Fatalf("consumed %d leaves, want %d", next, spec.NumLeaves())
+	}
+}
+
+func TestStreamCallbackErrorStops(t *testing.T) {
+	spec := streamSpec()
+	spec.BatchSize = 5
+	spec.Workers = 3
+	boom := errors.New("boom")
+	calls := 0
+	err := spec.StreamLeaves(func(int, []kpi.Leaf) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+func TestStreamRAPsInjectAnomalies(t *testing.T) {
+	spec := streamSpec()
+	snap, err := spec.StreamSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raps := spec.RAPs()
+	if len(raps) != spec.NumRAPs {
+		t.Fatalf("raps = %d, want %d", len(raps), spec.NumRAPs)
+	}
+	// Every leaf under a RAP is anomalous, every other leaf is not.
+	anomalous := 0
+	for _, l := range snap.Leaves {
+		under := false
+		for _, rap := range raps {
+			if rap.Matches(l.Combo) {
+				under = true
+				break
+			}
+		}
+		if l.Anomalous != under {
+			t.Fatalf("leaf %v anomalous=%v but under-RAP=%v", l.Combo, l.Anomalous, under)
+		}
+		if under {
+			anomalous++
+			if dev := (l.Forecast - l.Actual) / l.Forecast; dev < 0.1-1e-9 || dev > 0.9+1e-9 {
+				t.Fatalf("anomalous leaf dev %v outside [0.1, 0.9]", dev)
+			}
+		}
+	}
+	if anomalous == 0 {
+		t.Fatal("no anomalous leaves injected")
+	}
+	if got := snap.NumAnomalous(); got != anomalous {
+		t.Fatalf("NumAnomalous = %d, want %d", got, anomalous)
+	}
+}
+
+// TestStreamWriteJSONRoundTrips checks the streamed document parses back
+// into exactly the materialized snapshot.
+func TestStreamWriteJSONRoundTrips(t *testing.T) {
+	spec := streamSpec()
+	spec.BatchSize = 13
+	var buf bytes.Buffer
+	if err := spec.StreamWriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := kpi.ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSON of streamed document: %v", err)
+	}
+	want, err := spec.StreamSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("leaves = %d, want %d", got.Len(), want.Len())
+	}
+	for i := range got.Leaves {
+		g, w := got.Leaves[i], want.Leaves[i]
+		if !g.Combo.Equal(w.Combo) || g.Anomalous != w.Anomalous {
+			t.Fatalf("leaf %d mismatch: %+v vs %+v", i, g, w)
+		}
+	}
+}
+
+func TestStreamCase(t *testing.T) {
+	spec := streamSpec()
+	c, err := spec.StreamCase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Snapshot == nil || len(c.RAPs) != spec.NumRAPs {
+		t.Fatalf("case = %+v, want snapshot and %d RAPs", c, spec.NumRAPs)
+	}
+}
+
+func BenchmarkStreamLeaves(b *testing.B) {
+	spec := StreamSpec{
+		Attributes: []StreamAttr{
+			{Name: "region", Cardinality: 40},
+			{Name: "isp", Cardinality: 30},
+			{Name: "os", Cardinality: 10},
+			{Name: "site", Cardinality: 24},
+		}, // 288k leaves, the RAPMD scale
+		Seed:    7,
+		NumRAPs: 2,
+	}
+	for _, workers := range []int{1, 4} {
+		spec.Workers = workers
+		b.Run(map[int]string{1: "workers=1", 4: "workers=4"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n := 0
+				if err := spec.StreamLeaves(func(_ int, batch []kpi.Leaf) error {
+					n += len(batch)
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if n != spec.NumLeaves() {
+					b.Fatalf("streamed %d leaves, want %d", n, spec.NumLeaves())
+				}
+			}
+		})
+	}
+}

@@ -197,6 +197,9 @@ func (a *api) handleLocalizeBatch(w http.ResponseWriter, r *http.Request) {
 		errors.Is(reqCtx.Err(), context.DeadlineExceeded) && (failed > 0 || degraded > 0) {
 		status = http.StatusGatewayTimeout
 	}
+	if degraded > 0 {
+		w.Header().Set(DegradedHeader, fmt.Sprintf("%d/%d items degraded", degraded, len(results)))
+	}
 	writeJSON(w, status, resp)
 }
 

@@ -75,6 +75,7 @@ type api struct {
 	log     *slog.Logger
 	runs    *explain.Store
 	batch   *pipeline.BatchExecutor
+	slo     *sloState
 	timeout time.Duration
 }
 
@@ -102,6 +103,15 @@ type Options struct {
 	// the deadline's worth of search bought. 0 means no per-request
 	// deadline.
 	RequestTimeout time.Duration
+	// ExemplarThreshold is the request latency (seconds) below which the
+	// latency histogram does not retain trace exemplars. 0 keeps an
+	// exemplar for every bucket's most recent request.
+	ExemplarThreshold float64
+	// LogMaxPerSec caps per-request log lines emitted per second; excess
+	// requests are served silently and counted in
+	// rapminer_logs_suppressed_total, so a load test cannot drown the log
+	// stream. <= 0 means unlimited.
+	LogMaxPerSec float64
 }
 
 // NewHandler builds the service's HTTP routes against the default metrics
@@ -149,9 +159,13 @@ func NewHandlerOpts(o Options) http.Handler {
 		timeout: o.RequestTimeout,
 	}
 	// Expose the full metric schema at zero from the first scrape, before
-	// any localization or incident has happened.
+	// any localization or incident has happened, plus the process identity
+	// block (rapminer_build_info, process_start_time_seconds).
 	rapminer.RegisterMetrics(reg)
 	pipeline.RegisterMetrics(reg)
+	obs.RegisterBuildInfo(reg)
+	slo := newSLOState(reg, a.batch)
+	a.slo = slo
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", handleHealthz)
 	mux.HandleFunc("GET /v1/methods", handleMethods)
@@ -160,12 +174,13 @@ func NewHandlerOpts(o Options) http.Handler {
 	monitor := newMonitorAPI(reg, a.runs)
 	mux.HandleFunc("POST /v1/observe", monitor.handleObserve)
 	mux.HandleFunc("GET /v1/incidents", monitor.handleIncidents)
-	mux.Handle("GET /metrics", reg.Handler())
-	mux.Handle("GET /debug/vars", reg.VarsHandler())
+	mux.Handle("GET /metrics", obs.WithUptime(reg, reg.Handler()))
+	mux.Handle("GET /debug/vars", obs.WithUptime(reg, reg.VarsHandler()))
 	mux.Handle("GET /debug/spans", obs.SpansHandler())
 	mux.Handle("GET /debug/runs", a.runs.RunsHandler())
 	mux.Handle("GET /debug/runs/{id}", a.runs.RunHandler())
-	return instrument(reg, log, mux)
+	mux.Handle("GET /debug/slo", slo.handler())
+	return instrument(reg, log, slo, newLogSampler(reg, o.LogMaxPerSec), o.ExemplarThreshold, mux)
 }
 
 func handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -325,7 +340,19 @@ func (a *api) handleLocalize(w http.ResponseWriter, r *http.Request) {
 		errors.Is(reqCtx.Err(), context.DeadlineExceeded)) {
 		status = http.StatusGatewayTimeout
 	}
+	if res.Degraded {
+		w.Header().Set(DegradedHeader, degradedHeaderValue(res.DegradedReason))
+	}
 	writeJSON(w, status, resp)
+}
+
+// degradedHeaderValue renders a degraded reason for the DegradedHeader;
+// the header must be non-empty to signal, even without a reason.
+func degradedHeaderValue(reason string) string {
+	if reason == "" {
+		return "degraded"
+	}
+	return strings.ReplaceAll(reason, "\n", " ")
 }
 
 // renderPatterns maps scored patterns back to the snapshot's attribute

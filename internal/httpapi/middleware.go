@@ -3,6 +3,7 @@ package httpapi
 import (
 	"log/slog"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -14,20 +15,72 @@ import (
 // report (/debug/runs/{trace-id}) afterwards.
 const TraceparentHeader = "traceparent"
 
+// DegradedHeader marks responses whose localization result was cut off by a
+// deadline or budget; the value is the degraded reason. Handlers set it,
+// the middleware folds it into the SLO windows, and clients get a cheap
+// header-level signal without parsing the body.
+const DegradedHeader = "X-Rapminer-Degraded"
+
+// logSampler rate-limits the per-request log line. Up to maxPerSec lines
+// pass per one-second window; the rest are counted, not printed, so a
+// load-generator run cannot drown the process's log stream. maxPerSec <= 0
+// means unlimited.
+type logSampler struct {
+	maxPerSec  float64
+	suppressed *obs.Counter
+
+	mu    sync.Mutex
+	epoch int64
+	count float64
+}
+
+func newLogSampler(reg *obs.Registry, maxPerSec float64) *logSampler {
+	return &logSampler{
+		maxPerSec: maxPerSec,
+		suppressed: reg.Counter("rapminer_logs_suppressed_total",
+			"Per-request log lines suppressed by the log sampler."),
+	}
+}
+
+// allow reports whether this request's log line may print.
+func (s *logSampler) allow(now time.Time) bool {
+	if s.maxPerSec <= 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	epoch := now.Unix()
+	if epoch != s.epoch {
+		s.epoch = epoch
+		s.count = 0
+	}
+	s.count++
+	if s.count > s.maxPerSec {
+		s.suppressed.Inc()
+		return false
+	}
+	return true
+}
+
 // instrument wraps the route mux with the service's observability
 // middleware: trace propagation (a valid incoming traceparent joins its
 // trace, anything else starts a fresh one; the response always carries the
 // request's traceparent), one "http.request" root span per request,
 // request counting by method/route/status class, a request latency
-// histogram, an in-flight gauge, and one structured log line per request.
-// Metric label cardinality is bounded by using the matched route pattern
-// (never the raw URL path).
-func instrument(reg *obs.Registry, log *slog.Logger, next http.Handler) http.Handler {
+// histogram carrying trace exemplars (each bucket remembers the most
+// recent trace ID at or above the exemplar threshold, so a slow bucket on
+// /metrics resolves straight to /debug/runs/{trace-id}), the rolling SLO
+// windows behind GET /debug/slo, an in-flight gauge, and one structured —
+// and, under load, sampled — log line per request. Metric label
+// cardinality is bounded by using the matched route pattern (never the raw
+// URL path).
+func instrument(reg *obs.Registry, log *slog.Logger, slo *sloState, sampler *logSampler, exemplarMin float64, next http.Handler) http.Handler {
 	inflight := reg.Gauge("http_inflight_requests",
 		"Requests currently being served.")
 	// Pre-register the latency family so /metrics shows it before traffic.
 	reg.Histogram("http_request_duration_seconds",
-		"Request latency by matched route.", nil, "route", "none")
+		"Request latency by matched route.", nil, "route", "none").
+		SetExemplarThreshold(exemplarMin)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		inflight.Inc()
@@ -56,25 +109,30 @@ func instrument(reg *obs.Registry, log *slog.Logger, next http.Handler) http.Han
 		if route == "" {
 			route = "none"
 		}
+		degraded := rec.Header().Get(DegradedHeader) != ""
 		span.SetAttr("route", route)
 		span.SetAttr("status", rec.status)
 		span.End()
 		reg.Counter("http_requests_total",
 			"Requests served by method, matched route, and status class.",
 			"method", r.Method, "route", route, "class", statusClass(rec.status)).Inc()
-		reg.Histogram("http_request_duration_seconds",
-			"Request latency by matched route.", nil, "route", route).
-			Observe(elapsed.Seconds())
+		h := reg.Histogram("http_request_duration_seconds",
+			"Request latency by matched route.", nil, "route", route)
+		h.SetExemplarThreshold(exemplarMin)
+		h.ObserveExemplar(elapsed.Seconds(), span.TraceID())
+		slo.record(route, elapsed, rec.status, degraded)
 
-		log.LogAttrs(r.Context(), slog.LevelInfo, "request",
-			slog.String("method", r.Method),
-			slog.String("trace_id", span.TraceID()),
-			slog.String("path", r.URL.Path),
-			slog.String("route", route),
-			slog.Int("status", rec.status),
-			slog.Int64("bytes", rec.bytes),
-			slog.Duration("elapsed", elapsed),
-		)
+		if sampler.allow(start) {
+			log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("trace_id", span.TraceID()),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", rec.status),
+				slog.Int64("bytes", rec.bytes),
+				slog.Duration("elapsed", elapsed),
+			)
+		}
 	})
 }
 

@@ -1,0 +1,129 @@
+// Package loadreport defines the JSON document cmd/loadgen emits after a
+// load run and the advisory baseline comparison cmd/benchjson applies to
+// it. It lives outside both commands so the producer, the differ and the
+// tests share one schema.
+package loadreport
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// LatencySummary is the client-observed latency distribution in
+// milliseconds, summarized from a log-bucketed histogram.
+type LatencySummary struct {
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// SlowRequest names one of the run's slowest requests by its trace ID, so
+// the operator can chase it into the server's /debug/runs/{trace-id} and
+// /debug/spans?trace= pages.
+type SlowRequest struct {
+	TraceID   string  `json:"trace_id"`
+	LatencyMS float64 `json:"latency_ms"`
+	Status    int     `json:"status"`
+}
+
+// Report is the whole load run. Rates are fractions of Requests.
+type Report struct {
+	// Shape of the run.
+	Mode            string  `json:"mode"` // "open" or "closed"
+	Endpoint        string  `json:"endpoint"`
+	Method          string  `json:"method"`
+	TargetQPS       float64 `json:"target_qps,omitempty"` // open loop only
+	Concurrency     int     `json:"concurrency"`
+	DurationSeconds float64 `json:"duration_seconds"`
+
+	// Outcome.
+	Requests      uint64            `json:"requests"`
+	ThroughputRPS float64           `json:"throughput_rps"`
+	Latency       LatencySummary    `json:"latency"`
+	Status        map[string]uint64 `json:"status"` // HTTP status -> count; "error" = no response
+	NetErrors     uint64            `json:"net_errors"`
+	ErrorRate     float64           `json:"error_rate"` // net errors + 5xx other than 503/504
+	Degraded      uint64            `json:"degraded"`
+	DegradedRate  float64           `json:"degraded_rate"`
+	Rejected503   uint64            `json:"rejected_503"`
+	RetryRate     float64           `json:"retry_rate"` // 503-with-Retry-After fraction
+	Timeout504    uint64            `json:"timeout_504"`
+	TimeoutRate   float64           `json:"timeout_rate"`
+	// Dropped counts open-loop sends skipped because the in-flight cap was
+	// reached: the server fell behind the offered rate.
+	Dropped uint64        `json:"dropped,omitempty"`
+	Slowest []SlowRequest `json:"slowest,omitempty"`
+}
+
+// Read decodes a report from r.
+func Read(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("loadreport: %w", err)
+	}
+	if rep.Mode == "" && rep.Requests == 0 {
+		return nil, fmt.Errorf("loadreport: document has neither mode nor requests; not a loadgen report")
+	}
+	return &rep, nil
+}
+
+// ReadFile decodes a report from a file.
+func ReadFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Write encodes the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Compare diffs a run against an archived baseline report, emitting GitHub
+// `::warning::` lines for latency regressions past the threshold ratio and
+// for error/degraded rates that newly appeared. Like the benchmark diff,
+// everything is advisory — shared-runner latencies are too noisy for a hard
+// gate — so Compare only reports, never fails.
+func Compare(w io.Writer, cur *Report, basePath string, threshold float64) {
+	base, err := ReadFile(basePath)
+	if err != nil {
+		fmt.Fprintf(w, "::warning::loadgen baseline %s unreadable (%v); skipping comparison\n", basePath, err)
+		return
+	}
+	warnings := 0
+	warnRatio := func(name string, got, want float64) {
+		if want > 0 && got > 0 {
+			if ratio := got / want; ratio > threshold {
+				warnings++
+				fmt.Fprintf(w, "::warning::loadgen regression: %s %.1f ms vs baseline %.1f ms (%.2fx, threshold %.2fx)\n",
+					name, got, want, ratio, threshold)
+			}
+		}
+	}
+	warnRatio("p50", cur.Latency.P50MS, base.Latency.P50MS)
+	warnRatio("p99", cur.Latency.P99MS, base.Latency.P99MS)
+	// Rate floors, not ratios: a baseline of zero errors makes any ratio
+	// meaningless, and a fraction of a percent of new errors is worth a line.
+	warnRate := func(name string, got, want float64) {
+		if got > want+0.005 {
+			warnings++
+			fmt.Fprintf(w, "::warning::loadgen regression: %s %.2f%% vs baseline %.2f%%\n",
+				name, 100*got, 100*want)
+		}
+	}
+	warnRate("error rate", cur.ErrorRate, base.ErrorRate)
+	warnRate("degraded rate", cur.DegradedRate, base.DegradedRate)
+	if warnings == 0 {
+		fmt.Fprintf(w, "loadgen: run within %.2fx of baseline %s\n", threshold, basePath)
+	}
+}

@@ -1,0 +1,93 @@
+package loadreport
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *Report {
+	return &Report{
+		Mode:     "open",
+		Endpoint: "localize",
+		Requests: 100,
+		Latency:  LatencySummary{P50MS: 10, P99MS: 40},
+	}
+}
+
+func writeBaseline(t *testing.T, rep *Report) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" || rep.Requests != 100 || rep.Latency.P99MS != 40 {
+		t.Fatalf("round trip lost fields: %+v", rep)
+	}
+}
+
+func TestReadRejectsForeignDocument(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"benchmarks": []}`)); err == nil {
+		t.Fatal("accepted a non-loadgen document")
+	}
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	path := writeBaseline(t, sample())
+	var out bytes.Buffer
+	Compare(&out, sample(), path, 1.5)
+	if strings.Contains(out.String(), "::warning::") {
+		t.Fatalf("identical run warned: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "within") {
+		t.Fatalf("no all-clear line: %s", out.String())
+	}
+}
+
+func TestCompareFlagsLatencyRegression(t *testing.T) {
+	path := writeBaseline(t, sample())
+	cur := sample()
+	cur.Latency.P99MS = 100 // 2.5x the baseline's 40ms
+	var out bytes.Buffer
+	Compare(&out, cur, path, 1.5)
+	if !strings.Contains(out.String(), "::warning::") || !strings.Contains(out.String(), "p99") {
+		t.Fatalf("p99 regression not flagged: %s", out.String())
+	}
+}
+
+func TestCompareFlagsNewErrors(t *testing.T) {
+	path := writeBaseline(t, sample())
+	cur := sample()
+	cur.ErrorRate = 0.05
+	var out bytes.Buffer
+	Compare(&out, cur, path, 1.5)
+	if !strings.Contains(out.String(), "error rate") {
+		t.Fatalf("new errors not flagged: %s", out.String())
+	}
+}
+
+func TestCompareMissingBaselineIsSoft(t *testing.T) {
+	var out bytes.Buffer
+	Compare(&out, sample(), filepath.Join(t.TempDir(), "missing.json"), 1.5)
+	if !strings.Contains(out.String(), "::warning::") || !strings.Contains(out.String(), "skipping") {
+		t.Fatalf("missing baseline not soft-skipped: %s", out.String())
+	}
+}

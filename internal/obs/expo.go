@@ -79,13 +79,15 @@ func writeSeries(w io.Writer, fam famView, s *series) error {
 		for i, ub := range h.upper {
 			cum += h.counts[i].Load()
 			le := append(append([]string{}, s.labels...), "le", formatValue(ub))
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, formatLabels(le), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+				fam.name, formatLabels(le), cum, formatExemplar(h.exemplarAt(i))); err != nil {
 				return err
 			}
 		}
 		cum += h.counts[len(h.upper)].Load()
 		le := append(append([]string{}, s.labels...), "le", "+Inf")
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, formatLabels(le), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+			fam.name, formatLabels(le), cum, formatExemplar(h.exemplarAt(len(h.upper)))); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, formatLabels(s.labels), formatValue(h.Sum())); err != nil {
@@ -135,12 +137,25 @@ func formatValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// formatExemplar renders a bucket's exemplar as an OpenMetrics-style
+// suffix (` # {trace_id="..."} value timestamp`), or "" when the bucket
+// has none. Classic text-format parsers treat everything after '#' as a
+// comment, so the suffix is safe on the 0.0.4 exposition.
+func formatExemplar(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s %.3f",
+		e.TraceID, formatValue(e.Value), float64(e.Time.UnixMilli())/1000)
+}
+
 // varsSeries is the /debug/vars JSON shape of one series.
 type varsSeries struct {
-	Labels map[string]string `json:"labels,omitempty"`
-	Value  *float64          `json:"value,omitempty"`
-	Count  *uint64           `json:"count,omitempty"`
-	Sum    *float64          `json:"sum,omitempty"`
+	Labels    map[string]string `json:"labels,omitempty"`
+	Value     *float64          `json:"value,omitempty"`
+	Count     *uint64           `json:"count,omitempty"`
+	Sum       *float64          `json:"sum,omitempty"`
+	Exemplars []Exemplar        `json:"exemplars,omitempty"`
 }
 
 // WriteJSON renders the registry as a {name: {type, help, series: [...]}}
@@ -174,6 +189,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				c, sum := s.hist.Count(), s.hist.Sum()
 				vs.Count = &c
 				vs.Sum = &sum
+				if ex := s.hist.Exemplars(); len(ex) > 0 {
+					vs.Exemplars = ex
+				}
 			}
 			vf.Series = append(vf.Series, vs)
 		}

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // metricKind discriminates the three metric families.
@@ -241,12 +242,29 @@ func addFloat(bits *atomic.Uint64, delta float64) {
 }
 
 // Histogram counts observations into fixed buckets (cumulative on export,
-// like Prometheus). Observe is lock-free.
+// like Prometheus). Observe is lock-free. Buckets may additionally carry a
+// trace exemplar — the most recent trace ID observed into the bucket above
+// the exemplar threshold — exported as OpenMetrics-style exemplar comments
+// so a slow bucket on a dashboard resolves to a concrete traced request.
 type Histogram struct {
 	upper   []float64 // finite upper bounds, increasing
 	counts  []atomic.Uint64
 	sumBits atomic.Uint64
 	count   atomic.Uint64
+	// exemplars holds one slot per bucket (incl. +Inf); nil entries mean
+	// the bucket has seen no exemplar-worthy observation yet.
+	exemplars []atomic.Pointer[Exemplar]
+	// exemplarMinBits is the float64 bits of the threshold below which
+	// ObserveExemplar does not retain the trace ID (0 retains everything).
+	exemplarMinBits atomic.Uint64
+}
+
+// Exemplar links one histogram bucket to a concrete traced observation, in
+// the spirit of OpenMetrics exemplars.
+type Exemplar struct {
+	TraceID string    `json:"trace_id"`
+	Value   float64   `json:"value"`
+	Time    time.Time `json:"time"`
 }
 
 func newHistogram(buckets []float64) *Histogram {
@@ -256,21 +274,70 @@ func newHistogram(buckets []float64) *Histogram {
 		}
 	}
 	return &Histogram{
-		upper:  buckets,
-		counts: make([]atomic.Uint64, len(buckets)+1), // final slot is +Inf
+		upper:     buckets,
+		counts:    make([]atomic.Uint64, len(buckets)+1), // final slot is +Inf
+		exemplars: make([]atomic.Pointer[Exemplar], len(buckets)+1),
 	}
 }
 
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
+// bucketIndex returns the bucket v falls into.
+func (h *Histogram) bucketIndex(v float64) int {
 	// Buckets are few (≤ ~20); linear scan beats binary search.
 	i := 0
 	for i < len(h.upper) && v > h.upper[i] {
 		i++
 	}
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty and v is
+// at or above the exemplar threshold, remembers (traceID, v, now) as the
+// bucket's exemplar, replacing any earlier one. The exemplar shows up in
+// the Prometheus exposition as a `# {trace_id="..."}` comment on the
+// bucket's line and in the /debug/vars JSON.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := h.bucketIndex(v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	addFloat(&h.sumBits, v)
+	if traceID == "" || v < math.Float64frombits(h.exemplarMinBits.Load()) {
+		return
+	}
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v, Time: time.Now()})
+}
+
+// SetExemplarThreshold makes ObserveExemplar drop trace IDs for values
+// below min, so only observations slow enough to be worth chasing occupy
+// the per-bucket exemplar slots. The default threshold is 0 (keep every
+// offered exemplar).
+func (h *Histogram) SetExemplarThreshold(min float64) {
+	h.exemplarMinBits.Store(math.Float64bits(min))
+}
+
+// exemplarAt returns bucket i's exemplar, or nil.
+func (h *Histogram) exemplarAt(i int) *Exemplar {
+	if i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
+}
+
+// Exemplars returns the currently retained exemplars, ordered by bucket.
+func (h *Histogram) Exemplars() []Exemplar {
+	out := make([]Exemplar, 0, len(h.exemplars))
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
 }
 
 // Count returns the number of observations.
@@ -278,3 +345,75 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts by
+// linear interpolation inside the bucket the quantile falls into, the same
+// estimate Prometheus's histogram_quantile computes. Values in the +Inf
+// bucket clamp to the highest finite bound. It returns 0 for an empty
+// histogram. The estimate reads the counts atomically but not as one
+// consistent snapshot — fine for monitoring, like scraping is.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := make([]uint64, len(h.counts))
+	total := uint64(0)
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	return bucketQuantile(h.upper, counts, total, q)
+}
+
+// bucketQuantile interpolates the q-quantile of total observations spread
+// over per-bucket (non-cumulative) counts with the given finite upper
+// bounds (counts has one extra +Inf slot).
+func bucketQuantile(upper []float64, counts []uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i, c := range counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(upper) {
+			// +Inf bucket: clamp to the highest finite bound.
+			if len(upper) == 0 {
+				return 0
+			}
+			return upper[len(upper)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = upper[i-1]
+		}
+		if c == 0 {
+			return upper[i]
+		}
+		within := rank - float64(cum-c)
+		return lo + (upper[i]-lo)*(within/float64(c))
+	}
+	return upper[len(upper)-1]
+}
+
+// ExpBuckets returns count log-spaced histogram bounds starting at start,
+// each factor times the previous — the usual shape for latency histograms
+// whose tail matters more than its absolute resolution.
+func ExpBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic(fmt.Sprintf("obs: ExpBuckets(%v, %v, %d): need start > 0, factor > 1, count >= 1", start, factor, count))
+	}
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Sliding-window telemetry: RollingHistogram and RollingCounter keep their
+// observations in a ring of fixed-duration time slots, so quantiles and
+// rates can be asked "over the last minute" instead of since process start.
+// Cumulative metrics (Histogram, Counter) answer "what has ever happened";
+// the rolling views answer "what is happening now" — the shape an SLO page
+// needs. Both are mutex-guarded: the hot path is one short critical section
+// per observation, negligible next to the request work being measured.
+
+// rollClock is the time source, swappable in tests.
+type rollClock func() time.Time
+
+// RollingHistogram buckets observations like a Histogram but into a ring of
+// time slots, so quantiles can be computed over a recent window only.
+type RollingHistogram struct {
+	mu      sync.Mutex
+	upper   []float64 // finite upper bounds, increasing
+	slotDur time.Duration
+	slots   []rollSlot
+	now     rollClock
+}
+
+// rollSlot is one time slice of observations. epoch is the slot's absolute
+// index (unix time / slotDur); a slot whose epoch is stale is zeroed before
+// reuse.
+type rollSlot struct {
+	epoch  int64
+	counts []uint64
+	total  uint64
+	sum    float64
+}
+
+// NewRollingHistogram builds a rolling histogram with the given finite
+// bucket bounds covering at least the span window. The ring holds one extra
+// slot beyond span/slotDur so a full window is always available even while
+// the newest slot is still filling.
+func NewRollingHistogram(bounds []float64, slotDur, span time.Duration) *RollingHistogram {
+	if slotDur <= 0 {
+		slotDur = time.Second
+	}
+	n := int(span/slotDur) + 1
+	if n < 2 {
+		n = 2
+	}
+	r := &RollingHistogram{
+		upper:   bounds,
+		slotDur: slotDur,
+		slots:   make([]rollSlot, n),
+		now:     time.Now,
+	}
+	for i := range r.slots {
+		r.slots[i] = rollSlot{epoch: -1, counts: make([]uint64, len(bounds)+1)}
+	}
+	return r
+}
+
+// slotFor returns the ring slot for the given epoch, zeroing it first if it
+// still holds an older epoch's data. Callers hold mu.
+func (r *RollingHistogram) slotFor(epoch int64) *rollSlot {
+	s := &r.slots[int(epoch%int64(len(r.slots)))]
+	if s.epoch != epoch {
+		s.epoch = epoch
+		clear(s.counts)
+		s.total = 0
+		s.sum = 0
+	}
+	return s
+}
+
+// Observe records one value into the current time slot.
+func (r *RollingHistogram) Observe(v float64) {
+	i := 0
+	for i < len(r.upper) && v > r.upper[i] {
+		i++
+	}
+	r.mu.Lock()
+	s := r.slotFor(r.now().UnixNano() / int64(r.slotDur))
+	s.counts[i]++
+	s.total++
+	s.sum += v
+	r.mu.Unlock()
+}
+
+// WindowSnapshot is the merged view of a rolling histogram over one window.
+type WindowSnapshot struct {
+	upper  []float64
+	counts []uint64
+	total  uint64
+	sum    float64
+}
+
+// Window merges the slots of the last window duration (including the
+// currently filling slot) into one consistent snapshot.
+func (r *RollingHistogram) Window(window time.Duration) WindowSnapshot {
+	slots := int(window / r.slotDur)
+	if slots < 1 {
+		slots = 1
+	}
+	if slots > len(r.slots) {
+		slots = len(r.slots)
+	}
+	snap := WindowSnapshot{upper: r.upper, counts: make([]uint64, len(r.upper)+1)}
+	r.mu.Lock()
+	newest := r.now().UnixNano() / int64(r.slotDur)
+	for e := newest - int64(slots) + 1; e <= newest; e++ {
+		s := &r.slots[int(e%int64(len(r.slots)))]
+		if s.epoch != e {
+			continue // slot is stale or future: outside the window
+		}
+		for i, c := range s.counts {
+			snap.counts[i] += c
+		}
+		snap.total += s.total
+		snap.sum += s.sum
+	}
+	r.mu.Unlock()
+	return snap
+}
+
+// Count returns the observations inside the window.
+func (s WindowSnapshot) Count() uint64 { return s.total }
+
+// Sum returns the summed observations inside the window.
+func (s WindowSnapshot) Sum() float64 { return s.sum }
+
+// Quantile estimates the q-quantile over the window, interpolating inside
+// buckets exactly like Histogram.Quantile. 0 when the window is empty.
+func (s WindowSnapshot) Quantile(q float64) float64 {
+	return bucketQuantile(s.upper, s.counts, s.total, q)
+}
+
+// RollingCounter counts events into a ring of time slots so callers can ask
+// for the count or rate over a recent window.
+type RollingCounter struct {
+	mu      sync.Mutex
+	slotDur time.Duration
+	epochs  []int64
+	values  []float64
+	now     rollClock
+}
+
+// NewRollingCounter builds a rolling counter spanning at least span with
+// slotDur resolution.
+func NewRollingCounter(slotDur, span time.Duration) *RollingCounter {
+	if slotDur <= 0 {
+		slotDur = time.Second
+	}
+	n := int(span/slotDur) + 1
+	if n < 2 {
+		n = 2
+	}
+	return &RollingCounter{
+		slotDur: slotDur,
+		epochs:  make([]int64, n),
+		values:  make([]float64, n),
+		now:     time.Now,
+	}
+}
+
+// Add counts delta into the current time slot.
+func (r *RollingCounter) Add(delta float64) {
+	r.mu.Lock()
+	epoch := r.now().UnixNano() / int64(r.slotDur)
+	i := int(epoch % int64(len(r.epochs)))
+	if r.epochs[i] != epoch {
+		r.epochs[i] = epoch
+		r.values[i] = 0
+	}
+	r.values[i] += delta
+	r.mu.Unlock()
+}
+
+// Inc counts one event.
+func (r *RollingCounter) Inc() { r.Add(1) }
+
+// Sum returns the events counted inside the last window duration, including
+// the currently filling slot.
+func (r *RollingCounter) Sum(window time.Duration) float64 {
+	slots := int(window / r.slotDur)
+	if slots < 1 {
+		slots = 1
+	}
+	if slots > len(r.epochs) {
+		slots = len(r.epochs)
+	}
+	total := 0.0
+	r.mu.Lock()
+	newest := r.now().UnixNano() / int64(r.slotDur)
+	for e := newest - int64(slots) + 1; e <= newest; e++ {
+		i := int(e % int64(len(r.epochs)))
+		if r.epochs[i] == e {
+			total += r.values[i]
+		}
+	}
+	r.mu.Unlock()
+	return total
+}
+
+// Rate returns Sum(window) divided by the window in seconds.
+func (r *RollingCounter) Rate(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return r.Sum(window) / window.Seconds()
+}

@@ -103,6 +103,12 @@ func (e *BatchExecutor) Workers() int { return e.workers }
 // Capacity reports the maximum admitted-but-unfinished items.
 func (e *BatchExecutor) Capacity() int { return e.capacity }
 
+// Depth reports the items currently admitted and not yet finished
+// (running + waiting) — the instantaneous queue saturation next to
+// Capacity. The pending counter is the source of truth the
+// pipeline_batch_queue_depth gauge mirrors.
+func (e *BatchExecutor) Depth() int { return int(e.pending.Load()) }
+
 // ObserveDecode records the request-decoding latency of one batch; the
 // decode stage runs in the caller (it has the request body), not the pool.
 func (e *BatchExecutor) ObserveDecode(elapsed time.Duration) {
