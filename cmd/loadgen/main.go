@@ -101,32 +101,37 @@ func newCollector(keepSlowest int) *collector {
 	}
 }
 
-// record folds one finished request into the run.
+// record folds one finished request into the run. Failed sends count
+// toward requests/netErrors (so the error rate covers every attempt) but
+// never enter the latency histogram or the slowest list: a refused
+// connection returns in microseconds and would drag the latency summary
+// down exactly when the server is unhealthy.
 func (c *collector) record(traceID string, elapsed time.Duration, status int, degraded, retryAfter bool, netErr error) {
 	c.requests.Add(1)
-	sec := elapsed.Seconds()
-	c.hist.Observe(sec)
-	key := "error"
-	switch {
-	case netErr != nil:
+	if netErr != nil {
 		c.netErrors.Add(1)
 		c.hardErrs.Add(1)
-	default:
-		key = strconv.Itoa(status)
-		switch {
-		case status == http.StatusServiceUnavailable:
-			c.rejected.Add(1)
-			if retryAfter {
-				c.retryable.Add(1)
-			}
-		case status == http.StatusGatewayTimeout:
-			c.timeouts.Add(1)
-		case status >= 500:
-			c.hardErrs.Add(1)
+		c.mu.Lock()
+		c.status["error"]++
+		c.mu.Unlock()
+		return
+	}
+	sec := elapsed.Seconds()
+	c.hist.Observe(sec)
+	key := strconv.Itoa(status)
+	switch {
+	case status == http.StatusServiceUnavailable:
+		c.rejected.Add(1)
+		if retryAfter {
+			c.retryable.Add(1)
 		}
-		if degraded {
-			c.degraded.Add(1)
-		}
+	case status == http.StatusGatewayTimeout:
+		c.timeouts.Add(1)
+	case status >= 500:
+		c.hardErrs.Add(1)
+	}
+	if degraded {
+		c.degraded.Add(1)
 	}
 	c.mu.Lock()
 	c.status[key]++
@@ -310,32 +315,42 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		<-runCtx.Done()
 	case "open":
 		inflight := make(chan struct{}, *concurrency)
+		// Pace against an absolute schedule: the n-th send fires at
+		// start + Σ 1/rate(i), so timer granularity and loop overhead never
+		// accumulate into a systematically lower offered rate. A late wakeup
+		// fires immediately and the schedule catches up.
+		next := start
 		for runCtx.Err() == nil {
 			// Offered rate ramps linearly from 0 to -qps over -ramp, with a
-			// 1 rps floor so the first request is not postponed forever.
+			// floor of min(1 rps, -qps) so the first request is not postponed
+			// forever yet sub-1-qps targets are never exceeded.
 			rate := *qps
 			if *ramp > 0 {
-				if frac := time.Since(start).Seconds() / ramp.Seconds(); frac < 1 {
-					rate = max(*qps*frac, 1)
+				if frac := next.Sub(start).Seconds() / ramp.Seconds(); frac < 1 {
+					rate = max(*qps*frac, min(1, *qps))
+				}
+			}
+			next = next.Add(time.Duration(float64(time.Second) / rate))
+			if wait := time.Until(next); wait > 0 {
+				select {
+				case <-runCtx.Done():
+					continue
+				case <-time.After(wait):
 				}
 			}
 			select {
-			case <-runCtx.Done():
-			case <-time.After(time.Duration(float64(time.Second) / rate)):
-				select {
-				case inflight <- struct{}{}:
-					wg.Add(1)
-					go func() {
-						defer wg.Done()
-						defer func() { <-inflight }()
-						shoot(ctx)
-					}()
-				default:
-					// Open-loop discipline: never queue client-side. A full
-					// in-flight window means the server is behind the offered
-					// rate; count it instead of distorting the latency tail.
-					col.dropped.Add(1)
-				}
+			case inflight <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-inflight }()
+					shoot(ctx)
+				}()
+			default:
+				// Open-loop discipline: never queue client-side. A full
+				// in-flight window means the server is behind the offered
+				// rate; count it instead of distorting the latency tail.
+				col.dropped.Add(1)
 			}
 		}
 	}

@@ -69,7 +69,8 @@ func (s *logSampler) allow(now time.Time) bool {
 // request counting by method/route/status class, a request latency
 // histogram carrying trace exemplars (each bucket remembers the most
 // recent trace ID at or above the exemplar threshold, so a slow bucket on
-// /metrics resolves straight to /debug/runs/{trace-id}), the rolling SLO
+// an OpenMetrics /metrics scrape resolves straight to
+// /debug/runs/{trace-id}), the rolling SLO
 // windows behind GET /debug/slo, an in-flight gauge, and one structured —
 // and, under load, sampled — log line per request. Metric label
 // cardinality is bounded by using the matched route pattern (never the raw

@@ -3,6 +3,7 @@ package httpapi
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
@@ -74,15 +75,48 @@ func TestDebugSLOReflectsTraffic(t *testing.T) {
 	}
 }
 
+// getOpenMetrics scrapes url negotiating the OpenMetrics exposition — the
+// only text format that may legally carry exemplars.
+func getOpenMetrics(t *testing.T, url string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
 // TestMetricsExemplarResolvesToRun checks the cross-linking contract: a
-// trace exemplar scraped from /metrics names a run whose explain report is
-// fetchable at /debug/runs/{trace-id}.
+// trace exemplar scraped from /metrics (OpenMetrics negotiation) names a
+// run whose explain report is fetchable at /debug/runs/{trace-id}. The
+// classic 0.0.4 exposition must stay exemplar-free, since its grammar has
+// no exemplar syntax and real Prometheus parsers would fail the scrape.
 func TestMetricsExemplarResolvesToRun(t *testing.T) {
 	srv, _ := newObsServer(t)
 	localizeN(t, srv.URL, 1)
 
-	_, metrics := get(t, srv.URL+"/metrics")
-	re := regexp.MustCompile(`http_request_duration_seconds_bucket\{[^}]*\} \d+ # \{trace_id="([0-9a-f]{32})"\}`)
+	_, plain := get(t, srv.URL+"/metrics")
+	if strings.Contains(plain, "trace_id=") {
+		t.Fatalf("exemplar leaked into the plain 0.0.4 exposition:\n%s", plain)
+	}
+
+	_, metrics := getOpenMetrics(t, srv.URL+"/metrics")
+	if !strings.HasSuffix(metrics, "# EOF\n") {
+		t.Fatalf("OpenMetrics exposition lacks # EOF:\n%s", metrics)
+	}
+	// Pin the localize route: other instrumented requests (like the plain
+	// /metrics scrape above) carry exemplar traces that never started a run.
+	re := regexp.MustCompile(`http_request_duration_seconds_bucket\{[^}]*route="POST /v1/localize"[^}]*\} \d+ # \{trace_id="([0-9a-f]{32})"\}`)
 	m := re.FindStringSubmatch(metrics)
 	if m == nil {
 		t.Fatalf("no trace exemplar in the latency exposition:\n%s", metrics)
@@ -102,7 +136,7 @@ func TestExemplarThresholdSuppressesFastRequests(t *testing.T) {
 	reg := obs.NewRegistry()
 	srv := newOptServer(t, Options{Registry: reg, ExemplarThreshold: 3600})
 	localizeN(t, srv.URL, 1)
-	_, metrics := get(t, srv.URL+"/metrics")
+	_, metrics := getOpenMetrics(t, srv.URL+"/metrics")
 	if strings.Contains(metrics, "trace_id=") {
 		t.Fatalf("exemplar recorded below threshold:\n%s", metrics)
 	}

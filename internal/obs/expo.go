@@ -21,21 +21,47 @@ type famView struct {
 	ordered []*series
 }
 
-// WritePrometheus renders every registered metric in the Prometheus text
-// exposition format (version 0.0.4): families sorted by name, series sorted
-// by label set, histograms expanded into cumulative _bucket/_sum/_count.
+// WritePrometheus renders every registered metric in the classic
+// Prometheus text exposition format (version 0.0.4): families sorted by
+// name, series sorted by label set, histograms expanded into cumulative
+// _bucket/_sum/_count. Exemplars are never emitted here — the 0.0.4
+// grammar only allows comments at the start of a line and has no exemplar
+// syntax, so a trailing `# {...}` would make the official parser reject
+// the whole scrape. Scrapers that want exemplars negotiate the OpenMetrics
+// format (see WriteOpenMetrics); /debug/vars JSON carries them too.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WriteOpenMetrics renders the registry in the OpenMetrics text format
+// (version 1.0.0): counter families drop the `_total` suffix on their
+// HELP/TYPE lines while their samples keep it, histogram buckets carry
+// their trace exemplars as `# {trace_id="..."} value ts` suffixes, and the
+// document ends with the mandatory `# EOF` terminator.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if err := r.writeExposition(w, true); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+func (r *Registry) writeExposition(w io.Writer, openMetrics bool) error {
 	for _, fam := range r.snapshot() {
+		famName := fam.name
+		if openMetrics && fam.kind == counterKind {
+			famName = strings.TrimSuffix(famName, "_total")
+		}
 		if fam.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.name, escapeHelp(fam.help)); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", famName, escapeHelp(fam.help)); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, fam.kind); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", famName, fam.kind); err != nil {
 			return err
 		}
 		for _, s := range fam.ordered {
-			if err := writeSeries(w, fam, s); err != nil {
+			if err := writeSeries(w, fam, s, openMetrics); err != nil {
 				return err
 			}
 		}
@@ -65,29 +91,42 @@ func (r *Registry) snapshot() []famView {
 	return fams
 }
 
-func writeSeries(w io.Writer, fam famView, s *series) error {
+func writeSeries(w io.Writer, fam famView, s *series, openMetrics bool) error {
 	switch fam.kind {
 	case counterKind:
-		_, err := fmt.Fprintf(w, "%s%s %s\n", fam.name, formatLabels(s.labels), formatValue(s.counter.Value()))
+		name := fam.name
+		if openMetrics && !strings.HasSuffix(name, "_total") {
+			// OpenMetrics counter samples must carry the _total suffix;
+			// every counter in this repo already does, so this only fires
+			// for out-of-convention names.
+			name += "_total"
+		}
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, formatLabels(s.labels), formatValue(s.counter.Value()))
 		return err
 	case gaugeKind:
 		_, err := fmt.Fprintf(w, "%s%s %s\n", fam.name, formatLabels(s.labels), formatValue(s.gauge.Value()))
 		return err
 	case histogramKind:
 		h := s.hist
+		exemplar := func(i int) string {
+			if !openMetrics {
+				return ""
+			}
+			return formatExemplar(h.exemplarAt(i))
+		}
 		cum := uint64(0)
 		for i, ub := range h.upper {
 			cum += h.counts[i].Load()
 			le := append(append([]string{}, s.labels...), "le", formatValue(ub))
 			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
-				fam.name, formatLabels(le), cum, formatExemplar(h.exemplarAt(i))); err != nil {
+				fam.name, formatLabels(le), cum, exemplar(i)); err != nil {
 				return err
 			}
 		}
 		cum += h.counts[len(h.upper)].Load()
 		le := append(append([]string{}, s.labels...), "le", "+Inf")
 		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
-			fam.name, formatLabels(le), cum, formatExemplar(h.exemplarAt(len(h.upper)))); err != nil {
+			fam.name, formatLabels(le), cum, exemplar(len(h.upper))); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, formatLabels(s.labels), formatValue(h.Sum())); err != nil {
@@ -137,10 +176,10 @@ func formatValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// formatExemplar renders a bucket's exemplar as an OpenMetrics-style
-// suffix (` # {trace_id="..."} value timestamp`), or "" when the bucket
-// has none. Classic text-format parsers treat everything after '#' as a
-// comment, so the suffix is safe on the 0.0.4 exposition.
+// formatExemplar renders a bucket's exemplar as an OpenMetrics suffix
+// (` # {trace_id="..."} value timestamp`), or "" when the bucket has none.
+// Only the OpenMetrics exposition may carry this — the classic 0.0.4
+// grammar has no exemplar syntax and its parsers reject trailing '#'.
 func formatExemplar(e *Exemplar) string {
 	if e == nil {
 		return ""
@@ -203,12 +242,42 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // Handler serves the registry in Prometheus text format (mount at
-// GET /metrics).
+// GET /metrics). Scrapers that negotiate OpenMetrics via the Accept
+// header (as Prometheus does when exemplar ingestion is enabled) get the
+// OpenMetrics exposition with exemplars; everyone else gets the classic
+// 0.0.4 format, which cannot legally carry them.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if acceptsOpenMetrics(req.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			_ = r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})
+}
+
+// acceptsOpenMetrics reports whether an Accept header asks for the
+// OpenMetrics text format with a non-zero quality. Full q-value ordering
+// is not needed: a scraper that lists application/openmetrics-text at all
+// can parse it, and one that cannot never sends it.
+func acceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(mediaType) != "application/openmetrics-text" {
+			continue
+		}
+		for _, p := range strings.Split(params, ";") {
+			if k, v, ok := strings.Cut(strings.TrimSpace(p), "="); ok && strings.TrimSpace(k) == "q" {
+				if q, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil && q == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // VarsHandler serves the registry as indented JSON (mount at

@@ -244,8 +244,9 @@ func addFloat(bits *atomic.Uint64, delta float64) {
 // Histogram counts observations into fixed buckets (cumulative on export,
 // like Prometheus). Observe is lock-free. Buckets may additionally carry a
 // trace exemplar — the most recent trace ID observed into the bucket above
-// the exemplar threshold — exported as OpenMetrics-style exemplar comments
-// so a slow bucket on a dashboard resolves to a concrete traced request.
+// the exemplar threshold — exported in the OpenMetrics exposition and the
+// /debug/vars JSON so a slow bucket on a dashboard resolves to a concrete
+// traced request.
 type Histogram struct {
 	upper   []float64 // finite upper bounds, increasing
 	counts  []atomic.Uint64
@@ -299,9 +300,9 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveExemplar records one value and, when traceID is non-empty and v is
 // at or above the exemplar threshold, remembers (traceID, v, now) as the
-// bucket's exemplar, replacing any earlier one. The exemplar shows up in
-// the Prometheus exposition as a `# {trace_id="..."}` comment on the
-// bucket's line and in the /debug/vars JSON.
+// bucket's exemplar, replacing any earlier one. The exemplar shows up as a
+// `# {trace_id="..."}` suffix on the bucket's line when a scraper
+// negotiates the OpenMetrics exposition, and always in /debug/vars JSON.
 func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 	i := h.bucketIndex(v)
 	h.counts[i].Add(1)

@@ -177,18 +177,32 @@ func TestHistogramExemplars(t *testing.T) {
 	}
 
 	var buf strings.Builder
-	if err := r.WritePrometheus(&buf); err != nil {
+	if err := r.WriteOpenMetrics(&buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
 	if !strings.Contains(out, `# {trace_id="trace-b"} 0.7`) {
-		t.Errorf("exposition lacks trace-b exemplar:\n%s", out)
+		t.Errorf("OpenMetrics exposition lacks trace-b exemplar:\n%s", out)
 	}
 	if !strings.Contains(out, `# {trace_id="trace-slow"}`) {
-		t.Errorf("exposition lacks trace-slow exemplar:\n%s", out)
+		t.Errorf("OpenMetrics exposition lacks trace-slow exemplar:\n%s", out)
 	}
 	if strings.Contains(out, "trace-fast") {
 		t.Errorf("below-threshold exemplar leaked into exposition:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("OpenMetrics exposition lacks the # EOF terminator:\n%s", out)
+	}
+
+	// The classic 0.0.4 format has no exemplar syntax: a trailing `#`
+	// would make the official parser fail the whole scrape, so the plain
+	// exposition must stay exemplar-free.
+	var classic strings.Builder
+	if err := r.WritePrometheus(&classic); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(classic.String(), "trace_id") || strings.Contains(classic.String(), " # ") {
+		t.Errorf("exemplar leaked into the 0.0.4 exposition:\n%s", classic.String())
 	}
 
 	var json strings.Builder
