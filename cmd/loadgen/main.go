@@ -9,6 +9,7 @@
 //	        [-corpus squeeze|rapmd|stream] [-seed 42] [-cases 8]
 //	        [-attrs region:7,isp:5,proto:3] [-batch-items 4]
 //	        [-slowest 5] [-out -] [-max-error-rate -1]
+//	        [-capture-on-fail bundle.tar.gz]
 //
 // Two driving disciplines:
 //
@@ -34,7 +35,10 @@
 //
 // With -max-error-rate >= 0 the run exits non-zero when the hard error rate
 // (network failures plus 5xx other than 503/504) exceeds it — CI's
-// load-smoke job runs with -max-error-rate 0.
+// load-smoke job runs with -max-error-rate 0. Add -capture-on-fail <path>
+// to pull a diagnostic bundle (pprof profiles, SLO report, spans, explain
+// reports) from the target's flight recorder the moment the gate trips,
+// so a red load test ships its own post-mortem evidence.
 package main
 
 import (
@@ -45,6 +49,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strconv"
@@ -226,6 +231,7 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		out         = fs.String("out", "-", "report path (- = stdout)")
 		timeout     = fs.Duration("timeout", time.Minute, "per-request client timeout")
 		maxErrRate  = fs.Float64("max-error-rate", -1, "exit non-zero when the hard error rate exceeds this fraction (negative = never)")
+		captureFail = fs.String("capture-on-fail", "", "when the -max-error-rate gate trips, pull a diagnostic bundle from the target's flight recorder and write it to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -383,10 +389,65 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		rep.Latency.P50MS, rep.Latency.P99MS,
 		100*rep.ErrorRate, 100*rep.DegradedRate, rep.Rejected503, rep.Timeout504, rep.Dropped)
 	if *maxErrRate >= 0 && rep.ErrorRate > *maxErrRate {
-		return fmt.Errorf("hard error rate %.2f%% exceeds limit %.2f%% (%d net errors, status %v)",
+		gateErr := fmt.Errorf("hard error rate %.2f%% exceeds limit %.2f%% (%d net errors, status %v)",
 			100*rep.ErrorRate, 100**maxErrRate, rep.NetErrors, rep.Status)
+		if *captureFail != "" {
+			// The server is still up (it answered the load) — grab its
+			// evidence while the SLO windows and exemplars still show the
+			// failure, and attach the gate verdict as the capture reason.
+			if err := captureBundle(normalizeAddr(*addr), gateErr.Error(), *captureFail); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: flight capture failed: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "loadgen: wrote diagnostic bundle to %s\n", *captureFail)
+			}
+		}
+		return gateErr
 	}
 	return nil
+}
+
+// captureBundle asks the target's flight recorder for a bundle and writes
+// the archive to path. Its own client: the capture blocks server-side for
+// the CPU-profile window, and the run's -timeout may be shorter.
+func captureBundle(base, reason, path string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	u := base + "/debug/flight/capture?reason=" + url.QueryEscape("loadgen: "+reason)
+	resp, err := client.Post(u, "", nil)
+	if err != nil {
+		return err
+	}
+	var info struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK || info.ID == "" {
+		if info.Error != "" {
+			return fmt.Errorf("capture: %s", info.Error)
+		}
+		return fmt.Errorf("capture: HTTP %d", resp.StatusCode)
+	}
+	resp, err = client.Get(base + "/debug/flight/" + info.ID)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetch bundle %s: HTTP %d", info.ID, resp.StatusCode)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = io.Copy(f, resp.Body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // renderBodies pre-renders the request bodies the run cycles through, so

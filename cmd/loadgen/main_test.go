@@ -2,13 +2,18 @@ package main
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/httpapi"
 	"repro/internal/loadreport"
 	"repro/internal/obs"
@@ -146,5 +151,65 @@ func TestRunHonorsContextCancel(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("run did not stop after context cancel")
+	}
+}
+
+// TestCaptureOnFail pins the failed-gate capture path: when -max-error-rate
+// trips, loadgen pulls a diagnostic bundle from the target's flight
+// recorder and writes the archive locally before exiting non-zero.
+func TestCaptureOnFail(t *testing.T) {
+	rec := flight.New(flight.Config{Registry: obs.NewRegistry(), CPUProfile: time.Millisecond})
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/localize", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	})
+	mux.Handle("GET /debug/flight/{id}", rec.ArchiveHandler())
+	mux.Handle("POST /debug/flight/capture", rec.CaptureHandler())
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	bundle := filepath.Join(t.TempDir(), "fail.tar.gz")
+	err := run(context.Background(), &bytes.Buffer{}, []string{
+		"-addr", srv.URL, "-mode", "closed", "-concurrency", "1",
+		"-duration", "200ms", "-cases", "1",
+		"-max-error-rate", "0", "-capture-on-fail", bundle,
+	})
+	if err == nil || !strings.Contains(err.Error(), "error rate") {
+		t.Fatalf("gate did not trip: %v", err)
+	}
+	data, rerr := os.ReadFile(bundle)
+	if rerr != nil {
+		t.Fatalf("no bundle written: %v", rerr)
+	}
+	gz, gerr := gzip.NewReader(bytes.NewReader(data))
+	if gerr != nil {
+		t.Fatalf("bundle is not gzip: %v", gerr)
+	}
+	if _, cerr := io.Copy(io.Discard, gz); cerr != nil {
+		t.Fatalf("bundle archive corrupt: %v", cerr)
+	}
+	if rec.Total() != 1 {
+		t.Errorf("server captured %d bundles, want 1", rec.Total())
+	}
+	// The gate verdict travels as the capture reason.
+	if reason := rec.Bundles()[0].Reason; !strings.Contains(reason, "loadgen") {
+		t.Errorf("capture reason %q does not mention loadgen", reason)
+	}
+}
+
+// TestCaptureOnFailStaysQuietOnPass checks a green run writes no bundle.
+func TestCaptureOnFailStaysQuietOnPass(t *testing.T) {
+	srv := testServer(t)
+	bundle := filepath.Join(t.TempDir(), "unused.tar.gz")
+	err := run(context.Background(), &bytes.Buffer{}, []string{
+		"-addr", srv.URL, "-mode", "closed", "-concurrency", "1",
+		"-duration", "200ms", "-cases", "1",
+		"-max-error-rate", "0", "-capture-on-fail", bundle,
+	})
+	if err != nil {
+		t.Fatalf("healthy run failed: %v", err)
+	}
+	if _, err := os.Stat(bundle); err == nil {
+		t.Error("bundle written although the gate never tripped")
 	}
 }

@@ -8,31 +8,45 @@
 //
 //	monitor [-seed 7] [-minutes 25] [-failure-at 8] [-severity 0.6]
 //	        [-kind site-outage] [-interval 0s] [-metrics-addr ""]
-//	        [-log-level warn]
+//	        [-pprof] [-log-level warn]
+//	        [-flight-rules ""] [-flight-cooldown 2m] [-flight-spill-dir ""]
 //
 // With -metrics-addr set (e.g. :9090), the run exposes its live pipeline
 // and miner metrics over HTTP — GET /metrics (Prometheus text format),
-// GET /debug/vars (JSON), GET /debug/spans (recent trace spans) and
-// GET /debug/runs[/{id}] (per-run explain reports) — so a long monitoring
-// session can be scraped and its localizations explained (`rapmctl
-// explain -addr :9090`) like the serve binary. Every localizing tick runs
-// under its own generated trace ID, grouping its spans and keying its
-// explain report.
+// GET /debug/vars (JSON), GET /debug/spans (recent trace spans),
+// GET /debug/runs[/{id}] (per-run explain reports), GET /debug/slo
+// (uptime/saturation; endpoint windows stay empty since the monitor serves
+// no API traffic), the flight recorder under /debug/flight, and — with
+// -pprof — the Go profiler under /debug/pprof/ — so a long monitoring
+// session can be scraped, profiled and its localizations explained
+// (`rapmctl explain -addr :9090`) like the serve binary. Every localizing
+// tick runs under its own generated trace ID, grouping its spans and
+// keying its explain report.
+//
+// The flight recorder evaluates -flight-rules (only gc-pause fires without
+// API traffic) and always answers POST /debug/flight/capture, bundling
+// pprof profiles, a metrics snapshot, recent spans and recent explain
+// reports for a run that misbehaves mid-simulation.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	"repro/internal/anomaly"
 	"repro/internal/cdn"
+	"repro/internal/flight"
+	"repro/internal/httpapi"
 	"repro/internal/kpi"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -79,10 +93,18 @@ func run(w io.Writer, args []string) error {
 		severity    = fs.Float64("severity", 0.6, "fraction of traffic lost inside the failure scope")
 		kindName    = fs.String("kind", "site-outage", "failure kind: node-outage, site-outage, regional-site-failure, access-degradation, client-bug")
 		interval    = fs.Duration("interval", 0, "real time per simulated minute (0 = as fast as possible)")
-		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/spans on this address (empty = off)")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/spans, /debug/slo and /debug/flight on this address (empty = off)")
+		pprofOn     = fs.Bool("pprof", false, "also mount the Go profiler under /debug/pprof/ on -metrics-addr")
 		logLevel    = fs.String("log-level", "warn", "log level: debug, info, warn, error")
+		flightRules = fs.String("flight-rules", "", "flight-recorder triggers as kind=threshold,... (without API traffic only gc-pause fires); empty = manual captures only")
+		flightCool  = fs.Duration("flight-cooldown", flight.DefaultCooldown, "minimum spacing between automatic captures per rule")
+		flightSpill = fs.String("flight-spill-dir", "", "also write every diagnostic bundle to this directory as <id>.tar.gz")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rules, err := flight.ParseRules(*flightRules)
+	if err != nil {
 		return err
 	}
 	// The incident stream goes to w; structured logs (pipeline component
@@ -140,12 +162,30 @@ func run(w io.Writer, args []string) error {
 		defer cancel()
 		obs.StartRuntimeCollector(ctx, nil, 0)
 		obs.RegisterBuildInfo(nil)
+		recorder := flight.New(flight.Config{
+			Rules:    rules,
+			Cooldown: *flightCool,
+			SpillDir: *flightSpill,
+			Sources:  monitorFlightSources(),
+		})
+		go recorder.Run(ctx)
 		mux := http.NewServeMux()
 		mux.Handle("GET /metrics", obs.WithUptime(nil, obs.Default().Handler()))
 		mux.Handle("GET /debug/vars", obs.WithUptime(nil, obs.Default().VarsHandler()))
 		mux.Handle("GET /debug/spans", obs.SpansHandler())
 		mux.Handle("GET /debug/runs", explain.Default().RunsHandler())
 		mux.Handle("GET /debug/runs/{id}", explain.Default().RunHandler())
+		mux.Handle("GET /debug/slo", httpapi.NewSLOHandler(nil))
+		mux.Handle("GET /debug/flight", recorder.IndexHandler())
+		mux.Handle("GET /debug/flight/{id}", recorder.ArchiveHandler())
+		mux.Handle("POST /debug/flight/capture", recorder.CaptureHandler())
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		go func() { _ = http.Serve(ln, mux) }()
 		fmt.Fprintf(w, "metrics on http://%s/metrics\n", ln.Addr())
 	}
@@ -179,6 +219,37 @@ func run(w io.Writer, args []string) error {
 		}
 	}
 	return runner.Err()
+}
+
+// monitorFlightSources are the monitor's bundle artifacts: a metrics
+// snapshot, recent spans grouped by trace, and the recent explain reports
+// (the monitor has no request exemplars to chase, so it bundles the runs
+// directly).
+func monitorFlightSources() []flight.Source {
+	marshal := func(name string, v any) ([]flight.Artifact, error) {
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		return []flight.Artifact{{Name: name, Data: data}}, nil
+	}
+	return []flight.Source{
+		{Name: "metrics.prom", Fetch: func(context.Context) ([]flight.Artifact, error) {
+			var buf bytes.Buffer
+			if err := obs.Default().WritePrometheus(&buf); err != nil {
+				return nil, err
+			}
+			return []flight.Artifact{{Name: "metrics.prom", Data: buf.Bytes()}}, nil
+		}},
+		{Name: "spans.json", Fetch: func(context.Context) ([]flight.Artifact, error) {
+			return marshal("spans.json", struct {
+				Traces []obs.TraceSpans `json:"traces"`
+			}{Traces: obs.GroupSpans(obs.RecentSpans())})
+		}},
+		{Name: "runs.json", Fetch: func(context.Context) ([]flight.Artifact, error) {
+			return marshal("runs.json", explain.Default().Recent())
+		}},
+	}
 }
 
 func printScopes(w io.Writer, schema *kpi.Schema, ev pipeline.Event) {

@@ -52,6 +52,9 @@ func TestRunValidation(t *testing.T) {
 	if err := run(&out, []string{"-kind", "bogus"}); err == nil {
 		t.Error("unknown kind accepted")
 	}
+	if err := run(&out, []string{"-flight-rules", "bogus=1"}); err == nil {
+		t.Error("bogus flight rules accepted")
+	}
 }
 
 // syncBuffer lets the test read run's output while run still writes it.
@@ -138,4 +141,52 @@ func TestParseKindRoundTrip(t *testing.T) {
 			t.Errorf("round trip %s -> %s", name, k)
 		}
 	}
+}
+
+// TestRunObservabilityParity pins the serve-parity surface of the metrics
+// listener: /debug/slo, the flight recorder, and (opt-in) the Go profiler
+// are all mounted next to /metrics.
+func TestRunObservabilityParity(t *testing.T) {
+	var out syncBuffer
+	go func() {
+		_ = run(&out, []string{"-minutes", "600", "-failure-at", "3",
+			"-interval", "25ms", "-metrics-addr", "127.0.0.1:0", "-pprof"})
+	}()
+
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics URL never printed:\n%s", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "metrics on "); ok {
+				base = strings.TrimSuffix(strings.TrimSpace(rest), "/metrics")
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, body
+	}
+
+	if code, body := get("/debug/slo"); code != http.StatusOK || !strings.Contains(string(body), "uptime_seconds") {
+		t.Errorf("/debug/slo = %d %s", code, body)
+	}
+	if code, body := get("/debug/flight"); code != http.StatusOK || !strings.Contains(string(body), `"bundles"`) {
+		t.Errorf("/debug/flight = %d %s", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d with -pprof", code)
+	}
+	// The monitor run keeps ticking in the background; the process exits
+	// with the test binary.
 }

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"time"
+
+	"repro/internal/flight"
+)
+
+// The flight subcommands drive a running instance's incident flight
+// recorder over its /debug/flight endpoints:
+//
+//	rapmctl flight list    — the bundle index
+//	rapmctl flight get     — download one bundle's tar.gz
+//	rapmctl flight capture — trigger a capture now
+
+func runFlight(w io.Writer, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing flight subcommand\n%s", usage)
+	}
+	switch args[0] {
+	case "list":
+		return runFlightList(w, args[1:])
+	case "get":
+		return runFlightGet(w, args[1:])
+	case "capture":
+		return runFlightCapture(w, args[1:])
+	default:
+		return fmt.Errorf("unknown flight subcommand %q\n%s", args[0], usage)
+	}
+}
+
+// flightIndex mirrors the GET /debug/flight document.
+type flightIndex struct {
+	Total   int                 `json:"total"`
+	Rules   []flight.Rule       `json:"rules"`
+	Bundles []flight.BundleInfo `json:"bundles"`
+}
+
+func runFlightList(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("rapmctl flight list", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the serve/monitor instance")
+	asJSON := fs.Bool("json", false, "print the raw /debug/flight JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var idx flightIndex
+	if err := getJSON(normalizeAddr(*addr)+"/debug/flight", &idx); err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(idx)
+	}
+	rules := make([]string, 0, len(idx.Rules))
+	for _, r := range idx.Rules {
+		rules = append(rules, r.String())
+	}
+	fmt.Fprintf(w, "%d bundles captured, %d retained", idx.Total, len(idx.Bundles))
+	if len(rules) > 0 {
+		fmt.Fprintf(w, "   rules: %v", rules)
+	}
+	fmt.Fprintln(w)
+	for _, b := range idx.Bundles {
+		fmt.Fprintf(w, "%s  %s  %-16s %7.1f KiB  %d artifacts  %s\n",
+			b.ID, b.Time.Format(time.RFC3339), b.Rule,
+			float64(b.SizeBytes)/1024, len(b.Artifacts), b.Reason)
+	}
+	return nil
+}
+
+func runFlightGet(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("rapmctl flight get", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the serve/monitor instance")
+	out := fs.String("o", "", "output path (default <bundle-id>.tar.gz in the current directory)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id := fs.Arg(0)
+	if id == "" {
+		// No ID: fetch the newest bundle.
+		var idx flightIndex
+		if err := getJSON(normalizeAddr(*addr)+"/debug/flight", &idx); err != nil {
+			return err
+		}
+		if len(idx.Bundles) == 0 {
+			return fmt.Errorf("the service has captured no diagnostic bundles yet")
+		}
+		id = idx.Bundles[0].ID
+	}
+	url := normalizeAddr(*addr) + "/debug/flight/" + id
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s: %s", url, apiErr.Error)
+		}
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	path := *out
+	if path == "" {
+		path = id + ".tar.gz"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	n, err := io.Copy(f, resp.Body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (%d bytes)\n", path, n)
+	return nil
+}
+
+func runFlightCapture(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("rapmctl flight capture", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the serve/monitor instance")
+	reason := fs.String("reason", "", "free-text reason journaled into the bundle")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	u := normalizeAddr(*addr) + "/debug/flight/capture"
+	if *reason != "" {
+		u += "?reason=" + url.QueryEscape(*reason)
+	}
+	// The capture blocks for the server's CPU-profile window (seconds);
+	// the shared 10s client covers the default 2s window comfortably.
+	resp, err := client.Post(u, "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var info flight.BundleInfo
+	if resp.StatusCode != http.StatusOK {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("%s: %s", u, apiErr.Error)
+		}
+		return fmt.Errorf("%s: HTTP %d", u, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "captured %s (%d bytes, %d artifacts)\n", info.ID, info.SizeBytes, len(info.Artifacts))
+	fmt.Fprintf(w, "fetch it: rapmctl flight get -addr %s %s\n", *addr, info.ID)
+	return nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flight"
+	"repro/internal/obs"
+)
+
+// flightServer serves a real recorder (fast CPU window) over the same
+// routes serve and monitor mount.
+func flightServer(t *testing.T) (*httptest.Server, *flight.Recorder) {
+	t.Helper()
+	r := flight.New(flight.Config{
+		Registry:   obs.NewRegistry(),
+		CPUProfile: time.Millisecond,
+		Rules:      []flight.Rule{{Kind: flight.RuleP99Latency, Threshold: 0.5}},
+	})
+	mux := http.NewServeMux()
+	mux.Handle("GET /debug/flight", r.IndexHandler())
+	mux.Handle("GET /debug/flight/{id}", r.ArchiveHandler())
+	mux.Handle("POST /debug/flight/capture", r.CaptureHandler())
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, r
+}
+
+func TestFlightListSubcommand(t *testing.T) {
+	srv, r := flightServer(t)
+	info, err := r.Capture(context.Background(), "listed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(&out, []string{"flight", "list", "-addr", srv.URL}); err != nil {
+		t.Fatalf("flight list: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{"1 bundles captured, 1 retained", info.ID, "manual", "listed", "p99-latency=500ms"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("flight list output lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFlightCaptureAndGetSubcommands(t *testing.T) {
+	srv, r := flightServer(t)
+	var out bytes.Buffer
+	if err := run(&out, []string{"flight", "capture", "-addr", srv.URL, "-reason", "ctl test"}); err != nil {
+		t.Fatalf("flight capture: %v", err)
+	}
+	if !strings.Contains(out.String(), "captured ") {
+		t.Fatalf("capture output:\n%s", out.String())
+	}
+	bundles := r.Bundles()
+	if len(bundles) != 1 || bundles[0].Reason != "ctl test" {
+		t.Fatalf("server state after capture: %+v", bundles)
+	}
+
+	// `get` with no ID downloads the newest bundle into -o.
+	dst := filepath.Join(t.TempDir(), "b.tar.gz")
+	out.Reset()
+	if err := run(&out, []string{"flight", "get", "-addr", srv.URL, "-o", dst}); err != nil {
+		t.Fatalf("flight get: %v", err)
+	}
+	data, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := r.Get(bundles[0].ID)
+	if !bytes.Equal(data, b.Archive) {
+		t.Error("downloaded archive differs from the served one")
+	}
+}
+
+func TestFlightSubcommandErrors(t *testing.T) {
+	srv, _ := flightServer(t)
+	if err := run(&bytes.Buffer{}, []string{"flight"}); err == nil {
+		t.Error("bare flight accepted")
+	}
+	if err := run(&bytes.Buffer{}, []string{"flight", "bogus"}); err == nil {
+		t.Error("unknown flight subcommand accepted")
+	}
+	// get against an empty recorder: a clear error, not a zero-byte file.
+	if err := run(&bytes.Buffer{}, []string{"flight", "get", "-addr", srv.URL}); err == nil {
+		t.Error("get with no bundles succeeded")
+	}
+	// get of an unknown ID surfaces the server's JSON error.
+	err := run(&bytes.Buffer{}, []string{"flight", "get", "-addr", srv.URL, "nope"})
+	if err == nil || !strings.Contains(err.Error(), "no bundle") {
+		t.Errorf("get nope: %v", err)
+	}
+}

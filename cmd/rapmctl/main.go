@@ -8,6 +8,9 @@
 //	rapmctl runs    [-addr http://localhost:8080]
 //	rapmctl explain [-addr http://localhost:8080] [-json] [trace-id]
 //	rapmctl slo     [-addr http://localhost:8080] [-json]
+//	rapmctl flight list    [-addr http://localhost:8080] [-json]
+//	rapmctl flight get     [-addr http://localhost:8080] [-o path] [bundle-id]
+//	rapmctl flight capture [-addr http://localhost:8080] [-reason text]
 //
 // `runs` lists the retained localization runs, newest first. `explain`
 // renders one run's full report — which attributes survived the t_CP cut,
@@ -21,6 +24,12 @@
 // quantiles, degraded/backpressure/timeout rates per endpoint and the
 // instantaneous saturation gauges — as a table, for a terminal answer to
 // "is the service healthy right now".
+//
+// `flight` drives the service's incident flight recorder: `list` shows the
+// retained diagnostic bundles, `get` downloads one as a tar.gz (newest by
+// default), and `capture` asks the instance to take a bundle right now —
+// pprof profiles, SLO report, spans, exemplar-linked explain reports —
+// while the misbehavior is still live.
 package main
 
 import (
@@ -49,7 +58,10 @@ func main() {
 const usage = `usage:
   rapmctl runs    [-addr http://localhost:8080]
   rapmctl explain [-addr http://localhost:8080] [-json] [trace-id]
-  rapmctl slo     [-addr http://localhost:8080] [-json]`
+  rapmctl slo     [-addr http://localhost:8080] [-json]
+  rapmctl flight list    [-addr http://localhost:8080] [-json]
+  rapmctl flight get     [-addr http://localhost:8080] [-o path] [bundle-id]
+  rapmctl flight capture [-addr http://localhost:8080] [-reason text]`
 
 func run(w io.Writer, args []string) error {
 	if len(args) == 0 {
@@ -62,6 +74,8 @@ func run(w io.Writer, args []string) error {
 		return runExplain(w, args[1:])
 	case "slo":
 		return runSLO(w, args[1:])
+	case "flight":
+		return runFlight(w, args[1:])
 	case "help", "-h", "--help":
 		fmt.Fprintln(w, usage)
 		return nil

@@ -4,10 +4,13 @@
 //	      [-span-capacity 512] [-workers 0] [-batch-queue -1]
 //	      [-request-timeout 0] [-read-timeout 1m] [-write-timeout 2m]
 //	      [-exemplar-threshold 0] [-log-max-per-sec 50]
+//	      [-flight-rules ""] [-flight-cooldown 2m] [-flight-capacity 4]
+//	      [-flight-spill-dir ""] [-flight-cpu-profile 2s] [-flight-interval 5s]
 //
 // Endpoints:
 //
 //	GET  /healthz              liveness probe
+//	GET  /readyz               readiness probe (503 while draining or queue-full)
 //	GET  /v1/methods           available localization methods
 //	POST /v1/localize          localize a snapshot
 //	POST /v1/localize/batch    localize many snapshots over the worker pool
@@ -19,7 +22,17 @@
 //	GET  /debug/runs       recent localization runs (explain reports)
 //	GET  /debug/runs/{id}  one run's explain report by trace ID
 //	GET  /debug/slo        rolling 1m/5m latency/degraded/backpressure windows
+//	GET  /debug/flight     flight-recorder bundle index
+//	GET  /debug/flight/{id}     one diagnostic bundle (tar.gz)
+//	POST /debug/flight/capture  capture a bundle now (?reason=...)
 //	GET  /debug/pprof/     Go profiler (only with -pprof)
+//
+// The flight recorder watches the rolling SLO windows against -flight-rules
+// (e.g. "p99-latency=500ms,error-rate=0.05,queue-saturation=0.9,gc-pause=100ms")
+// and captures a diagnostic bundle — pprof profiles, the SLO report, recent
+// spans, exemplar-linked explain reports, a metrics snapshot — on breach,
+// at most once per -flight-cooldown per rule. POST /debug/flight/capture
+// (or `rapmctl flight capture`) takes one on demand.
 //
 // POST /v1/localize accepts the Table III snapshot layout as
 // application/json (the kpi JSON document) or text/csv, with query
@@ -52,6 +65,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/httpapi"
 	"repro/internal/obs"
 )
@@ -84,8 +98,18 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		writeTimeout    = fs.Duration("write-timeout", 2*time.Minute, "max time to write one response (0 = none; keep above -request-timeout and pprof profile windows)")
 		exemplarMin     = fs.Duration("exemplar-threshold", 0, "retain trace exemplars only for requests at least this slow (0 = every bucket's most recent request)")
 		logMaxPerSec    = fs.Float64("log-max-per-sec", 50, "per-request log lines allowed per second before sampling kicks in; excess requests are counted in rapminer_logs_suppressed_total (0 = unlimited)")
+		flightRules     = fs.String("flight-rules", "", "flight-recorder triggers as kind=threshold,... (kinds: p99-latency, error-rate, degraded-rate, queue-saturation, gc-pause); empty = manual captures only")
+		flightCooldown  = fs.Duration("flight-cooldown", flight.DefaultCooldown, "minimum spacing between automatic captures per rule")
+		flightCapacity  = fs.Int("flight-capacity", flight.DefaultCapacity, "diagnostic bundles retained in memory for /debug/flight")
+		flightSpillDir  = fs.String("flight-spill-dir", "", "also write every bundle to this directory as <id>.tar.gz")
+		flightCPU       = fs.Duration("flight-cpu-profile", flight.DefaultCPUProfile, "CPU-profile window captured into each bundle")
+		flightInterval  = fs.Duration("flight-interval", flight.DefaultInterval, "trigger-rule polling period")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rules, err := flight.ParseRules(*flightRules)
+	if err != nil {
 		return err
 	}
 	level, err := obs.ParseLogLevel(*logLevel)
@@ -98,14 +122,22 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 	// Sample Go runtime health (goroutines, heap, GC) for /metrics.
 	obs.StartRuntimeCollector(ctx, nil, 0)
 
-	mux := http.NewServeMux()
-	mux.Handle("/", httpapi.NewHandlerOpts(httpapi.Options{
+	apiSrv := httpapi.New(httpapi.Options{
 		BatchWorkers:      *workers,
 		BatchQueue:        *batchQueue,
 		RequestTimeout:    *requestTimeout,
 		ExemplarThreshold: exemplarMin.Seconds(),
 		LogMaxPerSec:      *logMaxPerSec,
-	}))
+		FlightRules:       rules,
+		FlightCooldown:    *flightCooldown,
+		FlightCapacity:    *flightCapacity,
+		FlightSpillDir:    *flightSpillDir,
+		FlightCPUProfile:  *flightCPU,
+		FlightInterval:    *flightInterval,
+	})
+	go apiSrv.Flight().Run(ctx)
+	mux := http.NewServeMux()
+	mux.Handle("/", apiSrv)
 	if *pprofOn {
 		// Mounted on the outer mux so profiler traffic skips the API
 		// middleware (profiles can stream for seconds and would skew the
@@ -143,6 +175,9 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		return err
 	case <-ctx.Done():
 		log.Info("shutting down", "timeout", *shutdownTimeout)
+		// Flip /readyz first so load balancers stop routing here while
+		// in-flight requests drain.
+		apiSrv.SetDraining(true)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {

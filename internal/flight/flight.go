@@ -1,0 +1,432 @@
+// Package flight is the incident flight recorder: it watches the serving
+// stack's rolling SLO windows and runtime telemetry against configurable
+// trigger rules and, on breach — or on manual request — captures a
+// self-contained diagnostic bundle: pprof CPU/heap/goroutine profiles, the
+// live SLO report, recent spans grouped by trace, explain reports for the
+// runs referenced by latency-histogram exemplars, a full metrics snapshot,
+// and build identity. Bundles live in a bounded in-memory ring with
+// optional on-disk tar.gz spill and are served at GET /debug/flight.
+//
+// The recorder exists because the evidence of a saturation event — the
+// hot profile, the spans of the slow runs, the queue state at the moment
+// the latency curve bent — is gone by the time an operator looks at a
+// dashboard. Capturing it at trigger time turns "the load test failed"
+// into a post-mortem the server wrote about itself.
+package flight
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metric names exported by the recorder.
+const (
+	// MetricCaptures counts completed captures by trigger rule (including
+	// "manual").
+	MetricCaptures = "rapminer_flight_captures_total"
+	// MetricSuppressed counts triggers that did not capture, by rule and
+	// reason ("cooldown" while inside the rule's cooldown window, "busy"
+	// while another capture was already running).
+	MetricSuppressed = "rapminer_flight_suppressed_total"
+)
+
+// ErrCaptureBusy is returned when a capture is requested while another one
+// is still running — CPU profiling is process-global, so captures are
+// strictly serialized.
+var ErrCaptureBusy = errors.New("flight: capture already in progress")
+
+// Defaults for the zero-value Config fields.
+const (
+	DefaultCooldown   = 2 * time.Minute
+	DefaultCapacity   = 4
+	DefaultCPUProfile = 2 * time.Second
+	DefaultInterval   = 5 * time.Second
+)
+
+// Config configures a Recorder. The zero value is a manual-only recorder
+// (no rules, no status source) on the default registry.
+type Config struct {
+	// Registry receives the capture counters; nil means obs.Default().
+	Registry *obs.Registry
+	// Logger is the capture log; nil means the shared "flight" component
+	// logger.
+	Logger *slog.Logger
+	// Rules are the automatic triggers Poll evaluates; empty means manual
+	// captures only (Run returns immediately).
+	Rules []Rule
+	// Cooldown is the per-rule minimum spacing between automatic captures;
+	// 0 means DefaultCooldown. Manual captures bypass it.
+	Cooldown time.Duration
+	// Capacity bounds the in-memory bundle ring; 0 means DefaultCapacity.
+	Capacity int
+	// SpillDir, when set, receives every bundle as <id>.tar.gz so captures
+	// survive the process (and CI can upload them as artifacts).
+	SpillDir string
+	// CPUProfile is how long the capture's CPU profile runs; 0 means
+	// DefaultCPUProfile. The capture blocks for this window.
+	CPUProfile time.Duration
+	// Interval is Run's polling period; 0 means DefaultInterval.
+	Interval time.Duration
+	// Status supplies the endpoint/queue telemetry rules evaluate; nil
+	// means only the recorder's own GC sampling feeds the rules.
+	Status func() Status
+	// Sources add service-level artifacts to every bundle (SLO report,
+	// metrics snapshot, spans, explain reports).
+	Sources []Source
+}
+
+// Recorder watches trigger rules and captures diagnostic bundles.
+type Recorder struct {
+	cfg Config
+	reg *obs.Registry
+	log *slog.Logger
+
+	// busy serializes captures: CPU profiling is process-global.
+	busy atomic.Bool
+
+	mu          sync.Mutex
+	bundles     []*Bundle // oldest first
+	seq         int
+	total       int
+	lastCapture map[string]time.Time
+	lastNumGC   uint32
+}
+
+// New builds a recorder. The capture counters for every configured rule
+// (plus "manual") are registered at zero immediately so the metric schema
+// is visible before the first trigger.
+func New(cfg Config) *Recorder {
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.Logger("flight")
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = DefaultCooldown
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.CPUProfile <= 0 {
+		cfg.CPUProfile = DefaultCPUProfile
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	r := &Recorder{
+		cfg:         cfg,
+		reg:         cfg.Registry,
+		log:         cfg.Logger,
+		lastCapture: make(map[string]time.Time),
+	}
+	for _, rule := range cfg.Rules {
+		r.captures(rule.Kind)
+		r.suppressed(rule.Kind, "cooldown")
+		r.suppressed(rule.Kind, "busy")
+	}
+	r.captures(RuleManual)
+	// Baseline the GC high-water mark so startup GCs never trigger.
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	r.lastNumGC = m.NumGC
+	return r
+}
+
+// Rules returns the configured automatic triggers.
+func (r *Recorder) Rules() []Rule { return r.cfg.Rules }
+
+func (r *Recorder) captures(rule string) *obs.Counter {
+	return r.reg.Counter(MetricCaptures,
+		"Diagnostic bundles captured by the flight recorder, by trigger rule.",
+		"rule", rule)
+}
+
+func (r *Recorder) suppressed(rule, reason string) *obs.Counter {
+	return r.reg.Counter(MetricSuppressed,
+		"Flight-recorder triggers that did not capture, by rule and reason.",
+		"rule", rule, "reason", reason)
+}
+
+// Run polls the trigger rules every Interval until ctx is canceled. With
+// no rules configured it returns immediately — manual captures need no
+// polling.
+func (r *Recorder) Run(ctx context.Context) {
+	if len(r.cfg.Rules) == 0 {
+		return
+	}
+	t := time.NewTicker(r.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.Poll(ctx)
+		}
+	}
+}
+
+// Poll evaluates every rule once against the current status and captures
+// at most one bundle, attributed to the first breaching rule that is out
+// of its cooldown. All rules breaching in the same poll share the capture
+// (their cooldowns are stamped together and the reason lists every
+// breach), so one saturation event does not produce one bundle per rule.
+func (r *Recorder) Poll(ctx context.Context) {
+	if len(r.cfg.Rules) == 0 {
+		return
+	}
+	var st Status
+	if r.cfg.Status != nil {
+		st = r.cfg.Status()
+	}
+	st.MaxGCPauseMS = r.maxGCPauseMS()
+
+	var breached []string
+	var reasons []string
+	for _, rule := range r.cfg.Rules {
+		if reason, ok := rule.Evaluate(st); ok {
+			breached = append(breached, rule.Kind)
+			reasons = append(reasons, reason)
+		}
+	}
+	if len(breached) == 0 {
+		return
+	}
+
+	now := time.Now()
+	trigger := ""
+	r.mu.Lock()
+	for _, kind := range breached {
+		if now.Sub(r.lastCapture[kind]) >= r.cfg.Cooldown {
+			trigger = kind
+			break
+		}
+	}
+	r.mu.Unlock()
+	if trigger == "" {
+		for _, kind := range breached {
+			r.suppressed(kind, "cooldown").Inc()
+		}
+		return
+	}
+
+	if _, err := r.capture(ctx, trigger, strings.Join(reasons, "; "), st); err != nil {
+		if errors.Is(err, ErrCaptureBusy) {
+			r.suppressed(trigger, "busy").Inc()
+			return
+		}
+		r.log.Error("capture failed", "rule", trigger, "err", err)
+		return
+	}
+	// Stamp the cooldown at capture completion (the capture itself blocks
+	// for the CPU-profile window) so bundles, not poll decisions, are what
+	// the cooldown spaces out. A failed capture is not stamped — the next
+	// poll retries.
+	done := time.Now()
+	r.mu.Lock()
+	for _, kind := range breached {
+		r.lastCapture[kind] = done
+	}
+	r.mu.Unlock()
+}
+
+// Capture takes a bundle on explicit request (the POST
+// /debug/flight/capture endpoint, `rapmctl flight capture`, loadgen's
+// -capture-on-fail). It bypasses rule cooldowns but still serializes
+// against any in-progress capture (ErrCaptureBusy).
+func (r *Recorder) Capture(ctx context.Context, reason string) (BundleInfo, error) {
+	if reason == "" {
+		reason = "manual capture request"
+	}
+	var st Status
+	if r.cfg.Status != nil {
+		st = r.cfg.Status()
+	}
+	st.MaxGCPauseMS = r.maxGCPauseMS()
+	return r.capture(ctx, RuleManual, reason, st)
+}
+
+// capture assembles one bundle: process profiles first (the CPU profile
+// blocks for the configured window), then every configured source, then
+// the manifest, archived as tar.gz into the ring and the spill dir.
+func (r *Recorder) capture(ctx context.Context, rule, reason string, st Status) (BundleInfo, error) {
+	if !r.busy.CompareAndSwap(false, true) {
+		return BundleInfo{}, ErrCaptureBusy
+	}
+	defer r.busy.Store(false)
+
+	start := time.Now()
+	id := r.nextID(start, rule)
+	captureErrs := make(map[string]string)
+	var artifacts []Artifact
+
+	// CPU profile: a short window around the trigger. StartCPUProfile
+	// fails if something else (e.g. /debug/pprof/profile) is already
+	// profiling; the bundle then simply lacks cpu.pprof and says why.
+	var cpuBuf bytes.Buffer
+	if err := pprof.StartCPUProfile(&cpuBuf); err != nil {
+		captureErrs["cpu.pprof"] = err.Error()
+	} else {
+		select {
+		case <-time.After(r.cfg.CPUProfile):
+		case <-ctx.Done():
+		}
+		pprof.StopCPUProfile()
+		artifacts = append(artifacts, Artifact{Name: "cpu.pprof", Data: cpuBuf.Bytes()})
+	}
+
+	for _, prof := range []struct{ name, lookup string }{
+		{"heap.pprof", "heap"},
+		{"goroutines.pprof", "goroutine"},
+	} {
+		var buf bytes.Buffer
+		if err := pprof.Lookup(prof.lookup).WriteTo(&buf, 0); err != nil {
+			captureErrs[prof.name] = err.Error()
+			continue
+		}
+		artifacts = append(artifacts, Artifact{Name: prof.name, Data: buf.Bytes()})
+	}
+	// Human-readable goroutine dump next to the binary profile: full
+	// stacks, the first thing an operator reads when the queue wedges.
+	var stacks bytes.Buffer
+	if err := pprof.Lookup("goroutine").WriteTo(&stacks, 2); err == nil {
+		artifacts = append(artifacts, Artifact{Name: "goroutines.txt", Data: stacks.Bytes()})
+	}
+
+	for _, src := range r.cfg.Sources {
+		files, err := src.Fetch(ctx)
+		if err != nil {
+			captureErrs[src.Name] = err.Error()
+			continue
+		}
+		artifacts = append(artifacts, files...)
+	}
+
+	manifest := newManifest(id, rule, reason, start, st, r.cfg.CPUProfile)
+	manifest.Artifacts = make([]string, 0, len(artifacts))
+	for _, a := range artifacts {
+		manifest.Artifacts = append(manifest.Artifacts, a.Name)
+	}
+	if len(captureErrs) > 0 {
+		manifest.Errors = captureErrs
+	}
+	archive, err := buildArchive(manifest, artifacts, start)
+	if err != nil {
+		return BundleInfo{}, err
+	}
+
+	b := &Bundle{
+		Info: BundleInfo{
+			ID:        id,
+			Time:      start.UTC(),
+			Rule:      rule,
+			Reason:    reason,
+			SizeBytes: len(archive),
+			Artifacts: manifest.Artifacts,
+		},
+		Archive: archive,
+	}
+	if r.cfg.SpillDir != "" {
+		path := filepath.Join(r.cfg.SpillDir, id+".tar.gz")
+		if err := os.MkdirAll(r.cfg.SpillDir, 0o755); err != nil {
+			r.log.Error("spill dir", "err", err)
+		} else if err := os.WriteFile(path, archive, 0o644); err != nil {
+			r.log.Error("spill bundle", "path", path, "err", err)
+		} else {
+			b.Info.Spilled = path
+		}
+	}
+
+	r.mu.Lock()
+	r.bundles = append(r.bundles, b)
+	for len(r.bundles) > r.cfg.Capacity {
+		r.bundles = r.bundles[1:]
+	}
+	r.total++
+	r.mu.Unlock()
+
+	r.captures(rule).Inc()
+	r.log.Info("captured diagnostic bundle",
+		"id", id, "rule", rule, "reason", reason,
+		"bytes", len(archive), "artifacts", len(manifest.Artifacts),
+		"errors", len(captureErrs), "elapsed", time.Since(start))
+	return b.Info, nil
+}
+
+// nextID mints a unique, URL- and filename-safe bundle ID.
+func (r *Recorder) nextID(at time.Time, rule string) string {
+	r.mu.Lock()
+	r.seq++
+	seq := r.seq
+	r.mu.Unlock()
+	return fmt.Sprintf("%s-%04d-%s", at.UTC().Format("20060102T150405"), seq, rule)
+}
+
+// Bundles returns the retained bundles' metadata, newest first.
+func (r *Recorder) Bundles() []BundleInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]BundleInfo, 0, len(r.bundles))
+	for i := len(r.bundles) - 1; i >= 0; i-- {
+		out = append(out, r.bundles[i].Info)
+	}
+	return out
+}
+
+// Total returns how many bundles were ever captured (including evicted).
+func (r *Recorder) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Get returns the bundle stored under id.
+func (r *Recorder) Get(id string) (*Bundle, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, b := range r.bundles {
+		if b.Info.ID == id {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// maxGCPauseMS returns the longest stop-the-world pause (milliseconds)
+// among GC cycles completed since the previous call.
+func (r *Recorder) maxGCPauseMS() float64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	r.mu.Lock()
+	last := r.lastNumGC
+	r.lastNumGC = m.NumGC
+	r.mu.Unlock()
+	n := m.NumGC - last
+	if n == 0 {
+		return 0
+	}
+	if n > uint32(len(m.PauseNs)) {
+		n = uint32(len(m.PauseNs))
+	}
+	maxPause := uint64(0)
+	for i := uint32(0); i < n; i++ {
+		if p := m.PauseNs[(m.NumGC-i+255)%256]; p > maxPause {
+			maxPause = p
+		}
+	}
+	return float64(maxPause) / 1e6
+}

@@ -1,0 +1,391 @@
+package flight
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fastConfig keeps test captures quick: a hair of CPU profile is enough to
+// prove the artifact exists and parses.
+func fastConfig(reg *obs.Registry) Config {
+	return Config{Registry: reg, CPUProfile: 30 * time.Millisecond}
+}
+
+// readBundle extracts a tar.gz archive into name -> contents.
+func readBundle(t *testing.T, archive []byte) map[string][]byte {
+	t.Helper()
+	gz, err := gzip.NewReader(bytes.NewReader(archive))
+	if err != nil {
+		t.Fatalf("bundle is not gzip: %v", err)
+	}
+	files := make(map[string][]byte)
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("tar: %v", err)
+		}
+		data, err := io.ReadAll(tr)
+		if err != nil {
+			t.Fatalf("tar %s: %v", hdr.Name, err)
+		}
+		files[hdr.Name] = data
+	}
+	return files
+}
+
+func TestCaptureBundleContents(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := fastConfig(reg)
+	cfg.Sources = []Source{
+		{Name: "extra", Fetch: func(context.Context) ([]Artifact, error) {
+			return []Artifact{{Name: "extra.json", Data: []byte(`{"ok":true}`)}}, nil
+		}},
+		{Name: "broken", Fetch: func(context.Context) ([]Artifact, error) {
+			return nil, errors.New("backend gone")
+		}},
+	}
+	r := New(cfg)
+
+	info, err := r.Capture(context.Background(), "unit test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rule != RuleManual || info.Reason != "unit test" {
+		t.Errorf("info = %+v, want manual/unit test", info)
+	}
+	b, ok := r.Get(info.ID)
+	if !ok {
+		t.Fatal("bundle not retained")
+	}
+	files := readBundle(t, b.Archive)
+
+	for _, name := range []string{"manifest.json", "cpu.pprof", "heap.pprof", "goroutines.pprof", "goroutines.txt", "extra.json"} {
+		if _, ok := files[name]; !ok {
+			t.Errorf("bundle missing %s (have %v)", name, info.Artifacts)
+		}
+	}
+	// The binary profiles are gzipped protobuf; prove they decompress to
+	// something non-trivial rather than trusting the file exists.
+	for _, name := range []string{"cpu.pprof", "heap.pprof", "goroutines.pprof"} {
+		gz, err := gzip.NewReader(bytes.NewReader(files[name]))
+		if err != nil {
+			t.Errorf("%s is not gzip: %v", name, err)
+			continue
+		}
+		raw, err := io.ReadAll(gz)
+		if err != nil || len(raw) == 0 {
+			t.Errorf("%s: decompressed %d bytes, err %v", name, len(raw), err)
+		}
+	}
+	if !strings.Contains(string(files["goroutines.txt"]), "goroutine") {
+		t.Error("goroutines.txt does not look like a stack dump")
+	}
+
+	var m Manifest
+	if err := json.Unmarshal(files["manifest.json"], &m); err != nil {
+		t.Fatalf("manifest.json: %v", err)
+	}
+	if m.ID != info.ID || m.Rule != RuleManual || m.GoVersion == "" {
+		t.Errorf("manifest = %+v", m)
+	}
+	if m.Errors["broken"] != "backend gone" {
+		t.Errorf("failing source not journaled: %v", m.Errors)
+	}
+	if v := reg.Counter(MetricCaptures, "Diagnostic bundles captured by the flight recorder, by trigger rule.", "rule", RuleManual).Value(); v != 1 {
+		t.Errorf("capture counter = %v, want 1", v)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := fastConfig(reg)
+	cfg.Capacity = 2
+	cfg.CPUProfile = time.Millisecond
+	r := New(cfg)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		info, err := r.Capture(context.Background(), fmt.Sprintf("n%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, info.ID)
+	}
+	if r.Total() != 3 {
+		t.Errorf("total = %d, want 3", r.Total())
+	}
+	bundles := r.Bundles()
+	if len(bundles) != 2 {
+		t.Fatalf("retained %d bundles, want 2", len(bundles))
+	}
+	// Newest first, oldest evicted.
+	if bundles[0].ID != ids[2] || bundles[1].ID != ids[1] {
+		t.Errorf("retained %s, %s; want %s, %s", bundles[0].ID, bundles[1].ID, ids[2], ids[1])
+	}
+	if _, ok := r.Get(ids[0]); ok {
+		t.Error("oldest bundle still retrievable after eviction")
+	}
+}
+
+func TestPollTriggersAndCooldown(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := fastConfig(reg)
+	cfg.CPUProfile = time.Millisecond
+	cfg.Cooldown = 50 * time.Millisecond
+	cfg.Rules = []Rule{
+		{Kind: RuleP99Latency, Threshold: 0.1},
+		{Kind: RuleErrorRate, Threshold: 0.05},
+	}
+	breach := Status{Endpoints: map[string]EndpointStatus{
+		"POST /v1/localize": {Requests: 50, P99MS: 500, ErrorRate: 0.5},
+	}}
+	cfg.Status = func() Status { return breach }
+	r := New(cfg)
+
+	// First poll: both rules breach, one capture, attributed to the first.
+	r.Poll(context.Background())
+	if r.Total() != 1 {
+		t.Fatalf("total = %d after first poll, want 1", r.Total())
+	}
+	b := r.Bundles()[0]
+	if b.Rule != RuleP99Latency {
+		t.Errorf("capture attributed to %s, want %s", b.Rule, RuleP99Latency)
+	}
+	// The reason names every breaching rule.
+	if !strings.Contains(b.Reason, RuleP99Latency) || !strings.Contains(b.Reason, RuleErrorRate) {
+		t.Errorf("reason %q does not list both breaches", b.Reason)
+	}
+
+	// Second poll inside the cooldown: suppressed for both rules.
+	r.Poll(context.Background())
+	if r.Total() != 1 {
+		t.Fatalf("cooldown did not suppress: total = %d", r.Total())
+	}
+	suppressed := reg.Counter(MetricSuppressed, "", "rule", RuleP99Latency, "reason", "cooldown").Value() +
+		reg.Counter(MetricSuppressed, "", "rule", RuleErrorRate, "reason", "cooldown").Value()
+	if suppressed != 2 {
+		t.Errorf("suppressed = %v, want 2", suppressed)
+	}
+
+	// After the cooldown expires, the next poll captures again.
+	time.Sleep(cfg.Cooldown + 10*time.Millisecond)
+	r.Poll(context.Background())
+	if r.Total() != 2 {
+		t.Errorf("total = %d after cooldown expiry, want 2", r.Total())
+	}
+
+	// A healthy status never captures.
+	breach = Status{}
+	time.Sleep(cfg.Cooldown + 10*time.Millisecond)
+	r.Poll(context.Background())
+	if r.Total() != 2 {
+		t.Errorf("healthy status captured: total = %d", r.Total())
+	}
+}
+
+func TestSpillDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "bundles")
+	reg := obs.NewRegistry()
+	cfg := fastConfig(reg)
+	cfg.CPUProfile = time.Millisecond
+	cfg.SpillDir = dir
+	r := New(cfg)
+	info, err := r.Capture(context.Background(), "spill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join(dir, info.ID+".tar.gz")
+	if info.Spilled != want {
+		t.Errorf("spilled = %q, want %q", info.Spilled, want)
+	}
+	onDisk, err := os.ReadFile(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := r.Get(info.ID)
+	if !bytes.Equal(onDisk, b.Archive) {
+		t.Error("spilled archive differs from the in-memory one")
+	}
+}
+
+func TestCaptureBusy(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := fastConfig(reg)
+	cfg.CPUProfile = time.Millisecond
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	cfg.Sources = []Source{{Name: "slow", Fetch: func(context.Context) ([]Artifact, error) {
+		close(entered)
+		<-release
+		return nil, nil
+	}}}
+	r := New(cfg)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := r.Capture(context.Background(), "first"); err != nil {
+			t.Errorf("first capture: %v", err)
+		}
+	}()
+	<-entered
+	if _, err := r.Capture(context.Background(), "second"); !errors.Is(err, ErrCaptureBusy) {
+		t.Errorf("concurrent capture err = %v, want ErrCaptureBusy", err)
+	}
+	close(release)
+	wg.Wait()
+	if r.Total() != 1 {
+		t.Errorf("total = %d, want 1", r.Total())
+	}
+}
+
+func TestRunHonorsContextAndRules(t *testing.T) {
+	// No rules: Run returns immediately even with a live context.
+	r := New(fastConfig(obs.NewRegistry()))
+	done := make(chan struct{})
+	go func() { r.Run(context.Background()); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run with no rules did not return")
+	}
+
+	// With rules: Run polls until canceled.
+	reg := obs.NewRegistry()
+	cfg := fastConfig(reg)
+	cfg.CPUProfile = time.Millisecond
+	cfg.Interval = 5 * time.Millisecond
+	cfg.Cooldown = time.Hour
+	cfg.Rules = []Rule{{Kind: RuleQueueSaturation, Threshold: 0.5}}
+	cfg.Status = func() Status { return Status{QueueDepth: 10, QueueCapacity: 10} }
+	r2 := New(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	done2 := make(chan struct{})
+	go func() { r2.Run(ctx); close(done2) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for r2.Total() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("Run never captured on a breaching status")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done2:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+}
+
+func TestHandlers(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := fastConfig(reg)
+	cfg.CPUProfile = time.Millisecond
+	cfg.Rules = []Rule{{Kind: RuleP99Latency, Threshold: 0.25}}
+	r := New(cfg)
+
+	mux := http.NewServeMux()
+	mux.Handle("GET /debug/flight", r.IndexHandler())
+	mux.Handle("GET /debug/flight/{id}", r.ArchiveHandler())
+	mux.Handle("POST /debug/flight/capture", r.CaptureHandler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// Empty index first.
+	var idx struct {
+		Total   int          `json:"total"`
+		Rules   []Rule       `json:"rules"`
+		Bundles []BundleInfo `json:"bundles"`
+	}
+	getInto(t, srv.URL+"/debug/flight", &idx)
+	if idx.Total != 0 || len(idx.Bundles) != 0 || len(idx.Rules) != 1 {
+		t.Errorf("empty index = %+v", idx)
+	}
+
+	// Manual capture over HTTP.
+	resp, err := http.Post(srv.URL+"/debug/flight/capture?reason=handler+test", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info BundleInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || info.Reason != "handler test" {
+		t.Fatalf("capture: HTTP %d, info %+v", resp.StatusCode, info)
+	}
+
+	// Index now lists it; the archive downloads and extracts.
+	getInto(t, srv.URL+"/debug/flight", &idx)
+	if idx.Total != 1 || len(idx.Bundles) != 1 {
+		t.Fatalf("index after capture = %+v", idx)
+	}
+	resp, err = http.Get(srv.URL + "/debug/flight/" + info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	archive, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/gzip" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, info.ID) {
+		t.Errorf("Content-Disposition = %q", cd)
+	}
+	files := readBundle(t, archive)
+	if _, ok := files["manifest.json"]; !ok {
+		t.Error("served archive has no manifest")
+	}
+
+	// Unknown ID: JSON 404.
+	resp, err = http.Get(srv.URL + "/debug/flight/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id: HTTP %d, want 404", resp.StatusCode)
+	}
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil || apiErr.Error == "" {
+		t.Errorf("404 body not a JSON error: %v", err)
+	}
+}
+
+func getInto(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("%s: %v", url, err)
+	}
+}

@@ -1,0 +1,89 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// HTTP surface of the recorder, mounted by the serving commands:
+//
+//	GET  /debug/flight          -> IndexHandler   (bundle index, newest first)
+//	GET  /debug/flight/{id}     -> ArchiveHandler (the tar.gz archive)
+//	POST /debug/flight/capture  -> CaptureHandler (manual capture)
+
+// IndexHandler serves the retained bundles' metadata as
+// {"total": N, "rules": [...], "bundles": [...]} with bundles newest
+// first. total counts every capture ever taken, including evicted ones.
+func (r *Recorder) IndexHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Total   int          `json:"total"`
+			Rules   []Rule       `json:"rules"`
+			Bundles []BundleInfo `json:"bundles"`
+		}{Total: r.Total(), Rules: r.cfg.Rules, Bundles: r.Bundles()})
+	})
+}
+
+// ArchiveHandler serves one bundle's tar.gz by the {id} path value
+// (mount at GET /debug/flight/{id}). Unknown IDs get a JSON 404 — evicted
+// bundles may still exist in the spill directory, so the error says where
+// else to look.
+func (r *Recorder) ArchiveHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		id := req.PathValue("id")
+		b, ok := r.Get(id)
+		if !ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusNotFound)
+			msg := fmt.Sprintf("no bundle %q in the ring", id)
+			if r.cfg.SpillDir != "" && validBundleID(id) {
+				msg += fmt.Sprintf("; evicted bundles may remain under %s", r.cfg.SpillDir)
+			}
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+			return
+		}
+		w.Header().Set("Content-Type", "application/gzip")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=%q", id+".tar.gz"))
+		w.Header().Set("Content-Length", fmt.Sprint(len(b.Archive)))
+		_, _ = w.Write(b.Archive)
+	})
+}
+
+// CaptureHandler triggers a manual capture (mount at
+// POST /debug/flight/capture). The optional ?reason= query is journaled
+// into the bundle. Replies 200 with the new bundle's metadata, or 409
+// while another capture is running. The capture blocks for the CPU-profile
+// window, so callers should allow a few seconds.
+func (r *Recorder) CaptureHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		info, err := r.Capture(req.Context(), req.URL.Query().Get("reason"))
+		if err != nil {
+			code := http.StatusInternalServerError
+			if err == ErrCaptureBusy {
+				code = http.StatusConflict
+			}
+			w.WriteHeader(code)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(info)
+	})
+}
+
+// validBundleID mirrors nextID's output shape so the 404 message never
+// points a path-traversal-looking ID at the spill directory.
+func validBundleID(id string) bool {
+	if id == "" || strings.ContainsAny(id, "/\\.") {
+		return false
+	}
+	return true
+}

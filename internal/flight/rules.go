@@ -1,0 +1,188 @@
+package flight
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Trigger rules: each rule watches one saturation signal of the serving
+// stack and breaches when its threshold is crossed. Rules are parsed from
+// a flag-friendly "kind=threshold,..." string so commands can configure
+// the recorder without code.
+
+// Rule kinds. Duration-valued kinds parse time.Duration thresholds;
+// rate-valued kinds parse fractions in [0, 1].
+const (
+	// RuleP99Latency breaches when any tracked endpoint's rolling-window
+	// p99 latency exceeds the threshold.
+	RuleP99Latency = "p99-latency"
+	// RuleErrorRate breaches when any tracked endpoint's hard-error rate
+	// (5xx other than the intentional 503/504 load answers) exceeds the
+	// threshold fraction.
+	RuleErrorRate = "error-rate"
+	// RuleDegradedRate breaches when any tracked endpoint's degraded-result
+	// rate exceeds the threshold fraction.
+	RuleDegradedRate = "degraded-rate"
+	// RuleQueueSaturation breaches when the batch queue's fill fraction
+	// (depth / capacity) reaches the threshold.
+	RuleQueueSaturation = "queue-saturation"
+	// RuleGCPause breaches when a stop-the-world GC pause since the last
+	// poll exceeded the threshold.
+	RuleGCPause = "gc-pause"
+	// RuleManual labels bundles captured on explicit request (the
+	// POST /debug/flight/capture endpoint); it is not a parseable rule.
+	RuleManual = "manual"
+)
+
+// Rule is one configured trigger: a kind plus its threshold in base units
+// (seconds for durations, a fraction for rates).
+type Rule struct {
+	Kind      string  `json:"kind"`
+	Threshold float64 `json:"threshold"`
+}
+
+// String renders the rule in the same syntax ParseRules accepts.
+func (r Rule) String() string {
+	switch r.Kind {
+	case RuleP99Latency, RuleGCPause:
+		return fmt.Sprintf("%s=%s", r.Kind, time.Duration(r.Threshold*float64(time.Second)))
+	default:
+		return fmt.Sprintf("%s=%s", r.Kind, strconv.FormatFloat(r.Threshold, 'g', -1, 64))
+	}
+}
+
+// ParseRules parses a comma-separated "kind=threshold" list, e.g.
+//
+//	p99-latency=500ms,error-rate=0.05,degraded-rate=0.2,queue-saturation=0.9,gc-pause=100ms
+//
+// Duration kinds take Go duration syntax; rate kinds take fractions in
+// (0, 1]; queue-saturation takes a fill fraction in (0, 1]. An empty
+// string yields no rules (manual captures stay available). Duplicate
+// kinds are rejected — the per-rule cooldown is keyed by kind.
+func ParseRules(s string) ([]Rule, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []Rule
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		kind, raw, ok := strings.Cut(strings.TrimSpace(part), "=")
+		kind = strings.TrimSpace(kind)
+		if !ok || kind == "" || strings.TrimSpace(raw) == "" {
+			return nil, fmt.Errorf("flight: rule %q: want kind=threshold", part)
+		}
+		if seen[kind] {
+			return nil, fmt.Errorf("flight: duplicate rule %q", kind)
+		}
+		seen[kind] = true
+		var threshold float64
+		switch kind {
+		case RuleP99Latency, RuleGCPause:
+			d, err := time.ParseDuration(strings.TrimSpace(raw))
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("flight: rule %s: bad duration %q", kind, raw)
+			}
+			threshold = d.Seconds()
+		case RuleErrorRate, RuleDegradedRate, RuleQueueSaturation:
+			f, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+			if err != nil || f <= 0 || f > 1 {
+				return nil, fmt.Errorf("flight: rule %s: bad fraction %q (want (0, 1])", kind, raw)
+			}
+			threshold = f
+		default:
+			return nil, fmt.Errorf("flight: unknown rule kind %q", kind)
+		}
+		out = append(out, Rule{Kind: kind, Threshold: threshold})
+	}
+	return out, nil
+}
+
+// Status is the telemetry snapshot rules evaluate against, assembled by
+// the embedding service (the HTTP layer's rolling SLO windows and batch
+// queue) plus the recorder's own GC sampling. It is journaled into the
+// bundle manifest so the evidence of why a capture fired travels with it.
+type Status struct {
+	// Endpoints maps route -> rolling-window view (the 1m window in the
+	// HTTP layer's wiring).
+	Endpoints map[string]EndpointStatus `json:"endpoints,omitempty"`
+	// QueueDepth and QueueCapacity are the batch queue's instantaneous
+	// fill and ceiling; 0 capacity disables the queue-saturation rule.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	// MaxGCPauseMS is the longest stop-the-world pause observed since the
+	// previous poll, filled in by the recorder.
+	MaxGCPauseMS float64 `json:"max_gc_pause_ms,omitempty"`
+}
+
+// EndpointStatus is one endpoint's rolling-window view.
+type EndpointStatus struct {
+	Requests     float64 `json:"requests"`
+	P99MS        float64 `json:"p99_ms"`
+	ErrorRate    float64 `json:"error_rate"`
+	DegradedRate float64 `json:"degraded_rate"`
+}
+
+// Evaluate reports whether the rule breaches on st, and a human-readable
+// reason naming the offending signal and values. Endpoint rules consider
+// only endpoints that saw traffic inside the window and report the worst
+// offender; iteration is sorted so reasons are deterministic.
+func (r Rule) Evaluate(st Status) (reason string, breached bool) {
+	worst := func(value func(EndpointStatus) float64) (string, EndpointStatus, bool) {
+		routes := make([]string, 0, len(st.Endpoints))
+		for route := range st.Endpoints {
+			routes = append(routes, route)
+		}
+		sort.Strings(routes)
+		var bestRoute string
+		var best EndpointStatus
+		found := false
+		for _, route := range routes {
+			ep := st.Endpoints[route]
+			if ep.Requests <= 0 {
+				continue
+			}
+			if !found || value(ep) > value(best) {
+				bestRoute, best, found = route, ep, true
+			}
+		}
+		return bestRoute, best, found
+	}
+	switch r.Kind {
+	case RuleP99Latency:
+		route, ep, ok := worst(func(e EndpointStatus) float64 { return e.P99MS })
+		if ok && ep.P99MS/1000 > r.Threshold {
+			return fmt.Sprintf("%s: %s p99 %.1fms > %s", r.Kind, route, ep.P99MS,
+				time.Duration(r.Threshold*float64(time.Second))), true
+		}
+	case RuleErrorRate:
+		route, ep, ok := worst(func(e EndpointStatus) float64 { return e.ErrorRate })
+		if ok && ep.ErrorRate > r.Threshold {
+			return fmt.Sprintf("%s: %s error rate %.1f%% > %.1f%%", r.Kind, route,
+				100*ep.ErrorRate, 100*r.Threshold), true
+		}
+	case RuleDegradedRate:
+		route, ep, ok := worst(func(e EndpointStatus) float64 { return e.DegradedRate })
+		if ok && ep.DegradedRate > r.Threshold {
+			return fmt.Sprintf("%s: %s degraded rate %.1f%% > %.1f%%", r.Kind, route,
+				100*ep.DegradedRate, 100*r.Threshold), true
+		}
+	case RuleQueueSaturation:
+		if st.QueueCapacity > 0 {
+			frac := float64(st.QueueDepth) / float64(st.QueueCapacity)
+			if frac >= r.Threshold {
+				return fmt.Sprintf("%s: batch queue %d/%d (%.0f%%) >= %.0f%%", r.Kind,
+					st.QueueDepth, st.QueueCapacity, 100*frac, 100*r.Threshold), true
+			}
+		}
+	case RuleGCPause:
+		if st.MaxGCPauseMS/1000 > r.Threshold {
+			return fmt.Sprintf("%s: max GC pause %.2fms > %s", r.Kind, st.MaxGCPauseMS,
+				time.Duration(r.Threshold*float64(time.Second))), true
+		}
+	}
+	return "", false
+}

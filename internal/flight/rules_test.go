@@ -1,0 +1,141 @@
+package flight
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules("p99-latency=500ms,error-rate=0.05,degraded-rate=0.2,queue-saturation=0.9,gc-pause=100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 5 {
+		t.Fatalf("parsed %d rules, want 5", len(rules))
+	}
+	want := map[string]float64{
+		RuleP99Latency:      0.5,
+		RuleErrorRate:       0.05,
+		RuleDegradedRate:    0.2,
+		RuleQueueSaturation: 0.9,
+		RuleGCPause:         0.1,
+	}
+	for _, r := range rules {
+		if want[r.Kind] != r.Threshold {
+			t.Errorf("rule %s threshold = %v, want %v", r.Kind, r.Threshold, want[r.Kind])
+		}
+	}
+}
+
+func TestParseRulesEmpty(t *testing.T) {
+	for _, s := range []string{"", "  "} {
+		rules, err := ParseRules(s)
+		if err != nil || rules != nil {
+			t.Errorf("ParseRules(%q) = %v, %v; want nil, nil", s, rules, err)
+		}
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	cases := []string{
+		"p99-latency",                      // no threshold
+		"p99-latency=",                     // empty threshold
+		"=500ms",                           // no kind
+		"p99-latency=0.5",                  // duration kind, bare float
+		"p99-latency=-1s",                  // non-positive duration
+		"error-rate=1.5",                   // fraction out of range
+		"error-rate=0",                     // zero fraction
+		"error-rate=abc",                   // not a number
+		"bogus=1",                          // unknown kind
+		"error-rate=0.1,error-rate=0.2",    // duplicate kind
+		"manual=1",                         // manual is a label, not a rule
+		"p99-latency=1s error-rate=0.1",    // missing comma
+		"queue-saturation=0.5,gc-pause=0s", // zero duration
+	}
+	for _, s := range cases {
+		if _, err := ParseRules(s); err == nil {
+			t.Errorf("ParseRules(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestRuleStringRoundTrip(t *testing.T) {
+	rules, err := ParseRules("p99-latency=250ms,error-rate=0.05,gc-pause=1.5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		again, err := ParseRules(r.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", r.String(), err)
+		}
+		if len(again) != 1 || again[0] != r {
+			t.Errorf("round trip %v -> %q -> %v", r, r.String(), again)
+		}
+	}
+}
+
+func TestEvaluateP99Latency(t *testing.T) {
+	rule := Rule{Kind: RuleP99Latency, Threshold: 0.25}
+	st := Status{Endpoints: map[string]EndpointStatus{
+		"POST /v1/localize": {Requests: 10, P99MS: 300},
+		"POST /v1/observe":  {Requests: 10, P99MS: 50},
+	}}
+	reason, ok := rule.Evaluate(st)
+	if !ok {
+		t.Fatal("expected breach")
+	}
+	if !strings.Contains(reason, "POST /v1/localize") || !strings.Contains(reason, "300.0ms") {
+		t.Errorf("reason %q does not name the offender", reason)
+	}
+
+	// Under threshold: no breach.
+	st.Endpoints["POST /v1/localize"] = EndpointStatus{Requests: 10, P99MS: 200}
+	if _, ok := rule.Evaluate(st); ok {
+		t.Error("breached under threshold")
+	}
+	// Idle endpoints never breach, whatever their stale quantiles claim.
+	st.Endpoints["POST /v1/localize"] = EndpointStatus{Requests: 0, P99MS: 10000}
+	if _, ok := rule.Evaluate(st); ok {
+		t.Error("breached on idle endpoint")
+	}
+}
+
+func TestEvaluateRates(t *testing.T) {
+	st := Status{Endpoints: map[string]EndpointStatus{
+		"POST /v1/localize": {Requests: 100, ErrorRate: 0.10, DegradedRate: 0.30},
+	}}
+	if _, ok := (Rule{Kind: RuleErrorRate, Threshold: 0.05}).Evaluate(st); !ok {
+		t.Error("error-rate should breach at 10% > 5%")
+	}
+	if _, ok := (Rule{Kind: RuleErrorRate, Threshold: 0.10}).Evaluate(st); ok {
+		t.Error("error-rate at exactly the threshold should not breach")
+	}
+	if _, ok := (Rule{Kind: RuleDegradedRate, Threshold: 0.25}).Evaluate(st); !ok {
+		t.Error("degraded-rate should breach at 30% > 25%")
+	}
+}
+
+func TestEvaluateQueueSaturation(t *testing.T) {
+	rule := Rule{Kind: RuleQueueSaturation, Threshold: 0.9}
+	if _, ok := rule.Evaluate(Status{QueueDepth: 9, QueueCapacity: 10}); !ok {
+		t.Error("9/10 >= 0.9 should breach")
+	}
+	if _, ok := rule.Evaluate(Status{QueueDepth: 8, QueueCapacity: 10}); ok {
+		t.Error("8/10 < 0.9 should not breach")
+	}
+	// Zero capacity disables the rule rather than dividing by zero.
+	if _, ok := rule.Evaluate(Status{QueueDepth: 5, QueueCapacity: 0}); ok {
+		t.Error("zero capacity should never breach")
+	}
+}
+
+func TestEvaluateGCPause(t *testing.T) {
+	rule := Rule{Kind: RuleGCPause, Threshold: 0.1} // 100ms
+	if _, ok := rule.Evaluate(Status{MaxGCPauseMS: 150}); !ok {
+		t.Error("150ms pause should breach a 100ms rule")
+	}
+	if _, ok := rule.Evaluate(Status{MaxGCPauseMS: 50}); ok {
+		t.Error("50ms pause should not breach a 100ms rule")
+	}
+}

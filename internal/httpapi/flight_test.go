@@ -1,0 +1,369 @@
+package httpapi
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flight"
+	"repro/internal/kpi"
+	"repro/internal/obs"
+	"repro/internal/rapminer/explain"
+)
+
+// extractBundle pulls a tar.gz archive apart into name -> contents.
+func extractBundle(t *testing.T, archive []byte) map[string][]byte {
+	t.Helper()
+	gz, err := gzip.NewReader(bytes.NewReader(archive))
+	if err != nil {
+		t.Fatalf("bundle is not gzip: %v", err)
+	}
+	files := make(map[string][]byte)
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("tar: %v", err)
+		}
+		data, err := io.ReadAll(tr)
+		if err != nil {
+			t.Fatalf("tar %s: %v", hdr.Name, err)
+		}
+		files[hdr.Name] = data
+	}
+	return files
+}
+
+// TestFlightBreachCapturesBundle is the end-to-end incident story: traffic
+// drives the rolling SLO windows past a trigger rule, one poll captures a
+// diagnostic bundle, and the bundle ties the whole serving stack together
+// — a parseable CPU profile, the SLO report showing the traffic, recent
+// spans, and an explain report reachable from a latency-histogram exemplar
+// that also resolves live at /debug/runs/{id}.
+func TestFlightBreachCapturesBundle(t *testing.T) {
+	reg := obs.NewRegistry()
+	rules, err := flight.ParseRules("p99-latency=1ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := New(Options{
+		Registry:         reg,
+		FlightRules:      rules,
+		FlightCPUProfile: 30 * time.Millisecond,
+	})
+	srv := httptest.NewServer(api)
+	t.Cleanup(srv.Close)
+
+	// Real traffic: every finished request lands in the 1m window and
+	// leaves a trace exemplar plus an explain report behind.
+	for i := 0; i < 3; i++ {
+		resp, out := postLocalize(t, srv, "/v1/localize?k=2", "text/csv", sampleCSV)
+		if resp.StatusCode != http.StatusOK || out.TraceID == "" {
+			t.Fatalf("request %d: status %d, trace %q", i, resp.StatusCode, out.TraceID)
+		}
+	}
+
+	// One poll: any completed request's p99 beats a 1ns threshold.
+	api.Flight().Poll(context.Background())
+	if total := api.Flight().Total(); total != 1 {
+		t.Fatalf("captured %d bundles, want 1", total)
+	}
+
+	// The index is served and names the capture's rule.
+	resp, err := http.Get(srv.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx struct {
+		Total   int                 `json:"total"`
+		Bundles []flight.BundleInfo `json:"bundles"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&idx); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if idx.Total != 1 || len(idx.Bundles) != 1 || idx.Bundles[0].Rule != flight.RuleP99Latency {
+		t.Fatalf("index = %+v", idx)
+	}
+
+	// Download and open the archive.
+	resp, err = http.Get(srv.URL + "/debug/flight/" + idx.Bundles[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	archive, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("archive: HTTP %d", resp.StatusCode)
+	}
+	files := extractBundle(t, archive)
+
+	// CPU profile: present and a parseable (gzipped protobuf) profile.
+	gzr, err := gzip.NewReader(bytes.NewReader(files["cpu.pprof"]))
+	if err != nil {
+		t.Fatalf("cpu.pprof is not gzip: %v", err)
+	}
+	if raw, err := io.ReadAll(gzr); err != nil || len(raw) == 0 {
+		t.Fatalf("cpu.pprof: %d bytes, err %v", len(raw), err)
+	}
+
+	// SLO report: unmarshals and shows the localize traffic we sent.
+	var slo SLOReport
+	if err := json.Unmarshal(files["slo.json"], &slo); err != nil {
+		t.Fatalf("slo.json: %v", err)
+	}
+	if reqs := slo.Windows["1m"]["POST /v1/localize"].Requests; reqs < 3 {
+		t.Errorf("slo.json records %v localize requests, want >= 3", reqs)
+	}
+
+	// Spans: grouped by trace, non-empty.
+	var spans struct {
+		Traces []obs.TraceSpans `json:"traces"`
+	}
+	if err := json.Unmarshal(files["spans.json"], &spans); err != nil {
+		t.Fatalf("spans.json: %v", err)
+	}
+	if len(spans.Traces) == 0 {
+		t.Error("spans.json has no traces")
+	}
+
+	// Exemplar-linked explain reports: at least one runs/<trace>.json whose
+	// trace ID also resolves live at /debug/runs/{id}.
+	var runFiles []string
+	for name := range files {
+		if strings.HasPrefix(name, "runs/") && strings.HasSuffix(name, ".json") {
+			runFiles = append(runFiles, name)
+		}
+	}
+	if len(runFiles) == 0 {
+		t.Fatalf("bundle has no exemplar-linked explain reports (files: %v)", idx.Bundles[0].Artifacts)
+	}
+	var rep explain.Report
+	if err := json.Unmarshal(files[runFiles[0]], &rep); err != nil {
+		t.Fatalf("%s: %v", runFiles[0], err)
+	}
+	traceID := strings.TrimSuffix(path.Base(runFiles[0]), ".json")
+	if rep.TraceID != traceID {
+		t.Errorf("report trace %q != filename trace %q", rep.TraceID, traceID)
+	}
+	resp, err = http.Get(srv.URL + "/debug/runs/" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/runs/%s: HTTP %d, want 200", traceID, resp.StatusCode)
+	}
+
+	// The trigger shows up in the metrics the scraper sees.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics),
+		`rapminer_flight_captures_total{rule="p99-latency"} 1`) {
+		t.Error("/metrics does not count the p99-latency capture")
+	}
+}
+
+// TestFlightConcurrentCaptureAndServe hammers capture, index, archive and
+// localize concurrently — the interesting assertions are the race
+// detector's.
+func TestFlightConcurrentCaptureAndServe(t *testing.T) {
+	reg := obs.NewRegistry()
+	api := New(Options{
+		Registry:         reg,
+		FlightCapacity:   2,
+		FlightCPUProfile: time.Millisecond,
+	})
+	srv := httptest.NewServer(api)
+	t.Cleanup(srv.Close)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	time.AfterFunc(600*time.Millisecond, func() { close(stop) })
+	hammer := func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					f()
+				}
+			}
+		}()
+	}
+	get := func(path string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	hammer(func() {
+		// Captures serialize; busy answers 409 and that is fine here.
+		resp, err := http.Post(srv.URL+"/debug/flight/capture", "", nil)
+		if err != nil {
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	})
+	hammer(func() { get("/debug/flight") })
+	hammer(func() {
+		for _, b := range api.Flight().Bundles() {
+			get("/debug/flight/" + b.ID)
+		}
+	})
+	hammer(func() {
+		resp, err := http.Post(srv.URL+"/v1/localize?k=2", "text/csv", strings.NewReader(sampleCSV))
+		if err != nil {
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	})
+	wg.Wait()
+	if api.Flight().Total() == 0 {
+		t.Error("no capture succeeded during the hammer")
+	}
+}
+
+func TestReadyz(t *testing.T) {
+	api := New(Options{Registry: obs.NewRegistry()})
+	srv := httptest.NewServer(api)
+	t.Cleanup(srv.Close)
+
+	readyz := func() (int, readyzResponse) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out readyzResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	if code, out := readyz(); code != http.StatusOK || !out.Ready {
+		t.Fatalf("fresh server: HTTP %d, %+v", code, out)
+	}
+	api.SetDraining(true)
+	if code, out := readyz(); code != http.StatusServiceUnavailable ||
+		out.Ready || !strings.Contains(out.Reason, "draining") {
+		t.Fatalf("draining: HTTP %d, %+v", code, out)
+	}
+	api.SetDraining(false)
+	if code, _ := readyz(); code != http.StatusOK {
+		t.Fatalf("after drain reset: HTTP %d", code)
+	}
+}
+
+// TestReadyzQueueFull pins the saturation verdict: a batch queue at
+// capacity flips /readyz to 503 with a queue reason, and releases once the
+// queue drains.
+func TestReadyzQueueFull(t *testing.T) {
+	withTestMethod(t, "stall", stallLocalizer{})
+	// One worker, no waiting room: a single stalled item fills the queue.
+	api := New(Options{Registry: obs.NewRegistry(), BatchWorkers: 1, BatchQueue: -1})
+	srv := httptest.NewServer(api)
+	t.Cleanup(srv.Close)
+
+	snap, err := kpi.ReadCSV(strings.NewReader(sampleCSV), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc strings.Builder
+	if err := kpi.WriteJSON(&doc, snap); err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"snapshots":[%s]}`, doc.String())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			srv.URL+"/v1/localize/batch?method=stall", strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	// Wait until the stalled item is admitted, then the probe must say no.
+	deadline := time.Now().Add(5 * time.Second)
+	for api.batch.Depth() < api.batch.Capacity() {
+		if time.Now().After(deadline) {
+			t.Fatal("batch queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out readyzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || out.Ready ||
+		!strings.Contains(out.Reason, "queue") {
+		t.Fatalf("full queue: HTTP %d, %+v", resp.StatusCode, out)
+	}
+	if out.BatchQueueDepth < out.BatchCapacity {
+		t.Errorf("probe reports depth %d < capacity %d while full",
+			out.BatchQueueDepth, out.BatchCapacity)
+	}
+
+	// Release the stalled request; readiness recovers.
+	cancel()
+	<-done
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never recovered after the queue drained")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

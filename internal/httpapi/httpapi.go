@@ -24,6 +24,7 @@ import (
 	"repro/internal/baseline/idice"
 	"repro/internal/baseline/squeeze"
 	"repro/internal/ensemble"
+	"repro/internal/flight"
 	"repro/internal/kpi"
 	"repro/internal/localize"
 	"repro/internal/obs"
@@ -112,6 +113,20 @@ type Options struct {
 	// rapminer_logs_suppressed_total, so a load test cannot drown the log
 	// stream. <= 0 means unlimited.
 	LogMaxPerSec float64
+
+	// FlightRules are the flight recorder's automatic triggers (parse flag
+	// strings with flight.ParseRules); empty leaves manual captures only.
+	// The rules only fire while the recorder's trigger loop runs — start it
+	// with `go srv.Flight().Run(ctx)`.
+	FlightRules []flight.Rule
+	// FlightCooldown, FlightCapacity, FlightSpillDir, FlightCPUProfile and
+	// FlightInterval pass through to flight.Config; zero values take the
+	// recorder's defaults.
+	FlightCooldown   time.Duration
+	FlightCapacity   int
+	FlightSpillDir   string
+	FlightCPUProfile time.Duration
+	FlightInterval   time.Duration
 }
 
 // NewHandler builds the service's HTTP routes against the default metrics
@@ -131,8 +146,16 @@ func NewHandlerObs(reg *obs.Registry, log *slog.Logger) http.Handler {
 	return NewHandlerOpts(Options{Registry: reg, Logger: log})
 }
 
-// NewHandlerOpts is NewHandler with full configuration.
+// NewHandlerOpts is NewHandler with full configuration. The returned
+// handler is a *Server; callers that need the flight recorder or the
+// drain switch use New instead.
 func NewHandlerOpts(o Options) http.Handler {
+	return New(o)
+}
+
+// New builds the service as a *Server, exposing the flight recorder and
+// the /readyz drain switch alongside the routes.
+func New(o Options) *Server {
 	reg, log := o.Registry, o.Logger
 	if reg == nil {
 		reg = obs.Default()
@@ -166,8 +189,21 @@ func NewHandlerOpts(o Options) http.Handler {
 	obs.RegisterBuildInfo(reg)
 	slo := newSLOState(reg, a.batch)
 	a.slo = slo
+	srv := &Server{slo: slo, batch: a.batch}
+	srv.flight = flight.New(flight.Config{
+		Registry:   reg,
+		Rules:      o.FlightRules,
+		Cooldown:   o.FlightCooldown,
+		Capacity:   o.FlightCapacity,
+		SpillDir:   o.FlightSpillDir,
+		CPUProfile: o.FlightCPUProfile,
+		Interval:   o.FlightInterval,
+		Status:     slo.flightStatus,
+		Sources:    flightSources(reg, slo, a.runs),
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", handleHealthz)
+	mux.HandleFunc("GET /readyz", srv.handleReadyz)
 	mux.HandleFunc("GET /v1/methods", handleMethods)
 	mux.HandleFunc("POST /v1/localize", a.handleLocalize)
 	mux.HandleFunc("POST /v1/localize/batch", a.handleLocalizeBatch)
@@ -180,7 +216,11 @@ func NewHandlerOpts(o Options) http.Handler {
 	mux.Handle("GET /debug/runs", a.runs.RunsHandler())
 	mux.Handle("GET /debug/runs/{id}", a.runs.RunHandler())
 	mux.Handle("GET /debug/slo", slo.handler())
-	return instrument(reg, log, slo, newLogSampler(reg, o.LogMaxPerSec), o.ExemplarThreshold, mux)
+	mux.Handle("GET /debug/flight", srv.flight.IndexHandler())
+	mux.Handle("GET /debug/flight/{id}", srv.flight.ArchiveHandler())
+	mux.Handle("POST /debug/flight/capture", srv.flight.CaptureHandler())
+	srv.handler = instrument(reg, log, slo, newLogSampler(reg, o.LogMaxPerSec), o.ExemplarThreshold, mux)
+	return srv
 }
 
 func handleHealthz(w http.ResponseWriter, _ *http.Request) {

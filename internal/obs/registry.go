@@ -341,6 +341,34 @@ func (h *Histogram) Exemplars() []Exemplar {
 	return out
 }
 
+// FamilyExemplars returns the trace exemplars currently retained across
+// every series of the named histogram family, in stable (sorted label set,
+// then bucket) order. It returns nil when the family is unknown or not a
+// histogram. The flight recorder uses this to resolve the latency
+// histogram's exemplar trace IDs into explain reports at capture time.
+func (r *Registry) FamilyExemplars(name string) []Exemplar {
+	r.mu.Lock()
+	fam, ok := r.families[name]
+	var hists []*Histogram
+	if ok && fam.kind == histogramKind {
+		keys := make([]string, 0, len(fam.series))
+		for k := range fam.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		hists = make([]*Histogram, 0, len(keys))
+		for _, k := range keys {
+			hists = append(hists, fam.series[k].hist)
+		}
+	}
+	r.mu.Unlock()
+	var out []Exemplar
+	for _, h := range hists {
+		out = append(out, h.Exemplars()...)
+	}
+	return out
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 

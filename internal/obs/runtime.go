@@ -3,6 +3,8 @@ package obs
 import (
 	"context"
 	"runtime"
+	"runtime/metrics"
+	"runtime/pprof"
 	"time"
 )
 
@@ -13,12 +15,23 @@ import (
 
 // Runtime metric names exported by the collector.
 const (
-	MetricGoroutines       = "go_goroutines"
-	MetricHeapAllocBytes   = "go_heap_alloc_bytes"
-	MetricHeapObjects      = "go_heap_objects"
-	MetricGCCycles         = "go_gc_cycles_total"
-	MetricGCPauseSeconds   = "go_gc_pause_seconds"
-	MetricRuntimeCollected = "go_runtime_samples_total"
+	MetricGoroutines        = "go_goroutines"
+	MetricHeapAllocBytes    = "go_heap_alloc_bytes"
+	MetricHeapObjects       = "go_heap_objects"
+	MetricHeapSysBytes      = "go_heap_sys_bytes"
+	MetricThreads           = "go_threads"
+	MetricProcessCPUSeconds = "process_cpu_seconds_total"
+	MetricGCCycles          = "go_gc_cycles_total"
+	MetricGCPauseSeconds    = "go_gc_pause_seconds"
+	MetricRuntimeCollected  = "go_runtime_samples_total"
+)
+
+// cpuMetricNames are the runtime/metrics samples the collector reads to
+// derive CPU usage portably (no syscalls): time actually spent executing
+// is the total CPU-time budget minus the idle class.
+const (
+	cpuTotalMetric = "/cpu/classes/total:cpu-seconds"
+	cpuIdleMetric  = "/cpu/classes/idle:cpu-seconds"
 )
 
 // gcPauseBuckets cover the realistic Go GC stop-the-world range, from
@@ -30,6 +43,9 @@ type RuntimeCollector struct {
 	goroutines *Gauge
 	heapBytes  *Gauge
 	heapObjs   *Gauge
+	heapSys    *Gauge
+	threads    *Gauge
+	cpuSeconds *Counter
 	gcCycles   *Counter
 	gcPause    *Histogram
 	samples    *Counter
@@ -37,6 +53,11 @@ type RuntimeCollector struct {
 	// lastNumGC is the NumGC high-water mark already exported, so each GC
 	// cycle's pause is observed exactly once.
 	lastNumGC uint32
+	// lastCPU is the CPU-seconds reading already exported, so the counter
+	// only advances by the delta between samples.
+	lastCPU float64
+	// cpuSamples is the reusable runtime/metrics read buffer.
+	cpuSamples []metrics.Sample
 }
 
 // NewRuntimeCollector registers the runtime metric families on reg (nil
@@ -50,10 +71,18 @@ func NewRuntimeCollector(reg *Registry) *RuntimeCollector {
 		goroutines: reg.Gauge(MetricGoroutines, "Number of live goroutines."),
 		heapBytes:  reg.Gauge(MetricHeapAllocBytes, "Bytes of allocated heap objects."),
 		heapObjs:   reg.Gauge(MetricHeapObjects, "Number of allocated heap objects."),
-		gcCycles:   reg.Counter(MetricGCCycles, "Completed GC cycles."),
+		heapSys:    reg.Gauge(MetricHeapSysBytes, "Bytes of heap memory obtained from the OS."),
+		threads:    reg.Gauge(MetricThreads, "OS threads created by the runtime."),
+		cpuSeconds: reg.Counter(MetricProcessCPUSeconds,
+			"CPU seconds spent executing (user + runtime, excluding idle)."),
+		gcCycles: reg.Counter(MetricGCCycles, "Completed GC cycles."),
 		gcPause: reg.Histogram(MetricGCPauseSeconds,
 			"Stop-the-world GC pause durations.", gcPauseBuckets),
 		samples: reg.Counter(MetricRuntimeCollected, "Runtime telemetry samples taken."),
+		cpuSamples: []metrics.Sample{
+			{Name: cpuTotalMetric},
+			{Name: cpuIdleMetric},
+		},
 	}
 }
 
@@ -62,11 +91,27 @@ func NewRuntimeCollector(reg *Registry) *RuntimeCollector {
 // observed into the histogram.
 func (c *RuntimeCollector) Collect() {
 	c.goroutines.Set(float64(runtime.NumGoroutine()))
+	c.threads.Set(float64(pprof.Lookup("threadcreate").Count()))
+
+	// CPU usage = total CPU-time budget minus the idle class, both from
+	// runtime/metrics so no platform syscalls are needed. The estimates
+	// are refreshed by metrics.Read itself; occasional tiny negative
+	// deltas (re-estimation) are dropped by Counter.Add.
+	metrics.Read(c.cpuSamples)
+	if c.cpuSamples[0].Value.Kind() == metrics.KindFloat64 &&
+		c.cpuSamples[1].Value.Kind() == metrics.KindFloat64 {
+		used := c.cpuSamples[0].Value.Float64() - c.cpuSamples[1].Value.Float64()
+		if delta := used - c.lastCPU; delta > 0 {
+			c.cpuSeconds.Add(delta)
+			c.lastCPU = used
+		}
+	}
 
 	var m runtime.MemStats
 	runtime.ReadMemStats(&m)
 	c.heapBytes.Set(float64(m.HeapAlloc))
 	c.heapObjs.Set(float64(m.HeapObjects))
+	c.heapSys.Set(float64(m.HeapSys))
 
 	if n := m.NumGC - c.lastNumGC; n > 0 {
 		c.gcCycles.Add(float64(n))

@@ -21,6 +21,12 @@ func TestRuntimeCollectorCollect(t *testing.T) {
 	if v := reg.Counter(MetricRuntimeCollected, "").Value(); v != 1 {
 		t.Errorf("samples = %v, want 1", v)
 	}
+	if v := reg.Gauge(MetricHeapSysBytes, "").Value(); v <= 0 {
+		t.Errorf("heap sys bytes = %v, want > 0", v)
+	}
+	if v := reg.Gauge(MetricThreads, "").Value(); v < 1 {
+		t.Errorf("threads = %v, want >= 1", v)
+	}
 
 	// Force GC cycles between samples; the counter must advance and the
 	// pause histogram must record them.
@@ -41,6 +47,34 @@ func TestRuntimeCollectorCollect(t *testing.T) {
 	c.Collect()
 	if v := reg.Counter(MetricGCCycles, "").Value(); v != mid {
 		t.Errorf("gc cycles moved %v -> %v without GC", mid, v)
+	}
+}
+
+// TestRuntimeCollectorCPUSeconds pins the CPU counter contract: it only
+// goes up between samples, and a process that just burned CPU shows a
+// positive reading.
+func TestRuntimeCollectorCPUSeconds(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg)
+	c.Collect()
+	// Burn some CPU so the runtime/metrics estimate must move.
+	x := 0.0
+	deadline := time.Now().Add(50 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1000; i++ {
+			x += float64(i)
+		}
+	}
+	_ = x
+	runtime.GC() // refresh the runtime's internal CPU stats
+	c.Collect()
+	first := reg.Counter(MetricProcessCPUSeconds, "").Value()
+	if first <= 0 {
+		t.Fatalf("process cpu seconds = %v, want > 0", first)
+	}
+	c.Collect()
+	if v := reg.Counter(MetricProcessCPUSeconds, "").Value(); v < first {
+		t.Errorf("cpu counter went down: %v -> %v", first, v)
 	}
 }
 

@@ -218,8 +218,9 @@ func (r *SpanRing) Dropped() int {
 // RecentSpans returns the default ring's spans, newest first.
 func RecentSpans() []SpanRecord { return DefaultSpanRing().Recent() }
 
-// spanTrace is one trace's spans in the grouped /debug/spans view.
-type spanTrace struct {
+// TraceSpans is one trace's spans, oldest first, as rendered by the
+// grouped /debug/spans view and the flight recorder's spans artifact.
+type TraceSpans struct {
 	TraceID string       `json:"trace_id"`
 	Spans   []SpanRecord `json:"spans"`
 }
@@ -247,10 +248,10 @@ func SpansHandler() http.Handler {
 		enc.SetIndent("", "  ")
 		if r.URL.Query().Get("group") == "trace" {
 			_ = enc.Encode(struct {
-				Total   int         `json:"total"`
-				Dropped int         `json:"dropped"`
-				Traces  []spanTrace `json:"traces"`
-			}{Total: ring.Total(), Dropped: ring.Dropped(), Traces: groupByTrace(spans)})
+				Total   int          `json:"total"`
+				Dropped int          `json:"dropped"`
+				Traces  []TraceSpans `json:"traces"`
+			}{Total: ring.Total(), Dropped: ring.Dropped(), Traces: GroupSpans(spans)})
 			return
 		}
 		_ = enc.Encode(struct {
@@ -261,17 +262,17 @@ func SpansHandler() http.Handler {
 	})
 }
 
-// groupByTrace buckets newest-first spans by trace ID, preserving recency
+// GroupSpans buckets newest-first spans by trace ID, preserving recency
 // order across traces and flipping each trace's spans oldest-first.
-func groupByTrace(spans []SpanRecord) []spanTrace {
+func GroupSpans(spans []SpanRecord) []TraceSpans {
 	idx := make(map[string]int)
-	out := make([]spanTrace, 0)
+	out := make([]TraceSpans, 0)
 	for _, s := range spans {
 		i, ok := idx[s.TraceID]
 		if !ok {
 			i = len(out)
 			idx[s.TraceID] = i
-			out = append(out, spanTrace{TraceID: s.TraceID})
+			out = append(out, TraceSpans{TraceID: s.TraceID})
 		}
 		// Prepend: input is newest first, each trace reads oldest first.
 		out[i].Spans = append([]SpanRecord{s}, out[i].Spans...)
