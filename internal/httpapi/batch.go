@@ -124,6 +124,7 @@ func (a *api) handleLocalizeBatch(w http.ResponseWriter, r *http.Request) {
 	if rm, ok := m.(*rapminer.Miner); ok {
 		m = rm.WithWorkers(1)
 	}
+	m = a.applyRollup(m)
 
 	reqCtx := r.Context()
 	if a.timeout > 0 {

@@ -160,3 +160,126 @@ func BenchmarkFusedVsPerCuboid(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRollupVsFused compares serving one BFS layer by roll-up
+// (memoized marginalization over the base accumulators) against rescanning
+// the leaves with the fused columnar pass, across layers 1-3 of the
+// CDN-sized snapshot and worker counts 1/2/4/8. Each rollup iteration pays
+// the FULL cost from a cold plan — base leaf pass plus marginalization plus
+// emit — so its per-layer numbers are upper bounds: in a real run the base
+// pass and the cached marginals amortize across every layer of the
+// schedule (the end-to-end effect is what BenchmarkSearchParallel shows).
+// The base sub-benchmarks price that one-time leaf pass alone.
+func BenchmarkRollupVsFused(b *testing.B) {
+	snap := benchSnapshot(b)
+	attrs := []int{0, 1, 2, 3}
+	_ = snap.Columns() // build the columnar store outside the timer
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("base/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan := snap.NewRollupPlan(attrs, 0)
+				if plan == nil || !plan.Run(workers, nil) {
+					b.Fatal("base pass failed")
+				}
+				plan.Close()
+			}
+		})
+	}
+	for layer := 1; layer <= 3; layer++ {
+		cuboids := CuboidsAtLayer(attrs, layer)
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("layer=%d/mode=fused/workers=%d", layer, workers), func(b *testing.B) {
+				var buf []GroupCount
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ls := snap.NewLayerScan(cuboids)
+					if !ls.Run(workers, nil) {
+						b.Fatal("Run aborted")
+					}
+					total := 0
+					for ci := range cuboids {
+						buf = ls.Groups(ci, buf)
+						total += len(buf)
+					}
+					ls.Close()
+					if total == 0 {
+						b.Fatal("no groups")
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("layer=%d/mode=rollup/workers=%d", layer, workers), func(b *testing.B) {
+				var buf []GroupCount
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					plan := snap.NewRollupPlan(attrs, 0)
+					if plan == nil || !plan.Run(workers, nil) {
+						b.Fatal("base pass failed")
+					}
+					total := 0
+					for _, c := range cuboids {
+						buf = plan.Groups(c, buf)
+						total += len(buf)
+					}
+					plan.Close()
+					if total == 0 {
+						b.Fatal("no groups")
+					}
+				}
+			})
+		}
+	}
+	// The schedule pair is the tentpole claim measured directly: all of
+	// layers 1-3 under the BFS layer barrier, one fused leaf pass PER LAYER
+	// versus ONE base pass total plus memoized marginalization.
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("schedule/mode=fused/workers=%d", workers), func(b *testing.B) {
+			var buf []GroupCount
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				total := 0
+				for layer := 1; layer <= 3; layer++ {
+					cuboids := CuboidsAtLayer(attrs, layer)
+					ls := snap.NewLayerScan(cuboids)
+					if !ls.Run(workers, nil) {
+						b.Fatal("Run aborted")
+					}
+					for ci := range cuboids {
+						buf = ls.Groups(ci, buf)
+						total += len(buf)
+					}
+					ls.Close()
+				}
+				if total == 0 {
+					b.Fatal("no groups")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("schedule/mode=rollup/workers=%d", workers), func(b *testing.B) {
+			var buf []GroupCount
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan := snap.NewRollupPlan(attrs, 0)
+				if plan == nil || !plan.Run(workers, nil) {
+					b.Fatal("base pass failed")
+				}
+				total := 0
+				for layer := 1; layer <= 3; layer++ {
+					for _, c := range CuboidsAtLayer(attrs, layer) {
+						buf = plan.Groups(c, buf)
+						total += len(buf)
+					}
+				}
+				plan.Close()
+				if total == 0 {
+					b.Fatal("no groups")
+				}
+			}
+		})
+	}
+}

@@ -1,5 +1,7 @@
 package kpi
 
+import "sort"
+
 // Columns is the snapshot's columnar mirror: the dictionary-encoded leaf
 // data laid out struct-of-arrays so scans touch contiguous memory instead
 // of chasing one heap-allocated Combination per leaf. Per attribute there
@@ -39,15 +41,28 @@ func buildColFrame(schema *Schema, leaves []Leaf) *colFrame {
 	nAttr := schema.NumAttributes()
 	n := len(leaves)
 	// One backing array for all element columns keeps them adjacent in
-	// memory and cuts the build to two allocations.
+	// memory and cuts the build to two allocations. Columns are placed in
+	// descending cardinality order: the fused scans read several columns
+	// per chunk, and the high-cardinality columns — the ones whose strides
+	// dominate the mixed-radix keys and whose values the scan cannot
+	// predict — profit most from landing adjacent at the front of the
+	// block. f.elem stays indexed by attribute, so the layout is invisible
+	// to every reader.
+	order := make([]int, nAttr)
+	for a := range order {
+		order[a] = a
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return schema.Cardinality(order[i]) > schema.Cardinality(order[j])
+	})
 	backing := make([]uint32, nAttr*n)
 	f := &colFrame{
 		elem:     make([][]uint32, nAttr),
 		actual:   make([]float64, n),
 		forecast: make([]float64, n),
 	}
-	for a := 0; a < nAttr; a++ {
-		f.elem[a] = backing[a*n : (a+1)*n : (a+1)*n]
+	for pos, a := range order {
+		f.elem[a] = backing[pos*n : (pos+1)*n : (pos+1)*n]
 	}
 	for i := range leaves {
 		l := &leaves[i]

@@ -110,5 +110,47 @@ func FuzzColumnsFusedScan(f *testing.F) {
 				ls.Close()
 			}
 		}
+
+		// Property 3: roll-up-served counts == per-cuboid scan counts for
+		// every cuboid the base refines, at base limits straddling the
+		// materialization boundary — the full domain (everything rolls
+		// up), the leaf-count heuristic, and a limit tight enough that the
+		// base shrinks to a strict attribute subset or to nothing (the
+		// sparse-fallback boundary).
+		domain := 1
+		for a := range attrs {
+			domain *= snap.Schema.Cardinality(a)
+		}
+		for _, limit := range []int{domain, domain - 1, 0, 4} {
+			for _, workers := range []int{1, 3, 8} {
+				plan := snap.NewRollupPlan(attrs, limit)
+				if plan == nil {
+					continue // nothing materializable under this limit
+				}
+				if plan.Run(workers, nil) != true {
+					t.Fatalf("limit %d workers %d: base pass aborted without a halt", limit, workers)
+				}
+				for layer := 1; layer <= len(attrs); layer++ {
+					for _, cuboid := range CuboidsAtLayer(attrs, layer) {
+						if !plan.Serves(cuboid) {
+							continue // outside the base: fused/fallback territory
+						}
+						want, _ = snap.ScanCuboidHalt(cuboid, want, nil)
+						got = plan.Groups(cuboid, got)
+						if len(got) != len(want) {
+							t.Fatalf("limit %d cuboid %v: %d rolled-up groups, %d scanned",
+								limit, cuboid, len(got), len(want))
+						}
+						for i := range want {
+							if got[i] != want[i] {
+								t.Fatalf("limit %d cuboid %v group %d: rolled up %+v, scan %+v",
+									limit, cuboid, i, got[i], want[i])
+							}
+						}
+					}
+				}
+				plan.Close()
+			}
+		}
 	})
 }

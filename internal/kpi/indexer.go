@@ -57,7 +57,12 @@ func (ix *CuboidIndexer) DecodeInto(dst Combination, idx int) {
 	for i := range dst {
 		dst[i] = Wildcard
 	}
+	// Successive-remainder decode: strides descend left to right and
+	// idx < strides[i-1], so idx/strides[i] is already reduced modulo the
+	// cardinality — one division per attribute instead of a div and a mod.
 	for i, a := range ix.cuboid {
-		dst[a] = int32(idx / ix.strides[i] % ix.cards[i])
+		q := idx / ix.strides[i]
+		idx -= q * ix.strides[i]
+		dst[a] = int32(q)
 	}
 }

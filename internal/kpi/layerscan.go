@@ -2,6 +2,7 @@ package kpi
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -81,13 +82,20 @@ var fusedScratchPool = sync.Pool{New: func() any { return new([]int32) }}
 // extracts per-cuboid counts afterwards. Call Close to recycle the
 // accumulators when the layer's results have been consumed.
 func (s *Snapshot) NewLayerScan(cuboids []Cuboid) *LayerScan {
+	return s.newLayerScanLimit(cuboids, denseGroupByLimit(len(s.Leaves)))
+}
+
+// newLayerScanLimit is NewLayerScan with an explicit dense accumulator
+// limit, so callers with their own materialization budget (RollupPlan's
+// base pass) reuse the fused machinery without inheriting the group-by
+// heuristic.
+func (s *Snapshot) newLayerScanLimit(cuboids []Cuboid, limit int) *LayerScan {
 	ls := &LayerScan{
 		snap:    s,
 		cols:    s.Columns(),
 		cuboids: cuboids,
 		fcOf:    make([]int32, len(cuboids)),
 	}
-	limit := denseGroupByLimit(len(s.Leaves))
 	for ci, c := range cuboids {
 		ix := s.Indexer(c)
 		size := ix.Size()
@@ -228,12 +236,22 @@ func (ls *LayerScan) runBatch(b *scanBatch, workers int, halt Halt) bool {
 	return true
 }
 
+// keyScratchPool recycles the per-chunk group-key buffer the two-pass
+// accumulate loop records into (one int32 per leaf of a chunk).
+var keyScratchPool = sync.Pool{New: func() any {
+	p := make([]int32, scanChunk)
+	return &p
+}}
+
 // scanRange accumulates leaves [lo, hi) of every cuboid in the batch,
 // chunk by chunk so the chunk's columns stay cached across cuboids.
 func (ls *LayerScan) scanRange(b *scanBatch, lo, hi int, tot, anm []int32, halt Halt) bool {
-	bits := ls.cols.anom
+	anomBits := ls.cols.anom
+	kp := keyScratchPool.Get().(*[]int32)
+	keys := *kp
 	for cs := lo; cs < hi; cs += scanChunk {
 		if halt != nil && cs > lo && halt() {
+			keyScratchPool.Put(kp)
 			return false
 		}
 		ce := cs + scanChunk
@@ -241,58 +259,76 @@ func (ls *LayerScan) scanRange(b *scanBatch, lo, hi int, tot, anm []int32, halt 
 			ce = hi
 		}
 		for fi := b.f0; fi < b.f1; fi++ {
-			ls.accumulate(&ls.fcs[fi], bits, cs, ce, tot, anm)
+			ls.accumulate(&ls.fcs[fi], anomBits, cs, ce, tot, anm, keys)
 		}
 	}
+	keyScratchPool.Put(kp)
 	return true
 }
 
-// accumulate adds leaves [cs, ce) into one cuboid's slot range. The loop is
-// specialized by arity — the mixed-radix key of a layer-ℓ cuboid has ℓ
-// terms — so the common shallow layers run without the inner term loop.
-func (ls *LayerScan) accumulate(fc *fusedCuboid, bits []uint64, cs, ce int, tot, anm []int32) {
-	base := int(fc.base)
+// accumulate adds leaves [cs, ce) into one cuboid's slot range in two
+// passes. Pass one computes every leaf's slot key — specialized by arity,
+// since the mixed-radix key of a layer-ℓ cuboid has ℓ terms — bumping the
+// total counts and recording the keys into the chunk-sized keys scratch.
+// Pass two adds the anomalous counts by walking the anomaly bitset a word
+// at a time: full 64-leaf words iterate only their set bits (one
+// TrailingZeros per anomalous leaf) instead of testing a bit per leaf, so
+// the typical low anomaly rate makes the second pass nearly free.
+func (ls *LayerScan) accumulate(fc *fusedCuboid, anomBits []uint64, cs, ce int, tot, anm, keys []int32) {
+	base := fc.base
 	switch fc.t1 - fc.t0 {
 	case 1:
 		col0 := ls.termCol[fc.t0]
-		s0 := int(ls.termStride[fc.t0])
+		s0 := ls.termStride[fc.t0]
 		for i := cs; i < ce; i++ {
-			k := base + int(col0[i])*s0
+			k := base + int32(col0[i])*s0
 			tot[k]++
-			if bits[i>>6]>>(uint(i)&63)&1 != 0 {
-				anm[k]++
-			}
+			keys[i-cs] = k
 		}
 	case 2:
 		col0, col1 := ls.termCol[fc.t0], ls.termCol[fc.t0+1]
-		s0, s1 := int(ls.termStride[fc.t0]), int(ls.termStride[fc.t0+1])
+		s0, s1 := ls.termStride[fc.t0], ls.termStride[fc.t0+1]
 		for i := cs; i < ce; i++ {
-			k := base + int(col0[i])*s0 + int(col1[i])*s1
+			k := base + int32(col0[i])*s0 + int32(col1[i])*s1
 			tot[k]++
-			if bits[i>>6]>>(uint(i)&63)&1 != 0 {
-				anm[k]++
-			}
+			keys[i-cs] = k
 		}
 	case 3:
 		col0, col1, col2 := ls.termCol[fc.t0], ls.termCol[fc.t0+1], ls.termCol[fc.t0+2]
-		s0, s1, s2 := int(ls.termStride[fc.t0]), int(ls.termStride[fc.t0+1]), int(ls.termStride[fc.t0+2])
+		s0, s1, s2 := ls.termStride[fc.t0], ls.termStride[fc.t0+1], ls.termStride[fc.t0+2]
 		for i := cs; i < ce; i++ {
-			k := base + int(col0[i])*s0 + int(col1[i])*s1 + int(col2[i])*s2
+			k := base + int32(col0[i])*s0 + int32(col1[i])*s1 + int32(col2[i])*s2
 			tot[k]++
-			if bits[i>>6]>>(uint(i)&63)&1 != 0 {
-				anm[k]++
-			}
+			keys[i-cs] = k
 		}
 	default:
 		for i := cs; i < ce; i++ {
 			k := base
 			for t := fc.t0; t < fc.t1; t++ {
-				k += int(ls.termCol[t][i]) * int(ls.termStride[t])
+				k += int32(ls.termCol[t][i]) * ls.termStride[t]
 			}
 			tot[k]++
-			if bits[i>>6]>>(uint(i)&63)&1 != 0 {
-				anm[k]++
-			}
+			keys[i-cs] = k
+		}
+	}
+
+	// Anomalous counts: leading and trailing partial words test bit by bit,
+	// the aligned middle drains set bits word at a time.
+	i := cs
+	for ; i < ce && i&63 != 0; i++ {
+		if anomBits[i>>6]>>(uint(i)&63)&1 != 0 {
+			anm[keys[i-cs]]++
+		}
+	}
+	for ; i+64 <= ce; i += 64 {
+		off := i - cs
+		for w := anomBits[i>>6]; w != 0; w &= w - 1 {
+			anm[keys[off+bits.TrailingZeros64(w)]]++
+		}
+	}
+	for ; i < ce; i++ {
+		if anomBits[i>>6]>>(uint(i)&63)&1 != 0 {
+			anm[keys[i-cs]]++
 		}
 	}
 }
@@ -303,6 +339,11 @@ func (ls *LayerScan) accumulate(fc *fusedCuboid, bits []uint64, cs, ce int, tot,
 // Done(ci) is true.
 func (ls *LayerScan) Groups(ci int, dst []GroupCount) []GroupCount {
 	dst = dst[:0]
+	if ls.cols.n == 0 {
+		// No leaves means every accumulator segment is all zeros; skip the
+		// per-slot append loop (wide sparse layers pay it per cuboid).
+		return dst
+	}
 	fc := &ls.fcs[ls.fcOf[ci]]
 	b := &ls.batches[fc.batch]
 	tot := b.tot[fc.base : fc.base+fc.size]

@@ -1,0 +1,177 @@
+package kpi
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRollupBaseSelection pins the greedy base choice: narrow attributes
+// are admitted first (ascending cardinality, maximizing covered
+// attributes), the Cartesian size never exceeds the limit, and bases that
+// would span fewer than two attributes are refused.
+func TestRollupBaseSelection(t *testing.T) {
+	snap := scanTestSnapshot(t, 0) // cards a=3, b=4, c=2
+	attrs := []int{1, 0, 2}        // deliberately non-ascending search order
+
+	cases := []struct {
+		limit int
+		base  Cuboid // nil means no plan
+	}{
+		{limit: 24, base: Cuboid{1, 0, 2}}, // full domain fits, attrs order kept
+		{limit: 23, base: Cuboid{0, 2}},    // b (card 4) no longer fits after c, a
+		{limit: 6, base: Cuboid{0, 2}},     // exactly a*c
+		{limit: 5, base: nil},              // only one attribute fits
+		{limit: 1, base: nil},
+	}
+	for _, tc := range cases {
+		plan := snap.NewRollupPlan(attrs, tc.limit)
+		if tc.base == nil {
+			if plan != nil {
+				t.Fatalf("limit %d: got base %v, want no plan", tc.limit, plan.Base())
+			}
+			continue
+		}
+		if plan == nil {
+			t.Fatalf("limit %d: no plan, want base %v", tc.limit, tc.base)
+		}
+		if !reflect.DeepEqual(plan.Base(), tc.base) {
+			t.Fatalf("limit %d: base %v, want %v", tc.limit, plan.Base(), tc.base)
+		}
+		plan.Close()
+	}
+
+	if plan := snap.NewRollupPlan([]int{0}, 0); plan != nil {
+		t.Fatalf("single-attribute schedule built a plan with base %v", plan.Base())
+	}
+}
+
+// TestRollupServes pins the refinement test: a cuboid is served iff every
+// attribute it constrains is in the base.
+func TestRollupServes(t *testing.T) {
+	snap := scanTestSnapshot(t, 0)
+	plan := snap.NewRollupPlan([]int{1, 0, 2}, 6) // base {0, 2}
+	if plan == nil {
+		t.Fatal("no plan")
+	}
+	defer plan.Close()
+	for _, tc := range []struct {
+		c    Cuboid
+		want bool
+	}{
+		{Cuboid{0}, true},
+		{Cuboid{2}, true},
+		{Cuboid{0, 2}, true},
+		{Cuboid{1}, false},
+		{Cuboid{1, 0}, false},
+		{Cuboid{1, 0, 2}, false},
+	} {
+		if got := plan.Serves(tc.c); got != tc.want {
+			t.Fatalf("Serves(%v) = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+}
+
+// TestRollupGroupsMatchScanCuboid pins the roll-up arithmetic to the
+// per-cuboid scan: for every served cuboid of every layer, Groups must be
+// byte-identical to ScanCuboid, at every worker count.
+func TestRollupGroupsMatchScanCuboid(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		snap := scanTestSnapshot(t, seed)
+		attrs := []int{0, 1, 2}
+		var want, got []GroupCount
+		for _, workers := range []int{1, 2, 4, 8} {
+			plan := snap.NewRollupPlan(attrs, 0) // heuristic limit: full domain fits
+			if plan == nil {
+				t.Fatalf("seed %d: no plan under the default limit", seed)
+			}
+			if !plan.Run(workers, nil) {
+				t.Fatalf("seed %d workers %d: base pass aborted without a halt", seed, workers)
+			}
+			if plan.Passes() != 1 {
+				t.Fatalf("seed %d: Passes() = %d, want 1", seed, plan.Passes())
+			}
+			for layer := 1; layer <= len(attrs); layer++ {
+				for _, cuboid := range CuboidsAtLayer(attrs, layer) {
+					if !plan.Serves(cuboid) {
+						t.Fatalf("seed %d: full-domain base does not serve %v", seed, cuboid)
+					}
+					want = snap.ScanCuboid(cuboid, want)
+					got = plan.Groups(cuboid, got)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("seed %d workers %d cuboid %v:\nrollup %v\n  scan %v",
+							seed, workers, cuboid, got, want)
+					}
+				}
+			}
+			plan.Close()
+		}
+	}
+}
+
+// TestRollupHaltAborts checks a tripped halt abandons the base pass: Run
+// reports false and the plan is discarded, never serving partial counts.
+func TestRollupHaltAborts(t *testing.T) {
+	snap := scanTestSnapshot(t, 0)
+	plan := snap.NewRollupPlan([]int{0, 1, 2}, 0)
+	if plan == nil {
+		t.Fatal("no plan")
+	}
+	defer plan.Close()
+	if plan.Run(1, func() bool { return true }) {
+		t.Fatal("Run completed under an always-tripped halt")
+	}
+	if plan.Passes() != 0 {
+		t.Fatalf("Passes() = %d after an aborted base pass, want 0", plan.Passes())
+	}
+}
+
+// TestRollupEmptySnapshotShortCircuit checks both Groups short-circuits on
+// a leafless snapshot: the roll-up and the fused layer scan skip their
+// accumulator walks and report no groups.
+func TestRollupEmptySnapshotShortCircuit(t *testing.T) {
+	s := MustSchema(
+		Attribute{Name: "a", Values: []string{"a1", "a2", "a3"}},
+		Attribute{Name: "b", Values: []string{"b1", "b2"}},
+	)
+	snap, err := NewSnapshot(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := []int{0, 1}
+
+	plan := snap.NewRollupPlan(attrs, 0)
+	if plan == nil {
+		t.Fatal("no plan for the empty snapshot")
+	}
+	defer plan.Close()
+	if !plan.Run(2, nil) {
+		t.Fatal("base pass aborted")
+	}
+	if got := plan.Groups(Cuboid{0, 1}, nil); len(got) != 0 {
+		t.Fatalf("rolled up %d groups from an empty snapshot", len(got))
+	}
+
+	cuboids := CuboidsAtLayer(attrs, 1)
+	ls := snap.NewLayerScan(cuboids)
+	defer ls.Close()
+	if !ls.Run(2, nil) {
+		t.Fatal("layer scan aborted")
+	}
+	for ci := range cuboids {
+		if got := ls.Groups(ci, nil); len(got) != 0 {
+			t.Fatalf("cuboid %d: fused %d groups from an empty snapshot", ci, len(got))
+		}
+	}
+}
+
+// TestRollupDefaultLimit pins the heuristic: proportional to the leaf
+// count with a floor, so realistic dense snapshots materialize their full
+// surviving-attribute cuboid.
+func TestRollupDefaultLimit(t *testing.T) {
+	if got := DefaultRollupLimit(0); got != 1<<12 {
+		t.Fatalf("DefaultRollupLimit(0) = %d, want the floor %d", got, 1<<12)
+	}
+	if got := DefaultRollupLimit(10_000); got != 20_000 {
+		t.Fatalf("DefaultRollupLimit(10000) = %d, want 20000", got)
+	}
+}

@@ -31,6 +31,12 @@ const (
 	MetricLayerScanSeconds      = "rapminer_layer_scan_seconds"
 	MetricLayerScanPasses       = "rapminer_layer_scan_passes_total"
 	MetricLayerScanFusedCuboids = "rapminer_layer_scan_fused_cuboids_total"
+	// Roll-up telemetry: layers answered entirely from the run's
+	// materialized base cuboid versus layers that still needed leaf scans
+	// while roll-up was enabled (sparse base, wide attributes, or an
+	// aborted base pass).
+	MetricRollupLayers   = "rapminer_rollup_layers_total"
+	MetricRollupFallback = "rapminer_rollup_fallback_total"
 )
 
 // minerMetrics is the set of instruments PublishDiagnostics writes, bound
@@ -90,9 +96,11 @@ var layerScanBuckets = []float64{
 // during the run (unlike minerMetrics, which publish a finished run's
 // Diagnostics after the fact).
 type scanMetrics struct {
-	seconds *obs.Histogram
-	passes  *obs.Counter
-	fused   *obs.Counter
+	seconds        *obs.Histogram
+	passes         *obs.Counter
+	fused          *obs.Counter
+	rollupLayers   *obs.Counter
+	rollupFallback *obs.Counter
 }
 
 // scanInstrumentsOn acquires the layer-scan families on reg (nil means the
@@ -109,6 +117,10 @@ func scanInstrumentsOn(reg *obs.Registry) scanMetrics {
 			"Completed passes over the leaf store across all runs (fused batches plus per-cuboid fallbacks)."),
 		fused: reg.Counter(MetricLayerScanFusedCuboids,
 			"Cuboids whose group counts were served by a fused layer scan."),
+		rollupLayers: reg.Counter(MetricRollupLayers,
+			"BFS layers served entirely by roll-up over the run's base cuboid (zero leaf reads)."),
+		rollupFallback: reg.Counter(MetricRollupFallback,
+			"BFS layers that fell back to leaf scans while roll-up was enabled (sparse base, wide attributes, or an aborted base pass)."),
 	}
 }
 

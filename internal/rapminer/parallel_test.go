@@ -81,6 +81,18 @@ func TestParallelSearchMatchesSequential(t *testing.T) {
 			if !reflect.DeepEqual(ctxRes, gotRes) || !reflect.DeepEqual(ctxDiag, gotDiag) {
 				t.Errorf("case %d workers %d: ctx-threaded run diverges from context-free run", si, workers)
 			}
+			// Disabling roll-up must not change the search semantics either:
+			// identical results, identical Diagnostics up to the
+			// scan-strategy counters (see TestRollupEngineMatchesFused for
+			// the full engine matrix).
+			offRes, offDiag, err := par.WithRollupLimit(-1).LocalizeWithDiagnostics(snap, 10)
+			if err != nil {
+				t.Fatalf("case %d workers %d (rollup off): %v", si, workers, err)
+			}
+			if !reflect.DeepEqual(offRes, gotRes) ||
+				!reflect.DeepEqual(scrubScanStrategy(offDiag), scrubScanStrategy(gotDiag)) {
+				t.Errorf("case %d workers %d: rollup-off run diverges from rollup-on run", si, workers)
+			}
 		}
 	}
 }

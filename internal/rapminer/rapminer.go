@@ -60,6 +60,17 @@ type Config struct {
 	// off the same way; unlike MaxDuration the cut-off is deterministic.
 	// 0 means unlimited.
 	MaxCuboids int
+	// RollupLimit caps the flat base-accumulator size (in slots) of the
+	// roll-up scan engine: the search scans the leaves once into the
+	// finest cuboid of the surviving attributes whose Cartesian size fits
+	// the limit, then serves every cuboid that coarsens the base by pure
+	// integer roll-up — zero further leaf reads. 0 picks a heuristic limit
+	// from the leaf count (kpi.DefaultRollupLimit); negative disables
+	// roll-up, restoring the per-layer fused scans. The results and
+	// Diagnostics' search semantics are bit-identical either way — only
+	// the scan-strategy telemetry (ScanPasses, FusedCuboids, RollupServed)
+	// reflects the chosen engine.
+	RollupLimit int
 }
 
 // DefaultConfig returns the thresholds used in the paper's experiments:
@@ -115,6 +126,15 @@ func (m *Miner) WithWorkers(n int) *Miner {
 	}
 	cfg := m.cfg
 	cfg.Workers = n
+	return &Miner{cfg: cfg}
+}
+
+// WithRollupLimit returns a miner sharing m's thresholds with the roll-up
+// accumulator limit replaced; m is unchanged. See Config.RollupLimit for
+// the knob's meaning (0 auto-sizes, negative disables roll-up).
+func (m *Miner) WithRollupLimit(n int) *Miner {
+	cfg := m.cfg
+	cfg.RollupLimit = n
 	return &Miner{cfg: cfg}
 }
 
@@ -200,6 +220,10 @@ type LayerStats struct {
 	// FusedCuboids counts cuboids of this layer whose counts were served
 	// by the fused pass rather than a per-cuboid scan.
 	FusedCuboids int `json:"fused_cuboids"`
+	// RollupServed counts cuboids of this layer whose counts were rolled
+	// up from the run's materialized base cuboid — pure arithmetic over
+	// the base accumulators, zero leaf reads.
+	RollupServed int `json:"rollup_served"`
 }
 
 // CandidateInfo is one RAP candidate with the statistics behind its Eq. 3

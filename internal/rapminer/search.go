@@ -35,12 +35,16 @@ type candidate struct {
 // when it trips the search stops at the next cuboid boundary and returns
 // the best-so-far candidates with a non-empty degraded reason.
 //
-// Concurrency model: the expensive part of a layer — the count-only
-// group-bys of its cuboids — is one fused pass over the snapshot's columnar
-// leaf store (kpi.LayerScan) that accumulates every cuboid of the layer
-// simultaneously, partitioned across cfg.Workers goroutines by contiguous
-// leaf range; per-range partial counts merge by integer addition, which is
-// exact and order-independent. The cheap per-group decisions (Criteria 2/3,
+// Concurrency model: the expensive part of a run — the count-only group-bys
+// of its cuboids — is driven to a single pass over the snapshot's columnar
+// leaf store: the first layer's prefetch scans the leaves once into the
+// finest materializable base cuboid (kpi.RollupPlan), and every cuboid the
+// base refines — across all layers — is served by exact integer roll-up
+// over that array, with zero further leaf reads. Cuboids outside the base
+// take the per-layer fused pass (kpi.LayerScan), which accumulates every
+// residual cuboid of the layer simultaneously. Both passes partition across
+// cfg.Workers goroutines by contiguous leaf range; per-range partial counts
+// merge by integer addition, which is exact and order-independent. The cheap per-group decisions (Criteria 2/3,
 // coverage, journaling) replay sequentially over the fused results in
 // cuboid order, then group-index order. That merge order is exactly the
 // sequential visit order, so candidates, scores, ranking and Diagnostics
@@ -64,7 +68,7 @@ func (m *Miner) search(snapshot *kpi.Snapshot, attrs []int, diag *Diagnostics, b
 		candidates []candidate
 		degraded   string
 		merged     int
-		anc        = newAncestorIndex()
+		anc        = newAncestorIndex(snapshot.Schema)
 		covered    = newCoverage(snapshot)
 		scanner    = layerScanner{snap: snapshot, workers: m.workers(), halt: budget.halt()}
 		mx         = layerScanInstruments()
@@ -73,6 +77,13 @@ func (m *Miner) search(snapshot *kpi.Snapshot, attrs []int, diag *Diagnostics, b
 		probe = kpi.NewRoot(snapshot.Schema.NumAttributes())
 	)
 	defer scanner.close()
+	if m.cfg.RollupLimit >= 0 {
+		// The plan is only a choice of base cuboid at this point; the one
+		// leaf pass that fills it runs inside the first layer's prefetch,
+		// under the run budget's halt hook.
+		scanner.rollupOn = true
+		scanner.plan = snapshot.NewRollupPlan(attrs, m.cfg.RollupLimit)
+	}
 
 layers:
 	for layer := 1; layer <= len(attrs); layer++ {
@@ -103,7 +114,7 @@ layers:
 				degraded = budget.reason
 				break layers
 			}
-			groups, fused, ok := scanner.groups(ci, cuboid, merged == 0)
+			groups, src, ok := scanner.groups(ci, cuboid, merged == 0)
 			if !ok {
 				// The scan itself aborted mid-pass (budget tripped inside a
 				// large snapshot); its partial counts are discarded.
@@ -119,12 +130,18 @@ layers:
 				diag.CuboidsVisited++
 				stats.Cuboids++
 				stats.ScanPasses = scanner.passes
-				if fused {
+				switch src {
+				case srcFused:
 					stats.FusedCuboids++
+				case srcRollup:
+					stats.RollupServed++
 				}
 			}
-			if fused {
+			switch src {
+			case srcFused:
 				scanner.fusedMerged++
+			case srcRollup:
+				scanner.rollupMerged++
 			}
 			ix := snapshot.Indexer(cuboid)
 			for _, g := range groups {
@@ -179,6 +196,12 @@ layers:
 	}
 	mx.passes.Add(float64(scanner.totalPasses))
 	mx.fused.Add(float64(scanner.fusedMerged))
+	if scanner.rollupLayers > 0 {
+		mx.rollupLayers.Add(float64(scanner.rollupLayers))
+	}
+	if scanner.fallbackLayers > 0 {
+		mx.rollupFallback.Add(float64(scanner.fallbackLayers))
+	}
 	if diag != nil {
 		diag.Candidates = len(candidates)
 		if degraded != "" {
@@ -230,55 +253,137 @@ func rapScore(conf float64, layer int) float64 {
 	return conf / math.Sqrt(float64(layer))
 }
 
+// groupSource names where a cuboid's counts came from, for the per-layer
+// strategy telemetry (LayerStats.FusedCuboids / RollupServed and the scan
+// metric counters).
+type groupSource int
+
+const (
+	// srcScan is the per-cuboid fallback scan in the merge loop.
+	srcScan groupSource = iota
+	// srcFused is the layer's fused columnar pass.
+	srcFused
+	// srcRollup is pure arithmetic over the run's materialized base cuboid.
+	srcRollup
+)
+
 // layerScanner produces the count-only group-bys of one BFS layer. The
-// primary path is the fused columnar pass (kpi.LayerScan): one scan of the
-// leaf columns accumulates every dense cuboid of the layer at once,
-// partitioned across the worker pool by leaf range. Cuboids the fused pass
-// did not cover — sparse domains, or batches a tripped budget abandoned —
-// fall back to the per-cuboid scan in the merge loop, where the run's first
-// cuboid scans without the halt hook so a degraded run always merges at
-// least one cuboid. A panic on a fused-scan worker is rethrown on the
-// merging goroutine (as *kpi.ScanPanic), where localize's recover turns it
-// into the run's error.
+// primary path is the run-level roll-up (kpi.RollupPlan): the first layer's
+// prefetch scans the leaves once into the base cuboid's flat accumulators,
+// and every cuboid the base refines — on this layer and every deeper one —
+// is answered by mixed-radix roll-up over that array, with zero further
+// leaf reads. Cuboids outside the base (attributes too wide to
+// materialize, or roll-up disabled) take the per-layer fused columnar pass
+// (kpi.LayerScan): one scan of the leaf columns accumulates every dense
+// residual cuboid of the layer at once, partitioned across the worker pool
+// by leaf range. Cuboids neither engine covered — sparse domains, or
+// passes a tripped budget abandoned — fall back to the per-cuboid scan in
+// the merge loop, where the run's first cuboid scans without the halt hook
+// so a degraded run always merges at least one cuboid. A panic on a scan
+// worker is rethrown on the merging goroutine (as *kpi.ScanPanic), where
+// localize's recover turns it into the run's error.
 type layerScanner struct {
 	snap    *kpi.Snapshot
 	workers int
 	halt    kpi.Halt
-	scan    *kpi.LayerScan
-	fbuf    []kpi.GroupCount
-	lazy    []kpi.GroupCount
+	// plan is the run-level roll-up engine; nil when disabled, not
+	// materializable, or dropped after an aborted base pass. rollupOn
+	// records that roll-up was requested, so fallback layers stay
+	// observable even after the plan is dropped.
+	plan     *kpi.RollupPlan
+	planRan  bool
+	rollupOn bool
+	scan     *kpi.LayerScan
+	// residx maps a layer cuboid index to its position in the residual
+	// fused scan, or -1 when the roll-up plan serves it.
+	residx   []int32
+	residual []kpi.Cuboid
+	fbuf     []kpi.GroupCount
+	lazy     []kpi.GroupCount
+	rbuf     []kpi.GroupCount
 	// passes counts completed full passes over the leaf store for the
-	// current layer (fused batches plus per-cuboid fallbacks); totalPasses
-	// and fusedMerged accumulate across the run for the scan metrics.
-	passes      int
-	totalPasses int
-	fusedMerged int
+	// current layer (base pass, fused batches, per-cuboid fallbacks); the
+	// remaining fields accumulate across the run for the scan metrics.
+	passes         int
+	totalPasses    int
+	fusedMerged    int
+	rollupMerged   int
+	rollupLayers   int
+	fallbackLayers int
 }
 
-// prefetch plans and runs the layer's fused pass. The scan workers carry
-// pprof labels (layer, cuboid_count) so CPU profiles attribute scan time to
-// lattice layers. A tripped budget abandons the pass; the merge loop's
-// per-cuboid fallback notices via Done.
+// prefetch prepares the layer: it runs the roll-up base pass the first
+// time through (one leaf scan for the whole run), partitions the layer's
+// cuboids into roll-up-served and residual, and runs the residual fused
+// pass. The scan workers carry pprof labels (layer, cuboid_count) so CPU
+// profiles attribute scan time to lattice layers. A tripped budget
+// abandons the in-flight pass — an aborted base pass drops the plan for
+// the rest of the run — and the merge loop's per-cuboid fallback notices
+// via the residual scan's Done.
 func (ls *layerScanner) prefetch(cuboids []kpi.Cuboid, layer int) {
-	ls.close()
-	ls.scan = ls.snap.NewLayerScan(cuboids)
+	ls.closeLayer()
+	ls.passes = 0
+	if ls.plan != nil && !ls.planRan {
+		ls.planRan = true
+		ok := false
+		pprof.Do(context.Background(), pprof.Labels(
+			"layer", strconv.Itoa(layer),
+			"rollup_base", strconv.Itoa(len(ls.plan.Base())),
+		), func(context.Context) {
+			ok = ls.plan.Run(ls.workers, ls.halt)
+		})
+		if ok {
+			ls.passes += ls.plan.Passes()
+			ls.totalPasses += ls.plan.Passes()
+		} else {
+			ls.plan.Close()
+			ls.plan = nil
+		}
+	}
+	if cap(ls.residx) < len(cuboids) {
+		ls.residx = make([]int32, len(cuboids))
+	}
+	ls.residx = ls.residx[:len(cuboids)]
+	ls.residual = ls.residual[:0]
+	for ci, c := range cuboids {
+		if ls.plan != nil && ls.plan.Serves(c) {
+			ls.residx[ci] = -1
+			continue
+		}
+		ls.residx[ci] = int32(len(ls.residual))
+		ls.residual = append(ls.residual, c)
+	}
+	if len(ls.residual) == 0 {
+		// The whole layer rolls up from the base: no leaf access at all.
+		ls.rollupLayers++
+		return
+	}
+	if ls.rollupOn {
+		ls.fallbackLayers++
+	}
+	ls.scan = ls.snap.NewLayerScan(ls.residual)
 	pprof.Do(context.Background(), pprof.Labels(
 		"layer", strconv.Itoa(layer),
-		"cuboid_count", strconv.Itoa(len(cuboids)),
+		"cuboid_count", strconv.Itoa(len(ls.residual)),
 	), func(context.Context) {
 		ls.scan.Run(ls.workers, ls.halt)
 	})
-	ls.passes = ls.scan.Passes()
+	ls.passes += ls.scan.Passes()
 	ls.totalPasses += ls.scan.Passes()
 }
 
-// groups returns cuboid ci's counts, reporting whether they came from the
-// fused pass and ok=false when the budget aborted the fallback scan. first
-// marks the run's guaranteed cuboid, which scans without the halt hook.
-func (ls *layerScanner) groups(ci int, cuboid kpi.Cuboid, first bool) (groups []kpi.GroupCount, fused, ok bool) {
-	if ls.scan.Done(ci) {
-		ls.fbuf = ls.scan.Groups(ci, ls.fbuf)
-		return ls.fbuf, true, true
+// groups returns cuboid ci's counts, reporting which engine served them
+// and ok=false when the budget aborted the fallback scan. first marks the
+// run's guaranteed cuboid, which scans without the halt hook.
+func (ls *layerScanner) groups(ci int, cuboid kpi.Cuboid, first bool) (groups []kpi.GroupCount, src groupSource, ok bool) {
+	if ls.residx[ci] < 0 {
+		ls.rbuf = ls.plan.Groups(cuboid, ls.rbuf)
+		return ls.rbuf, srcRollup, true
+	}
+	ri := int(ls.residx[ci])
+	if ls.scan != nil && ls.scan.Done(ri) {
+		ls.fbuf = ls.scan.Groups(ri, ls.fbuf)
+		return ls.fbuf, srcFused, true
 	}
 	halt := ls.halt
 	if first {
@@ -289,14 +394,25 @@ func (ls *layerScanner) groups(ci int, cuboid kpi.Cuboid, first bool) (groups []
 		ls.passes++
 		ls.totalPasses++
 	}
-	return ls.lazy, false, ok
+	return ls.lazy, srcScan, ok
 }
 
-// close releases the current layer's fused accumulators back to their pool.
-func (ls *layerScanner) close() {
+// closeLayer releases the current layer's fused accumulators back to their
+// pool; the roll-up base survives across layers.
+func (ls *layerScanner) closeLayer() {
 	if ls.scan != nil {
 		ls.scan.Close()
 		ls.scan = nil
+	}
+}
+
+// close releases everything, base included; the scanner must not be used
+// afterwards.
+func (ls *layerScanner) close() {
+	ls.closeLayer()
+	if ls.plan != nil {
+		ls.plan.Close()
+		ls.plan = nil
 	}
 }
 
@@ -307,21 +423,24 @@ func (ls *layerScanner) close() {
 // constrains strictly fewer attributes; the index counts per-candidate pair
 // matches with generation-stamped counters, so a probe costs time
 // proportional to the candidates sharing a pair with it instead of the
-// former O(candidates) scan that recomputed Layer() per comparison.
+// former O(candidates) scan that recomputed Layer() per comparison. The
+// posting lists are direct-indexed by [attribute][element code] — the
+// domain is the schema, known up front — so the per-pair lookup in the
+// merge loop's hottest path is two slice indexes, not a map probe.
 type ancestorIndex struct {
-	postings map[uint64][]int32
+	postings [][][]int32
 	layers   []int32
 	stamp    []uint64
 	count    []int32
 	gen      uint64
 }
 
-func newAncestorIndex() *ancestorIndex {
-	return &ancestorIndex{postings: make(map[uint64][]int32)}
-}
-
-func postingKey(attr int, code int32) uint64 {
-	return uint64(attr)<<32 | uint64(uint32(code))
+func newAncestorIndex(schema *kpi.Schema) *ancestorIndex {
+	postings := make([][][]int32, schema.NumAttributes())
+	for a := range postings {
+		postings[a] = make([][]int32, schema.Cardinality(a))
+	}
+	return &ancestorIndex{postings: postings}
 }
 
 // add registers an accepted candidate.
@@ -334,8 +453,7 @@ func (ai *ancestorIndex) add(c kpi.Combination, layer int) {
 		if v == kpi.Wildcard {
 			continue
 		}
-		k := postingKey(a, v)
-		ai.postings[k] = append(ai.postings[k], id)
+		ai.postings[a][v] = append(ai.postings[a][v], id)
 	}
 }
 
@@ -350,7 +468,7 @@ func (ai *ancestorIndex) hasAncestor(c kpi.Combination, probeLayer int) bool {
 		if v == kpi.Wildcard {
 			continue
 		}
-		for _, id := range ai.postings[postingKey(a, v)] {
+		for _, id := range ai.postings[a][v] {
 			if ai.stamp[id] != ai.gen {
 				ai.stamp[id] = ai.gen
 				ai.count[id] = 1
