@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig8a|fig8b|fig9a|fig9b|fig10a|fig10b|table4|table6]
-//	            [-seed N] [-squeeze-cases N] [-rapmd-cases N] [-hotspot]
+//	experiments [-run all|fig8a|fig8b|fig9a|fig9b|fig10a|fig10b|table4|table6|noise|robustness]
+//	            [-seed N] [-squeeze-cases N] [-rapmd-cases N] [-hotspot] [-riskloc]
 package main
 
 import (
@@ -30,11 +30,12 @@ func main() {
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		which        = fs.String("run", "all", "experiment to run: all, fig8a, fig8b, fig9a, fig9b, fig10a, fig10b, table4, table6, noise, detection, overlap, derived")
+		which        = fs.String("run", "all", "experiment to run: all, fig8a, fig8b, fig9a, fig9b, fig10a, fig10b, table4, table6, noise, robustness, detection, overlap, derived")
 		seed         = fs.Int64("seed", 2022, "corpus generation seed")
 		squeezeCases = fs.Int("squeeze-cases", 10, "cases per Squeeze-B0 group")
 		rapmdCases   = fs.Int("rapmd-cases", 105, "RAPMD failure cases (paper: 105)")
 		hotspot      = fs.Bool("hotspot", false, "include the HotSpot extension in method comparisons")
+		rl           = fs.Bool("riskloc", false, "include the RiskLoc extension in method comparisons")
 		ens          = fs.Bool("ensemble", false, "include the rank-fusion ensemble in method comparisons")
 		plotDir      = fs.String("plots", "", "also write the figures as SVG files into this directory")
 		markdownPath = fs.String("markdown", "", "run every experiment and write a Markdown report to this file")
@@ -49,6 +50,7 @@ func run(w io.Writer, args []string) error {
 		SqueezeCases:    *squeezeCases,
 		RAPMDCases:      *rapmdCases,
 		IncludeHotSpot:  *hotspot,
+		IncludeRiskLoc:  *rl,
 		IncludeEnsemble: *ens,
 		Repeats:         *repeats,
 	}
@@ -207,6 +209,14 @@ func run(w io.Writer, args []string) error {
 			return err
 		}
 		fmt.Fprintln(w, experiments.FormatNoiseStudy(rows))
+		ran = true
+	}
+	if *which == "all" || *which == "robustness" {
+		rows, err := experiments.RunRobustnessMatrix(opt, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.FormatRobustnessMatrix(rows))
 		ran = true
 	}
 	if *which == "all" || *which == "table6" {

@@ -25,6 +25,7 @@ func TestRunSingleExperiments(t *testing.T) {
 		{"table4", "DecreaseRatio@k"},
 		{"table6", "Efficiency improvement"},
 		{"noise", "noise levels"},
+		{"robustness", "PSqueeze-style degradations"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.which, func(t *testing.T) {

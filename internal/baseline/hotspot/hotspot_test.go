@@ -232,3 +232,38 @@ func TestMCTSEnumeratesSubsetsWithoutDuplicatePaths(t *testing.T) {
 		}
 	}
 }
+
+// TestLocalizeDeterministicUnderScoreTies pins the bestChild regression:
+// the ripple fixture gives every element under a RAP identical deviation,
+// so the MCTS tree is full of exactly-tied UCB scores. Tie-breaking must
+// come from element order, never map iteration order, or repeated runs
+// consume the rollout rng differently and diverge.
+func TestLocalizeDeterministicUnderScoreTies(t *testing.T) {
+	s := testSchema()
+	raps := []kpi.Combination{
+		kpi.MustParseCombination(s, "(a1, *, *)"),
+		kpi.MustParseCombination(s, "(*, b2, *)"),
+	}
+	// Equal fractional drop under both RAPs: the per-element deviations
+	// tie pairwise across the whole lattice.
+	snap := rippleSnapshot(t, s, raps, 0.5)
+	l, _ := New(DefaultConfig())
+	want, err := l.Localize(snap, 5)
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	for run := 0; run < 50; run++ {
+		got, err := l.Localize(snap, 5)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if len(got.Patterns) != len(want.Patterns) {
+			t.Fatalf("run %d: %d patterns vs %d", run, len(got.Patterns), len(want.Patterns))
+		}
+		for i := range got.Patterns {
+			if !got.Patterns[i].Combo.Equal(want.Patterns[i].Combo) || got.Patterns[i].Score != want.Patterns[i].Score {
+				t.Fatalf("run %d: tied-score search diverged at %d", run, i)
+			}
+		}
+	}
+}

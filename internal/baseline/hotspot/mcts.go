@@ -96,12 +96,19 @@ func (t *mcts) unexpandedActions(node *mctsNode) []int {
 }
 
 // bestChild picks the child maximizing UCB1 with max-Q exploitation.
+// Children are visited in ascending element order — never map order — so
+// score ties break toward the smallest element index and repeated runs
+// draw the same rng sequence.
 func (t *mcts) bestChild(node *mctsNode) *mctsNode {
 	var (
 		best      *mctsNode
 		bestScore = math.Inf(-1)
 	)
-	for _, c := range node.children {
+	for a := node.elem + 1; a < t.numElems; a++ {
+		c, ok := node.children[a]
+		if !ok {
+			continue
+		}
 		score := c.q
 		if c.visits > 0 && node.visits > 0 {
 			score += t.ucb * math.Sqrt(math.Log(float64(node.visits))/float64(c.visits))

@@ -7,7 +7,10 @@
 package ensemble
 
 import (
+	"context"
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/kpi"
 	"repro/internal/localize"
@@ -52,6 +55,17 @@ func (l *Localizer) Members() []string {
 // generous candidate list, and candidates are re-ranked by
 // sum over members of 1 / (rrfK + rank).
 func (l *Localizer) Localize(snapshot *kpi.Snapshot, k int) (localize.Result, error) {
+	return l.LocalizeContext(context.Background(), snapshot, k)
+}
+
+var _ localize.ContextLocalizer = (*Localizer)(nil)
+
+// LocalizeContext implements localize.ContextLocalizer. Members run
+// sequentially through localize.SafeLocalize, so a ContextLocalizer member
+// honors ctx and a panicking member becomes an error instead of unwinding
+// the vote. If any member returns a degraded partial, the fused result is
+// marked degraded too (the vote was taken over partial rankings).
+func (l *Localizer) LocalizeContext(ctx context.Context, snapshot *kpi.Snapshot, k int) (localize.Result, error) {
 	if snapshot == nil {
 		return localize.Result{}, fmt.Errorf("ensemble: nil snapshot")
 	}
@@ -65,10 +79,16 @@ func (l *Localizer) Localize(snapshot *kpi.Snapshot, k int) (localize.Result, er
 		votes int
 	}
 	pool := make(map[string]*fused)
+	var degraded bool
+	var reasons []string
 	for _, m := range l.members {
-		res, err := m.Localize(snapshot, askK)
+		res, err := localize.SafeLocalize(ctx, m, snapshot, askK)
 		if err != nil {
 			return localize.Result{}, fmt.Errorf("ensemble: %s: %w", m.Name(), err)
+		}
+		if res.Degraded {
+			degraded = true
+			reasons = append(reasons, fmt.Sprintf("%s: %s", m.Name(), res.DegradedReason))
 		}
 		for rank, p := range res.Patterns {
 			key := p.Combo.Key()
@@ -82,15 +102,27 @@ func (l *Localizer) Localize(snapshot *kpi.Snapshot, k int) (localize.Result, er
 		}
 	}
 
+	// Drain the pool in lexicographic key order so the pre-sort slice —
+	// and with it the final ranking on tied RRF scores — never depends
+	// on map iteration order. (Combination keys are unique per pattern,
+	// so key order is a total order over the candidates.)
+	keys := make([]string, 0, len(pool))
+	for key := range pool {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
 	out := make([]localize.ScoredPattern, 0, len(pool))
-	for _, f := range pool {
+	for _, key := range keys {
+		f := pool[key]
 		out = append(out, localize.ScoredPattern{Combo: f.combo, Score: f.score})
 	}
 	// SortPatterns ranks by fused score and breaks ties toward coarser
-	// patterns, which is the right default here too.
+	// patterns first, then lexicographic combination key — with the
+	// key-ordered input above, equal-score candidates keep a stable,
+	// map-independent order.
 	localize.SortPatterns(out)
 	if k < len(out) {
 		out = out[:k]
 	}
-	return localize.Result{Patterns: out}, nil
+	return localize.Result{Patterns: out, Degraded: degraded, DegradedReason: strings.Join(reasons, "; ")}, nil
 }

@@ -1,0 +1,142 @@
+package evalmetrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kpi"
+)
+
+// These table-driven tests pin the degenerate-input contract: empty
+// prediction sets, empty ground truth, and zero-support RAPs must yield
+// defined precision/recall/F1/RC@k — finite values, never NaN or ±Inf
+// leaking into EXPERIMENTS tables.
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func degSchema() *kpi.Schema {
+	return kpi.MustSchema(
+		kpi.Attribute{Name: "A", Values: []string{"a1", "a2"}},
+		kpi.Attribute{Name: "B", Values: []string{"b1", "b2"}},
+	)
+}
+
+func TestSetScoreDegenerateInputs(t *testing.T) {
+	s := degSchema()
+	rap := kpi.MustParseCombination(s, "(a1, *)")
+	other := kpi.MustParseCombination(s, "(a2, *)")
+
+	cases := []struct {
+		name                 string
+		pred, truth          []kpi.Combination
+		wantP, wantR, wantF1 float64
+	}{
+		{name: "empty prediction set", pred: nil, truth: []kpi.Combination{rap},
+			wantP: 0, wantR: 0, wantF1: 0},
+		{name: "empty ground truth", pred: []kpi.Combination{rap}, truth: nil,
+			wantP: 0, wantR: 0, wantF1: 0},
+		{name: "both empty", pred: nil, truth: nil,
+			wantP: 0, wantR: 0, wantF1: 0},
+		{name: "disjoint sets", pred: []kpi.Combination{other}, truth: []kpi.Combination{rap},
+			wantP: 0, wantR: 0, wantF1: 0},
+		{name: "exact match", pred: []kpi.Combination{rap}, truth: []kpi.Combination{rap},
+			wantP: 1, wantR: 1, wantF1: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var score SetScore
+			score.Add(tc.pred, tc.truth)
+			p, r, f1 := score.Precision(), score.Recall(), score.F1()
+			for name, v := range map[string]float64{"precision": p, "recall": r, "F1": f1} {
+				if !finite(v) {
+					t.Errorf("%s = %v, want finite", name, v)
+				}
+			}
+			if p != tc.wantP || r != tc.wantR || f1 != tc.wantF1 {
+				t.Errorf("got P=%v R=%v F1=%v, want P=%v R=%v F1=%v",
+					p, r, f1, tc.wantP, tc.wantR, tc.wantF1)
+			}
+		})
+	}
+}
+
+func TestSetScoreNeverAddedStaysDefined(t *testing.T) {
+	var score SetScore
+	if v := score.F1(); v != 0 || !finite(v) {
+		t.Errorf("F1 of empty accumulator = %v", v)
+	}
+}
+
+func TestRCAtKDegenerateInputs(t *testing.T) {
+	s := degSchema()
+	rap := kpi.MustParseCombination(s, "(a1, *)")
+
+	cases := []struct {
+		name        string
+		pred, truth []kpi.Combination
+		want        float64
+	}{
+		{name: "empty prediction set", pred: nil, truth: []kpi.Combination{rap}, want: 0},
+		{name: "empty ground truth", pred: []kpi.Combination{rap}, truth: nil, want: 0},
+		{name: "both empty", pred: nil, truth: nil, want: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := NewRCAtK(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Add(tc.pred, tc.truth)
+			if v := m.Value(); v != tc.want || !finite(v) {
+				t.Errorf("RC@5 = %v, want %v and finite", v, tc.want)
+			}
+		})
+	}
+}
+
+// TestScopeOverlapZeroSupportRAP covers the zero-support case: a RAP whose
+// scope matches no observed leaf (sparse KPIs drop leaves all the time)
+// must produce a defined overlap, not NaN from a 0/0 Jaccard.
+func TestScopeOverlapZeroSupportRAP(t *testing.T) {
+	s := degSchema()
+	// Only a2-leaves observed: any (a1, ...) scope has zero support.
+	leaves := []kpi.Leaf{
+		{Combo: kpi.Combination{1, 0}, Actual: 10, Forecast: 10},
+		{Combo: kpi.Combination{1, 1}, Actual: 10, Forecast: 10},
+	}
+	snap, err := kpi.NewSnapshot(s, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := kpi.MustParseCombination(s, "(a1, *)")
+	live := kpi.MustParseCombination(s, "(a2, *)")
+
+	cases := []struct {
+		name        string
+		pred, truth kpi.Combination
+		want        float64
+	}{
+		{name: "zero-support prediction", pred: zero, truth: live, want: 0},
+		{name: "zero-support truth", pred: live, truth: zero, want: 0},
+		{name: "both zero-support", pred: zero, truth: zero, want: 0},
+		{name: "identical live scopes", pred: live, truth: live, want: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := ScopeOverlap(snap, tc.pred, tc.truth)
+			if !finite(v) {
+				t.Fatalf("overlap = %v, want finite", v)
+			}
+			if v != tc.want {
+				t.Errorf("overlap = %v, want %v", v, tc.want)
+			}
+		})
+	}
+
+	// BestOverlaps on zero-support truths must stay finite as well.
+	for _, v := range BestOverlaps(snap, []kpi.Combination{zero, live}, []kpi.Combination{zero}) {
+		if !finite(v) {
+			t.Errorf("BestOverlaps produced %v", v)
+		}
+	}
+}

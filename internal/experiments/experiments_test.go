@@ -29,7 +29,7 @@ func TestPaperMethodsRoster(t *testing.T) {
 	if err != nil {
 		t.Fatalf("AllMethods: %v", err)
 	}
-	if len(all) != len(methods)+1 || all[len(all)-1].Name() != "HotSpot" {
+	if len(all) != len(methods)+2 || all[len(all)-2].Name() != "HotSpot" || all[len(all)-1].Name() != "RiskLoc" {
 		t.Errorf("AllMethods roster wrong")
 	}
 }

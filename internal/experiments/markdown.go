@@ -18,6 +18,7 @@ type Report struct {
 	Table4Emp Table4Empirical
 	Table6    Table6Result
 	Noise     []NoiseStudyRow
+	Robust    []RobustnessRow
 	Detection []DetectionPoint
 	Overlap   []OverlapStudyRow
 	Derived   []DerivedStudyRow
@@ -46,6 +47,9 @@ func RunReport(opt Options) (*Report, error) {
 		return nil, err
 	}
 	if rep.Noise, err = RunNoiseStudy(opt); err != nil {
+		return nil, err
+	}
+	if rep.Robust, err = RunRobustnessMatrix(opt, nil); err != nil {
 		return nil, err
 	}
 	if rep.Detection, err = RunDetectionStudy(opt); err != nil {
@@ -148,8 +152,9 @@ func (r *Report) WriteMarkdown(w io.Writer, now time.Time) error {
 		100*r.Table6.EfficiencyImprovement, 100*r.Table6.EffectivenessDecrease)
 
 	// Extensions, reusing the plain-text tables inside fenced blocks.
-	fmt.Fprintf(b, "## Extension studies\n\n```\n%s```\n\n```\n%s```\n\n```\n%s```\n\n```\n%s```\n",
-		FormatNoiseStudy(r.Noise), FormatDetectionStudy(r.Detection),
+	fmt.Fprintf(b, "## Extension studies\n\n```\n%s```\n\n```\n%s```\n\n```\n%s```\n\n```\n%s```\n\n```\n%s```\n",
+		FormatNoiseStudy(r.Noise), FormatRobustnessMatrix(r.Robust),
+		FormatDetectionStudy(r.Detection),
 		FormatOverlapStudy(r.Overlap), FormatDerivedStudy(r.Derived))
 
 	_, err := io.WriteString(w, b.String())

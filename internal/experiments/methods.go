@@ -11,6 +11,7 @@ import (
 	"repro/internal/baseline/fpgrowth"
 	"repro/internal/baseline/hotspot"
 	"repro/internal/baseline/idice"
+	"repro/internal/baseline/riskloc"
 	"repro/internal/baseline/squeeze"
 	"repro/internal/ensemble"
 	"repro/internal/localize"
@@ -47,7 +48,7 @@ func PaperMethods() ([]localize.Localizer, error) {
 	return []localize.Localizer{adt, id, fp, sq, rm}, nil
 }
 
-// AllMethods is PaperMethods plus the HotSpot extension.
+// AllMethods is PaperMethods plus the HotSpot and RiskLoc extensions.
 func AllMethods() ([]localize.Localizer, error) {
 	methods, err := PaperMethods()
 	if err != nil {
@@ -57,7 +58,11 @@ func AllMethods() ([]localize.Localizer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: hotspot: %w", err)
 	}
-	return append(methods, hs), nil
+	rl, err := riskloc.New(riskloc.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: riskloc: %w", err)
+	}
+	return append(methods, hs, rl), nil
 }
 
 // Options controls corpus sizes and determinism for every driver.
@@ -70,8 +75,10 @@ type Options struct {
 	RAPMDCases int
 	// IncludeHotSpot adds the HotSpot extension to the method set.
 	IncludeHotSpot bool
+	// IncludeRiskLoc adds the RiskLoc extension to the method set.
+	IncludeRiskLoc bool
 	// IncludeEnsemble adds the rank-fusion ensemble of RAPMiner,
-	// FP-growth and Squeeze to the method set.
+	// FP-growth, Squeeze and RiskLoc to the method set.
 	IncludeEnsemble bool
 	// Repeats runs the RAPMD evaluation over this many independently
 	// seeded corpora (seed, seed+1000, ...) and aggregates the metrics,
@@ -122,6 +129,13 @@ func (o Options) methods() ([]localize.Localizer, error) {
 		}
 		methods = append(methods, hs)
 	}
+	if o.IncludeRiskLoc {
+		rl, err := riskloc.New(riskloc.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: riskloc: %w", err)
+		}
+		methods = append(methods, rl)
+	}
 	if o.IncludeEnsemble {
 		ens, err := NewEnsemble()
 		if err != nil {
@@ -133,7 +147,9 @@ func (o Options) methods() ([]localize.Localizer, error) {
 }
 
 // NewEnsemble builds the extension ensemble: rank fusion over RAPMiner,
-// FP-growth and Squeeze (the three strongest individual methods).
+// FP-growth, Squeeze (the three strongest individual methods) and RiskLoc
+// (whose weighted-risk partition degrades differently under noise, adding
+// an independent vote).
 func NewEnsemble() (localize.Localizer, error) {
 	rm, err := rapminer.New(rapminer.DefaultConfig())
 	if err != nil {
@@ -147,5 +163,9 @@ func NewEnsemble() (localize.Localizer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: ensemble squeeze: %w", err)
 	}
-	return ensemble.New(rm, fp, sq)
+	rl, err := riskloc.New(riskloc.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ensemble riskloc: %w", err)
+	}
+	return ensemble.New(rm, fp, sq, rl)
 }

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRunRobustnessMatrix(t *testing.T) {
+	opt := Options{Seed: 2022, SqueezeCases: 2, RAPMDCases: 4}
+	rows, err := RunRobustnessMatrix(opt, nil)
+	if err != nil {
+		t.Fatalf("RunRobustnessMatrix: %v", err)
+	}
+	scenarios := DefaultRobustnessScenarios()
+	if len(rows) != len(scenarios) {
+		t.Fatalf("got %d rows, want %d scenarios", len(rows), len(scenarios))
+	}
+	// The full matrix: the paper's five methods plus HotSpot, RiskLoc
+	// and the ensemble, regardless of the Include* options.
+	wantMethods := append(append([]string{}, MethodNames...), "HotSpot", "RiskLoc", "Ensemble")
+	for i, r := range rows {
+		if r.Scenario != scenarios[i].Name {
+			t.Errorf("row %d scenario %q, want %q", i, r.Scenario, scenarios[i].Name)
+		}
+		for _, m := range wantMethods {
+			f1, ok := r.F1[m]
+			if !ok {
+				t.Fatalf("scenario %q missing method %s", r.Scenario, m)
+			}
+			if math.IsNaN(f1) || f1 < 0 || f1 > 1 {
+				t.Errorf("scenario %q %s F1 = %v", r.Scenario, m, f1)
+			}
+		}
+	}
+
+	out := FormatRobustnessMatrix(rows)
+	for _, want := range []string{"clean", "fnoise-0.05", "imbalance-0.6", "dropout-0.25", "combined", "RiskLoc", "Ensemble"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatRobustnessMatrix missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRobustnessMatrixDeterministic(t *testing.T) {
+	opt := Options{Seed: 7, SqueezeCases: 1, RAPMDCases: 4}
+	a, err := RunRobustnessMatrix(opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRobustnessMatrix(opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("robustness matrix not deterministic per seed")
+	}
+}

@@ -26,7 +26,6 @@ func RAPMDDerived(seed int64, nCases int) (*Corpus, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gendata: simulator: %w", err)
 	}
-	r := rand.New(rand.NewSource(seed + 2))
 	injectCfg := inject.DefaultRAPMDConfig()
 
 	corpus := &Corpus{
@@ -35,6 +34,9 @@ func RAPMDDerived(seed int64, nCases int) (*Corpus, error) {
 		Cases:  make([]inject.Case, 0, nCases),
 	}
 	for i := 0; i < nCases; i++ {
+		// Each case draws from its own seeded stream so case i is a
+		// pure function of (seed, i), not of generation order.
+		r := rand.New(rand.NewSource(caseSeed(seed+2, i)))
 		minute := r.Intn(RAPMDDays * 24 * 60)
 		ts := RAPMDStart.Add(time.Duration(minute) * time.Minute)
 		c, err := derivedCase(sim, cfg, r, ts, injectCfg)

@@ -1,0 +1,111 @@
+package gendata
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/inject"
+)
+
+// These tests pin the RNG-plumbing contract: every generated case is a
+// pure function of (corpus seed, case index). A corpus prefix must be
+// bit-identical regardless of how many further cases are generated, so
+// re-runs (-count=2), parallel shards, and sliced corpora all agree.
+
+func casesEqual(t *testing.T, a, b inject.Case) bool {
+	t.Helper()
+	if len(a.RAPs) != len(b.RAPs) {
+		return false
+	}
+	for i := range a.RAPs {
+		if !a.RAPs[i].Equal(b.RAPs[i]) {
+			return false
+		}
+	}
+	return reflect.DeepEqual(a.Snapshot.Leaves, b.Snapshot.Leaves)
+}
+
+func TestSqueezeCaseIsPureFunctionOfSeedAndIndex(t *testing.T) {
+	group := SqueezeGroup{Dim: 2, NumRAPs: 2}
+	long, err := Squeeze(42, group, 4, B1)
+	if err != nil {
+		t.Fatalf("Squeeze: %v", err)
+	}
+	short, err := Squeeze(42, group, 2, B1)
+	if err != nil {
+		t.Fatalf("Squeeze: %v", err)
+	}
+	for i := range short.Cases {
+		if !casesEqual(t, long.Cases[i], short.Cases[i]) {
+			t.Fatalf("case %d differs between 2-case and 4-case corpora: "+
+				"case not a pure function of (seed, index)", i)
+		}
+	}
+	other, err := Squeeze(43, group, 2, B1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if casesEqual(t, short.Cases[0], other.Cases[0]) {
+		t.Fatal("different seeds produced identical cases")
+	}
+}
+
+func TestSqueezeRobustCaseIsPureFunctionOfSeedAndIndex(t *testing.T) {
+	group := SqueezeGroup{Dim: 2, NumRAPs: 2}
+	cfg := inject.NoiseConfig{ForecastStd: 0.025, Imbalance: 0.4, Dropout: 0.1, RelabelThreshold: 0.095}
+	long, err := SqueezeRobust(42, group, 4, cfg)
+	if err != nil {
+		t.Fatalf("SqueezeRobust: %v", err)
+	}
+	short, err := SqueezeRobust(42, group, 2, cfg)
+	if err != nil {
+		t.Fatalf("SqueezeRobust: %v", err)
+	}
+	for i := range short.Cases {
+		if !casesEqual(t, long.Cases[i], short.Cases[i]) {
+			t.Fatalf("robust case %d not a pure function of (seed, index)", i)
+		}
+	}
+	// The degraded corpus must share the clean corpus's ground truth.
+	clean, err := SqueezeB0(42, group, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range short.Cases {
+		for j := range short.Cases[i].RAPs {
+			if !short.Cases[i].RAPs[j].Equal(clean.Cases[i].RAPs[j]) {
+				t.Fatalf("case %d: robust ground truth diverged from clean corpus", i)
+			}
+		}
+	}
+}
+
+func TestRAPMDDerivedCaseIsPureFunctionOfSeedAndIndex(t *testing.T) {
+	long, err := RAPMDDerived(7, 3)
+	if err != nil {
+		t.Fatalf("RAPMDDerived: %v", err)
+	}
+	short, err := RAPMDDerived(7, 1)
+	if err != nil {
+		t.Fatalf("RAPMDDerived: %v", err)
+	}
+	if !casesEqual(t, long.Cases[0], short.Cases[0]) {
+		t.Fatal("derived case 0 not a pure function of (seed, index)")
+	}
+}
+
+func TestRAPMDParallelPrefixStable(t *testing.T) {
+	long, err := RAPMDParallel(7, 4, 4)
+	if err != nil {
+		t.Fatalf("RAPMDParallel: %v", err)
+	}
+	short, err := RAPMDParallel(7, 2, 1)
+	if err != nil {
+		t.Fatalf("RAPMDParallel: %v", err)
+	}
+	for i := range short.Cases {
+		if !casesEqual(t, long.Cases[i], short.Cases[i]) {
+			t.Fatalf("RAPMD case %d depends on corpus length or worker count", i)
+		}
+	}
+}

@@ -118,17 +118,40 @@ func Squeeze(seed int64, group SqueezeGroup, nCases int, noise NoiseLevel) (*Cor
 	if noise < B0 || noise > B3 {
 		return nil, fmt.Errorf("gendata: unknown noise level %d", noise)
 	}
+	return squeezeCorpus(seed, group, nCases, noise, inject.NoiseConfig{})
+}
+
+// SqueezeRobust generates a Squeeze-style corpus (B0 forecast setting) and
+// degrades every case with the PSqueeze robustness perturbations — see
+// inject.NoiseConfig. Ground truth stays the clean injection's RAPs.
+func SqueezeRobust(seed int64, group SqueezeGroup, nCases int, noiseCfg inject.NoiseConfig) (*Corpus, error) {
+	return squeezeCorpus(seed, group, nCases, B0, noiseCfg)
+}
+
+// caseSeed derives case i's private RNG seed from the corpus seed. Every
+// case is a pure function of (seed, i) — independent of generation order,
+// corpus length, or which other cases are generated — so corpora are
+// reproducible under test re-runs and parallel shards.
+func caseSeed(seed int64, i int) int64 {
+	return int64(splitmix64(uint64(seed)*0x9e3779b97f4a7c15 + uint64(i)))
+}
+
+func squeezeCorpus(seed int64, group SqueezeGroup, nCases int, noise NoiseLevel, noiseCfg inject.NoiseConfig) (*Corpus, error) {
 	schema := SqueezeSchema()
-	r := rand.New(rand.NewSource(seed))
 	cfg := inject.DefaultSqueezeConfig(group.Dim, group.NumRAPs)
 	cfg.NoiseStd = noise.Std()
 
+	name := fmt.Sprintf("squeeze-%s%s", noise, group)
+	if !noiseCfg.IsZero() {
+		name = fmt.Sprintf("squeeze-robust%s", group)
+	}
 	corpus := &Corpus{
-		Name:   fmt.Sprintf("squeeze-%s%s", noise, group),
+		Name:   name,
 		Schema: schema,
 		Cases:  make([]inject.Case, 0, nCases),
 	}
 	for i := 0; i < nCases; i++ {
+		r := rand.New(rand.NewSource(caseSeed(seed, i)))
 		bg, err := squeezeBackground(schema, r)
 		if err != nil {
 			return nil, fmt.Errorf("gendata: background %d: %w", i, err)
@@ -136,6 +159,11 @@ func Squeeze(seed int64, group SqueezeGroup, nCases int, noise NoiseLevel) (*Cor
 		c, err := inject.InjectSqueeze(r, bg, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("gendata: case %d: %w", i, err)
+		}
+		if !noiseCfg.IsZero() {
+			if c, err = inject.ApplyNoise(r, c, noiseCfg); err != nil {
+				return nil, fmt.Errorf("gendata: degrading case %d: %w", i, err)
+			}
 		}
 		corpus.Cases = append(corpus.Cases, c)
 	}

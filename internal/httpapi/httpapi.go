@@ -22,6 +22,7 @@ import (
 	"repro/internal/baseline/fpgrowth"
 	"repro/internal/baseline/hotspot"
 	"repro/internal/baseline/idice"
+	"repro/internal/baseline/riskloc"
 	"repro/internal/baseline/squeeze"
 	"repro/internal/ensemble"
 	"repro/internal/flight"
@@ -48,6 +49,7 @@ var methodBuilders = map[string]func() (localize.Localizer, error){
 	"fpgrowth": func() (localize.Localizer, error) { return fpgrowth.New(fpgrowth.DefaultConfig()) },
 	"squeeze":  func() (localize.Localizer, error) { return squeeze.New(squeeze.DefaultConfig()) },
 	"hotspot":  func() (localize.Localizer, error) { return hotspot.New(hotspot.DefaultConfig()) },
+	"riskloc":  func() (localize.Localizer, error) { return riskloc.New(riskloc.DefaultConfig()) },
 	"ensemble": func() (localize.Localizer, error) {
 		rm, err := rapminer.New(rapminer.DefaultConfig())
 		if err != nil {
@@ -61,13 +63,17 @@ var methodBuilders = map[string]func() (localize.Localizer, error){
 		if err != nil {
 			return nil, err
 		}
-		return ensemble.New(rm, fp, sq)
+		rl, err := riskloc.New(riskloc.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		return ensemble.New(rm, fp, sq, rl)
 	},
 }
 
 // MethodNames lists the accepted ?method= values in sorted order.
 func MethodNames() []string {
-	return []string{"adtributor", "ensemble", "fpgrowth", "hotspot", "idice", "rapminer", "squeeze"}
+	return []string{"adtributor", "ensemble", "fpgrowth", "hotspot", "idice", "rapminer", "riskloc", "squeeze"}
 }
 
 // api carries the service's observability plumbing into the handlers.

@@ -58,7 +58,7 @@ func TestMethodsEndpoint(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatal(err)
 	}
-	if len(body["methods"]) != 7 {
+	if len(body["methods"]) != 8 {
 		t.Errorf("methods = %v", body["methods"])
 	}
 	// Every advertised method must actually build.

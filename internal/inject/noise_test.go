@@ -1,0 +1,235 @@
+package inject
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/kpi"
+)
+
+// twoRAPCase builds a deterministic case by hand: two disjoint layer-1
+// RAPs over the shared test background, both at a 0.6 relative drop.
+func twoRAPCase(t *testing.T) Case {
+	t.Helper()
+	bg := background(t)
+	s := bg.Schema
+	raps := []kpi.Combination{
+		kpi.MustParseCombination(s, "(a1, *, *, *)"),
+		kpi.MustParseCombination(s, "(*, b3, *, *)"),
+	}
+	snap := bg.Clone()
+	for i := range snap.Leaves {
+		leaf := &snap.Leaves[i]
+		for _, rap := range raps {
+			if rap.Matches(leaf.Combo) {
+				leaf.Actual = leaf.Forecast * 0.4
+				leaf.Anomalous = true
+				break
+			}
+		}
+	}
+	return Case{Snapshot: snap, RAPs: raps}
+}
+
+func TestApplyNoiseValidation(t *testing.T) {
+	c := twoRAPCase(t)
+	r := rand.New(rand.NewSource(1))
+	bad := []NoiseConfig{
+		{ForecastStd: -0.1},
+		{ForecastStd: 1.5},
+		{Imbalance: -0.1},
+		{Imbalance: 1},
+		{Dropout: -0.1},
+		{Dropout: 0.95},
+		{RelabelThreshold: -0.1},
+		{RelabelThreshold: 1},
+		{Eps: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := ApplyNoise(r, c, cfg); err == nil {
+			t.Errorf("case %d: invalid config %+v accepted", i, cfg)
+		}
+	}
+	if _, err := ApplyNoise(r, Case{}, NoiseConfig{ForecastStd: 0.1}); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+}
+
+func TestApplyNoiseZeroIsIdentity(t *testing.T) {
+	c := twoRAPCase(t)
+	got, err := ApplyNoise(rand.New(rand.NewSource(1)), c, NoiseConfig{})
+	if err != nil {
+		t.Fatalf("ApplyNoise: %v", err)
+	}
+	if got.Snapshot != c.Snapshot {
+		t.Error("identity config cloned the snapshot")
+	}
+}
+
+func TestApplyNoiseDoesNotMutateInput(t *testing.T) {
+	c := twoRAPCase(t)
+	before := c.Snapshot.Clone()
+	_, err := ApplyNoise(rand.New(rand.NewSource(7)), c, NoiseConfig{
+		ForecastStd: 0.1, Imbalance: 0.5, Dropout: 0.3, RelabelThreshold: 0.095,
+	})
+	if err != nil {
+		t.Fatalf("ApplyNoise: %v", err)
+	}
+	if !reflect.DeepEqual(before.Leaves, c.Snapshot.Leaves) {
+		t.Fatal("input case mutated")
+	}
+}
+
+func TestApplyNoiseImbalanceShrinksLaterRAPsOnly(t *testing.T) {
+	c := twoRAPCase(t)
+	got, err := ApplyNoise(rand.New(rand.NewSource(3)), c, NoiseConfig{Imbalance: 0.8})
+	if err != nil {
+		t.Fatalf("ApplyNoise: %v", err)
+	}
+	first, second := c.RAPs[0], c.RAPs[1]
+	var shrunk int
+	for i := range got.Snapshot.Leaves {
+		leaf := got.Snapshot.Leaves[i]
+		orig := c.Snapshot.Leaves[i]
+		switch {
+		case first.Matches(leaf.Combo):
+			if leaf.Actual != orig.Actual {
+				t.Fatalf("first RAP's leaf %d changed: %v -> %v", i, orig.Actual, leaf.Actual)
+			}
+		case second.Matches(leaf.Combo):
+			// a' = f + (a-f)*s with s in [0.2, 1]: the drop shrinks,
+			// never grows, and never crosses the forecast.
+			if leaf.Actual < orig.Actual-1e-9 || leaf.Actual > leaf.Forecast+1e-9 {
+				t.Fatalf("second RAP's leaf %d out of range: a=%v orig=%v f=%v",
+					i, leaf.Actual, orig.Actual, leaf.Forecast)
+			}
+			if leaf.Actual > orig.Actual {
+				shrunk++
+			}
+		default:
+			if leaf.Actual != orig.Actual {
+				t.Fatalf("normal leaf %d changed", i)
+			}
+		}
+	}
+	if shrunk == 0 {
+		t.Fatal("Imbalance=0.8 shrank nothing")
+	}
+}
+
+func TestApplyNoiseForecastNoisePerturbsForecastsOnly(t *testing.T) {
+	c := twoRAPCase(t)
+	got, err := ApplyNoise(rand.New(rand.NewSource(5)), c, NoiseConfig{ForecastStd: 0.05})
+	if err != nil {
+		t.Fatalf("ApplyNoise: %v", err)
+	}
+	var moved int
+	for i := range got.Snapshot.Leaves {
+		leaf := got.Snapshot.Leaves[i]
+		orig := c.Snapshot.Leaves[i]
+		if leaf.Actual != orig.Actual {
+			t.Fatalf("leaf %d actual changed under forecast noise", i)
+		}
+		if leaf.Forecast < 0 {
+			t.Fatalf("leaf %d forecast negative", i)
+		}
+		if leaf.Forecast != orig.Forecast {
+			moved++
+		}
+	}
+	if moved < c.Snapshot.Len()/2 {
+		t.Fatalf("only %d/%d forecasts perturbed", moved, c.Snapshot.Len())
+	}
+}
+
+func TestApplyNoiseRelabelMatchesThreshold(t *testing.T) {
+	c := twoRAPCase(t)
+	cfg := NoiseConfig{ForecastStd: 0.2, RelabelThreshold: 0.095}
+	got, err := ApplyNoise(rand.New(rand.NewSource(11)), c, cfg)
+	if err != nil {
+		t.Fatalf("ApplyNoise: %v", err)
+	}
+	for i := range got.Snapshot.Leaves {
+		leaf := got.Snapshot.Leaves[i]
+		dev := math.Abs(leaf.Forecast-leaf.Actual) / (math.Abs(leaf.Forecast) + 1e-6)
+		if want := dev >= cfg.RelabelThreshold; leaf.Anomalous != want {
+			t.Fatalf("leaf %d label %v, dev %v vs threshold", i, leaf.Anomalous, dev)
+		}
+	}
+}
+
+func TestApplyNoiseDropoutKeepsRAPSupport(t *testing.T) {
+	c := twoRAPCase(t)
+	for _, p := range []float64{0.25, 0.9} {
+		got, err := ApplyNoise(rand.New(rand.NewSource(13)), c, NoiseConfig{Dropout: p})
+		if err != nil {
+			t.Fatalf("Dropout %v: %v", p, err)
+		}
+		if got.Snapshot.Len() == 0 {
+			t.Fatalf("Dropout %v emptied the snapshot", p)
+		}
+		if got.Snapshot.Len() >= c.Snapshot.Len() {
+			t.Fatalf("Dropout %v removed nothing (%d leaves)", p, got.Snapshot.Len())
+		}
+		for _, rap := range got.RAPs {
+			total, _ := got.Snapshot.SupportCount(rap)
+			if total == 0 {
+				t.Fatalf("Dropout %v starved RAP %s", p, rap.Format(c.Snapshot.Schema))
+			}
+		}
+	}
+}
+
+// TestApplyNoiseDeterministicPerSeed pins that a degraded case is a pure
+// function of the seed: same seed, same case, bit-identical output.
+func TestApplyNoiseDeterministicPerSeed(t *testing.T) {
+	c := twoRAPCase(t)
+	cfg := NoiseConfig{ForecastStd: 0.05, Imbalance: 0.6, Dropout: 0.25, RelabelThreshold: 0.095}
+	a, err := ApplyNoise(rand.New(rand.NewSource(99)), c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ApplyNoise(rand.New(rand.NewSource(99)), c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Snapshot.Leaves, b.Snapshot.Leaves) {
+		t.Fatal("same seed produced different degraded snapshots")
+	}
+}
+
+// TestApplyNoiseComposesWithBothSchemes runs the full inject→degrade
+// composition for RAPMD and Squeeze injection.
+func TestApplyNoiseComposesWithBothSchemes(t *testing.T) {
+	bg := background(t)
+	cfg := NoiseConfig{ForecastStd: 0.025, Imbalance: 0.4, Dropout: 0.1, RelabelThreshold: 0.095}
+
+	r := rand.New(rand.NewSource(21))
+	rapmd, err := InjectRAPMD(r, bg, DefaultRAPMDConfig())
+	if err != nil {
+		t.Fatalf("InjectRAPMD: %v", err)
+	}
+	degraded, err := ApplyNoise(r, rapmd, cfg)
+	if err != nil {
+		t.Fatalf("ApplyNoise(RAPMD): %v", err)
+	}
+	if len(degraded.RAPs) != len(rapmd.RAPs) {
+		t.Fatal("ground truth changed under noise")
+	}
+
+	sq, err := InjectSqueeze(r, bg, DefaultSqueezeConfig(2, 2))
+	if err != nil {
+		t.Fatalf("InjectSqueeze: %v", err)
+	}
+	degraded, err = ApplyNoise(r, sq, cfg)
+	if err != nil {
+		t.Fatalf("ApplyNoise(Squeeze): %v", err)
+	}
+	for _, rap := range degraded.RAPs {
+		if total, _ := degraded.Snapshot.SupportCount(rap); total == 0 {
+			t.Fatal("squeeze RAP starved by noise")
+		}
+	}
+}
