@@ -10,6 +10,7 @@
 //	        [-attrs region:7,isp:5,proto:3] [-batch-items 4]
 //	        [-slowest 5] [-out -] [-max-error-rate -1]
 //	        [-capture-on-fail bundle.tar.gz]
+//	        [-ticks 0] [-touch 0.05] [-fail-every 0] [-fail-for 3]
 //
 // Two driving disciplines:
 //
@@ -22,6 +23,14 @@
 //   - closed: -concurrency workers each issue the next request as soon as
 //     the previous answer lands. Throughput then measures the server's
 //     capacity at that concurrency.
+//
+// A third discipline, -ticks N, replays the continuous-localization path
+// against a serve started with -continuous: one full stream-corpus snapshot
+// installs the baseline (POST /v1/observe/snapshot), then N pre-rendered
+// delta ticks stream sequentially to POST /v1/observe/delta, each
+// re-observing -touch of the leaves; -fail-every/-fail-for open injected
+// failure windows so the replay drives real incidents. The report's
+// throughput is the client-observed tick rate.
 //
 // Request bodies are pre-rendered from an internal/gendata corpus (the
 // squeeze or rapmd evaluation corpora, or the cardinality-driven stream
@@ -232,9 +241,26 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 		timeout     = fs.Duration("timeout", time.Minute, "per-request client timeout")
 		maxErrRate  = fs.Float64("max-error-rate", -1, "exit non-zero when the hard error rate exceeds this fraction (negative = never)")
 		captureFail = fs.String("capture-on-fail", "", "when the -max-error-rate gate trips, pull a diagnostic bundle from the target's flight recorder and write it to this path")
+		ticks       = fs.Int("ticks", 0, "continuous replay: install one full stream-corpus snapshot, then POST this many delta ticks to /v1/observe/delta (requires serve -continuous; 0 = disabled)")
+		touch       = fs.Float64("touch", 0.05, "continuous replay: fraction of leaves re-observed per tick")
+		failEvery   = fs.Int("fail-every", 0, "continuous replay: open an injected failure window every N ticks (0 = none)")
+		failFor     = fs.Int("fail-for", 3, "continuous replay: ticks each failure window lasts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *ticks > 0 {
+		// Tick replay is its own driving discipline: strictly sequential
+		// (the server serializes ticks against searches anyway), measuring
+		// the achievable tick rate of the delta-ingestion path.
+		spec, err := parseStreamAttrs(*attrs)
+		if err != nil {
+			return err
+		}
+		spec.Seed = *seed
+		spec.NumRAPs = 2
+		tspec := gendata.TickSpec{TouchFraction: *touch, FailEvery: *failEvery, FailFor: *failFor}
+		return runTicks(ctx, w, normalizeAddr(*addr), spec, tspec, *ticks, *timeout, *slowest, *out, *maxErrRate)
 	}
 	if *mode != "open" && *mode != "closed" {
 		return fmt.Errorf("unknown mode %q (want open or closed)", *mode)
@@ -402,6 +428,119 @@ func run(ctx context.Context, w io.Writer, args []string) error {
 			}
 		}
 		return gateErr
+	}
+	return nil
+}
+
+// runTicks drives the continuous-localization path: one baseline snapshot
+// install (POST /v1/observe/snapshot), then `ticks` sequential delta ticks
+// (POST /v1/observe/delta). Bodies are pre-rendered so generation cost never
+// pollutes the measured tick latency; the report's throughput is the
+// client-observed tick rate.
+func runTicks(ctx context.Context, w io.Writer, base string, spec gendata.StreamSpec, tspec gendata.TickSpec, ticks int, timeout time.Duration, slowest int, out string, maxErrRate float64) error {
+	var baseline bytes.Buffer
+	// The baseline is the clean background; failures arrive through the
+	// ticks, driving the incident lifecycle end to end.
+	if err := spec.Background().StreamWriteJSON(&baseline); err != nil {
+		return err
+	}
+	bodies := make([][]byte, ticks)
+	var sizeTotal int
+	for t := 1; t <= ticks; t++ {
+		var buf bytes.Buffer
+		if err := spec.StreamTickJSON(&buf, tspec, t); err != nil {
+			return err
+		}
+		bodies[t-1] = buf.Bytes()
+		sizeTotal += buf.Len()
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d leaves baseline, %d tick bodies (%.1f KB avg, touch %.1f%%)\n",
+		spec.NumLeaves(), ticks, float64(sizeTotal)/float64(ticks)/1024, 100*tspec.TouchFraction)
+
+	client := &http.Client{Timeout: timeout}
+	col := newCollector(slowest)
+	// The baseline install is setup, not workload: it stays out of the
+	// collector so the report's latency and rate describe delta ticks only.
+	post := func(url string, body []byte, record bool) (int, []byte, error) {
+		tc := obs.NewTraceContext()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("traceparent", tc.Traceparent())
+		start := time.Now()
+		resp, err := client.Do(req)
+		elapsed := time.Since(start)
+		if err != nil {
+			if record {
+				col.record(tc.TraceID, elapsed, 0, false, false, err)
+			}
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if record {
+			col.record(tc.TraceID, elapsed, resp.StatusCode, false, false, nil)
+		}
+		return resp.StatusCode, raw, nil
+	}
+
+	status, raw, err := post(base+"/v1/observe/snapshot", baseline.Bytes(), false)
+	if err != nil {
+		return fmt.Errorf("baseline install: %w", err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("baseline install: HTTP %d: %s (is serve running with -continuous?)", status, bytes.TrimSpace(raw))
+	}
+	var patched, incidents int
+	events := make(map[string]int)
+	start := time.Now()
+	for t := 0; t < ticks && ctx.Err() == nil; t++ {
+		status, raw, err := post(base+"/v1/observe/delta", bodies[t], true)
+		if err != nil {
+			return fmt.Errorf("tick %d: %w", t+1, err)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("tick %d: HTTP %d: %s", t+1, status, bytes.TrimSpace(raw))
+		}
+		var tickResp struct {
+			Event   string `json:"event"`
+			Patched bool   `json:"patched"`
+		}
+		if json.Unmarshal(raw, &tickResp) == nil {
+			events[tickResp.Event]++
+			if tickResp.Patched {
+				patched++
+			}
+			if tickResp.Event == "opened" {
+				incidents++
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	rep := col.report(elapsed)
+	rep.Mode = "ticks"
+	rep.Endpoint = "observe/delta"
+	rep.Concurrency = 1
+	dst := w
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := rep.Write(dst); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d ticks in %.1fs (%.1f ticks/s)  p50 %.1fms  p99 %.1fms  patched %d/%d  incidents %d  events %v\n",
+		ticks, elapsed.Seconds(), float64(ticks)/elapsed.Seconds(),
+		rep.Latency.P50MS, rep.Latency.P99MS, patched, ticks, incidents, events)
+	if maxErrRate >= 0 && rep.ErrorRate > maxErrRate {
+		return fmt.Errorf("hard error rate %.2f%% exceeds limit %.2f%%", 100*rep.ErrorRate, 100*maxErrRate)
 	}
 	return nil
 }

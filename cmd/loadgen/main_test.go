@@ -213,3 +213,54 @@ func TestCaptureOnFailStaysQuietOnPass(t *testing.T) {
 		t.Error("bundle written although the gate never tripped")
 	}
 }
+
+// TestTicksReplayContinuous drives the -ticks discipline end to end against
+// a real handler mounted with the continuous endpoints.
+func TestTicksReplayContinuous(t *testing.T) {
+	srv := httptest.NewServer(httpapi.NewHandlerOpts(httpapi.Options{
+		Registry:   obs.NewRegistry(),
+		Continuous: true,
+	}))
+	t.Cleanup(srv.Close)
+	out := filepath.Join(t.TempDir(), "ticks.json")
+	err := run(context.Background(), &bytes.Buffer{}, []string{
+		"-addr", srv.URL, "-ticks", "8", "-touch", "0.1",
+		"-fail-every", "4", "-fail-for", "2",
+		"-attrs", "region:6,isp:4,proto:3", "-seed", "7",
+		"-out", out, "-max-error-rate", "0",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	rep, err := loadreport.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	if rep.Mode != "ticks" || rep.Endpoint != "observe/delta" {
+		t.Fatalf("report shape = %s/%s", rep.Mode, rep.Endpoint)
+	}
+	if rep.Requests != 8 {
+		t.Fatalf("requests %d, want 8 ticks", rep.Requests)
+	}
+	if rep.Status["200"] != 8 {
+		t.Fatalf("status map %v", rep.Status)
+	}
+	if rep.ErrorRate != 0 {
+		t.Fatalf("error rate %v", rep.ErrorRate)
+	}
+}
+
+// TestTicksAgainstPlainServerFails: without -continuous the baseline install
+// 404s and the replay reports a hard error instead of limping along.
+func TestTicksAgainstPlainServerFails(t *testing.T) {
+	srv := testServer(t)
+	err := run(context.Background(), &bytes.Buffer{}, []string{
+		"-addr", srv.URL, "-ticks", "3",
+	})
+	if err == nil {
+		t.Fatal("replay against a non-continuous server succeeded")
+	}
+	if !strings.Contains(err.Error(), "-continuous") {
+		t.Fatalf("error %q does not point at -continuous", err)
+	}
+}

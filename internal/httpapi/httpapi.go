@@ -133,6 +133,15 @@ type Options struct {
 	// latency histogram does not retain trace exemplars. 0 keeps an
 	// exemplar for every bucket's most recent request.
 	ExemplarThreshold float64
+	// Continuous mounts the continuous-localization endpoints: POST
+	// /v1/observe/snapshot (baseline install), POST /v1/observe/delta
+	// (per-tick patches) and GET /v1/observe/continuous (window status).
+	// The server then holds one long-lived snapshot that deltas mutate in
+	// place; the stateless /v1/localize path is unaffected.
+	Continuous bool
+	// ContinuousWindow bounds the sliding tick-statistics window the
+	// continuous status endpoint reports; <= 0 means 60 ticks.
+	ContinuousWindow int
 	// LogMaxPerSec caps per-request log lines emitted per second; excess
 	// requests are served silently and counted in
 	// rapminer_logs_suppressed_total, so a load test cannot drown the log
@@ -236,6 +245,12 @@ func New(o Options) *Server {
 	monitor := newMonitorAPI(reg, a.runs)
 	mux.HandleFunc("POST /v1/observe", monitor.handleObserve)
 	mux.HandleFunc("GET /v1/incidents", monitor.handleIncidents)
+	if o.Continuous {
+		cont := newContinuousAPI(reg, a.runs, o.ContinuousWindow, o.RollupLimit)
+		mux.HandleFunc("POST /v1/observe/snapshot", cont.handleSnapshot)
+		mux.HandleFunc("POST /v1/observe/delta", cont.handleDelta)
+		mux.HandleFunc("GET /v1/observe/continuous", cont.handleStatus)
+	}
 	mux.Handle("GET /metrics", obs.WithUptime(reg, reg.Handler()))
 	mux.Handle("GET /debug/vars", obs.WithUptime(reg, reg.VarsHandler()))
 	mux.Handle("GET /debug/spans", obs.SpansHandler())

@@ -132,6 +132,42 @@ func (c *Columns) Anomalous(i int) bool {
 // population count).
 func (c *Columns) NumAnomalous() int { return c.numAnomalous }
 
+// setAnomalous patches leaf i's bit and the cached population count; used
+// by the snapshot's delta/label patching under its mutex. Callers pass the
+// leaf's new label only when it differs from the stored bit, but the update
+// is idempotent either way.
+func (c *Columns) setAnomalous(i int, anomalous bool) {
+	w, m := i>>6, uint64(1)<<(uint(i)&63)
+	set := c.anom[w]&m != 0
+	switch {
+	case anomalous && !set:
+		c.anom[w] |= m
+		c.numAnomalous++
+	case !anomalous && set:
+		c.anom[w] &^= m
+		c.numAnomalous--
+	}
+}
+
+// grow extends the store to n leaves (bits above the old count arrive
+// cleared); the element and value columns live on the shared frame, which
+// the snapshot patches separately.
+func (c *Columns) grow(n int) {
+	need := (n + 63) / 64
+	for len(c.anom) < need {
+		c.anom = append(c.anom, 0)
+	}
+	c.n = n
+}
+
+// shrink truncates the store to n leaves. The caller has already cleared
+// the bits of the dropped tail, so the resliced bitset equals a fresh
+// encoding's.
+func (c *Columns) shrink(n int) {
+	c.anom = c.anom[:(n+63)/64]
+	c.n = n
+}
+
 // Leaf decodes leaf i back from the columns — the inverse of the encoding,
 // allocating a fresh Combination. Used to verify the round trip; scans read
 // the columns directly instead.

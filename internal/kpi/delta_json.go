@@ -1,0 +1,113 @@
+package kpi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// deltaJSON is the wire form of a Delta. Unlike a snapshot document a delta
+// never carries a schema — it patches an existing snapshot, so element names
+// resolve against the receiver's stored schema and an unknown name is a
+// decode error, not a cardinality change (cardinality changes go through a
+// fresh snapshot, the FullRebuild fallback).
+type deltaJSON struct {
+	Removes [][]string `json:"removes,omitempty"`
+	Updates []leafJSON `json:"updates,omitempty"`
+	Adds    []leafJSON `json:"adds,omitempty"`
+}
+
+// WriteDeltaJSON serializes the delta with element names resolved through
+// the schema.
+func WriteDeltaJSON(w io.Writer, schema *Schema, d Delta) error {
+	doc := deltaJSON{
+		Removes: make([][]string, len(d.Removes)),
+		Updates: make([]leafJSON, len(d.Updates)),
+		Adds:    make([]leafJSON, len(d.Adds)),
+	}
+	for i, c := range d.Removes {
+		doc.Removes[i] = comboNames(schema, c)
+	}
+	for i, u := range d.Updates {
+		doc.Updates[i] = leafJSON{
+			Combination: comboNames(schema, u.Combo),
+			Actual:      u.Actual,
+			Forecast:    u.Forecast,
+		}
+	}
+	for i, l := range d.Adds {
+		doc.Adds[i] = leafJSON{
+			Combination: comboNames(schema, l.Combo),
+			Actual:      l.Actual,
+			Forecast:    l.Forecast,
+			Anomalous:   l.Anomalous,
+		}
+	}
+	if err := json.NewEncoder(w).Encode(doc); err != nil {
+		return fmt.Errorf("kpi: write delta json: %w", err)
+	}
+	return nil
+}
+
+// ReadDeltaJSON parses a delta written by WriteDeltaJSON, resolving element
+// names against the given schema.
+func ReadDeltaJSON(r io.Reader, schema *Schema) (Delta, error) {
+	var doc deltaJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return Delta{}, fmt.Errorf("kpi: read delta json: %w", err)
+	}
+	var d Delta
+	for i, names := range doc.Removes {
+		combo, err := comboFromNames(schema, names)
+		if err != nil {
+			return Delta{}, fmt.Errorf("kpi: read delta json: remove %d: %w", i, err)
+		}
+		d.Removes = append(d.Removes, combo)
+	}
+	for i, row := range doc.Updates {
+		combo, err := comboFromNames(schema, row.Combination)
+		if err != nil {
+			return Delta{}, fmt.Errorf("kpi: read delta json: update %d: %w", i, err)
+		}
+		d.Updates = append(d.Updates, LeafUpdate{Combo: combo, Actual: row.Actual, Forecast: row.Forecast})
+	}
+	for i, row := range doc.Adds {
+		combo, err := comboFromNames(schema, row.Combination)
+		if err != nil {
+			return Delta{}, fmt.Errorf("kpi: read delta json: add %d: %w", i, err)
+		}
+		d.Adds = append(d.Adds, Leaf{
+			Combo:     combo,
+			Actual:    row.Actual,
+			Forecast:  row.Forecast,
+			Anomalous: row.Anomalous,
+		})
+	}
+	return d, nil
+}
+
+// comboNames maps a fully constrained combination back to element names.
+func comboNames(schema *Schema, c Combination) []string {
+	names := make([]string, len(c))
+	for a, code := range c {
+		names[a] = schema.Value(a, code)
+	}
+	return names
+}
+
+// comboFromNames resolves element names into a combination.
+func comboFromNames(schema *Schema, names []string) (Combination, error) {
+	if len(names) != schema.NumAttributes() {
+		return nil, fmt.Errorf("combination has %d elements, schema has %d attributes",
+			len(names), schema.NumAttributes())
+	}
+	combo := make(Combination, len(names))
+	for a, name := range names {
+		code, ok := schema.Code(a, name)
+		if !ok {
+			return nil, fmt.Errorf("attribute %q has no element %q", schema.Attribute(a).Name, name)
+		}
+		combo[a] = code
+	}
+	return combo, nil
+}

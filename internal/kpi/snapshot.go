@@ -41,7 +41,10 @@ func (l Leaf) Dev(eps float64) float64 {
 // indexers, the anomalous leaf set and its per-attribute inverted lists);
 // the caches are safe for concurrent readers. Code that rewrites the
 // Anomalous labels in place after the snapshot has been used must call
-// InvalidateLabels (the anomaly package's labelers do).
+// InvalidateLabels or PatchLabels (the anomaly package's labelers do), and
+// mutation in general — relabeling, ApplyDelta — must not race with
+// readers: the caller serializes ticks against searches, as the pipeline's
+// continuous runner does.
 type Snapshot struct {
 	Schema *Schema
 	Leaves []Leaf
@@ -51,24 +54,36 @@ type Snapshot struct {
 	indexers map[string]*CuboidIndexer
 	labeled  *labelDerived
 	// frame is the label-independent half of the columnar store (element
-	// IDs, v/f columns); built once, shared across label invalidations.
+	// IDs, v/f columns); built once, shared across label invalidations and
+	// patched in place by ApplyDelta.
 	frame *colFrame
+	// leafPos maps Combination.Key() to the leaf's index; built lazily and
+	// maintained incrementally by ApplyDelta.
+	leafPos map[string]int32
+	// gen stamps the snapshot's mutation generation: every label or
+	// structure mutation (InvalidateLabels, PatchLabels, ApplyDelta,
+	// InvalidateStructure) bumps it. Lazy builders that assemble a cache
+	// outside the lock re-check the stamp before storing, so a build that
+	// raced a mutation is discarded instead of resurrecting stale state —
+	// the same contract InvalidateLabels' pointer swap used to enforce.
+	gen uint64
 }
 
 // labelDerived bundles every cache computed from the Anomalous labels, so
-// one pointer swap invalidates them together.
+// one pointer swap invalidates them together. Its fields are built lazily
+// under the snapshot's mutex and patched in place by PatchLabels.
 type labelDerived struct {
-	// anomIdx lists the indexes (into Leaves) of anomalous leaves.
+	// anomIdx lists the indexes (into Leaves) of anomalous leaves,
+	// ascending.
 	anomIdx []int
 	// postings, built on demand, holds per (attribute, code) the indexes
-	// of the anomalous leaves carrying that code: postings[a][code].
-	postings     [][][]int32
-	postingsOnce sync.Once
+	// of the anomalous leaves carrying that code: postings[a][code],
+	// sorted ascending.
+	postings [][][]int32
 	// cols is the columnar leaf store (element-ID columns plus the packed
 	// anomaly bitset and its cached count); it shares the snapshot's frame
 	// and is rebuilt — bitset and count together — after InvalidateLabels.
-	cols     *Columns
-	colsOnce sync.Once
+	cols *Columns
 }
 
 // NewSnapshot validates that every leaf is fully constrained, carries valid
@@ -143,16 +158,58 @@ func (s *Snapshot) Indexer(c Cuboid) *CuboidIndexer {
 // the anomalous leaf set, the inverted postings, and the columnar store's
 // anomaly bitset together with its cached count. Callers that rewrite
 // labels in place (detectors relabeling a snapshot) must invalidate before
-// the snapshot is searched again.
+// the snapshot is searched again. Label-independent caches — the columnar
+// frame, the cuboid indexers and the leaf-position index — deliberately
+// survive: a relabel cycle must not force the next tick to re-encode the
+// world (PatchLabels is the cheaper alternative when the changed leaf set
+// is known).
 func (s *Snapshot) InvalidateLabels() {
 	s.mu.Lock()
+	s.gen++
 	s.labeled = nil
 	s.mu.Unlock()
+}
+
+// InvalidateStructure drops every cache derived from the leaf set itself —
+// the columnar frame, the leaf-position index and (with them necessarily)
+// the label-derived bundle. Callers that mutate Leaves directly, outside
+// ApplyDelta, must invalidate before the snapshot is used again. The
+// cuboid indexers survive: they depend only on the schema.
+func (s *Snapshot) InvalidateStructure() {
+	s.mu.Lock()
+	s.gen++
+	s.labeled = nil
+	s.frame = nil
+	s.leafPos = nil
+	s.mu.Unlock()
+}
+
+// FullRebuild is InvalidateStructure under the name the delta-ingestion
+// contract uses: the fallback when an incremental path cannot patch (the
+// schema or attribute cardinalities changed, or the caller lost track of
+// what moved). Every cache rebuilds from the Leaves on next use.
+func (s *Snapshot) FullRebuild() { s.InvalidateStructure() }
+
+// Generation returns the snapshot's mutation generation: it advances on
+// every InvalidateLabels/PatchLabels/ApplyDelta/InvalidateStructure call.
+// Observability and tests use it to assert that caches were patched rather
+// than rebuilt across a mutation.
+func (s *Snapshot) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
 }
 
 // labelCache returns the lazily built label-derived bundle.
 func (s *Snapshot) labelCache() *labelDerived {
 	s.mu.Lock()
+	ld := s.labelCacheLocked()
+	s.mu.Unlock()
+	return ld
+}
+
+// labelCacheLocked is labelCache with s.mu already held.
+func (s *Snapshot) labelCacheLocked() *labelDerived {
 	ld := s.labeled
 	if ld == nil {
 		ld = &labelDerived{}
@@ -163,43 +220,59 @@ func (s *Snapshot) labelCache() *labelDerived {
 		}
 		s.labeled = ld
 	}
-	s.mu.Unlock()
 	return ld
 }
 
 // colFrameCached returns the snapshot's label-independent columns, building
 // them on first use. The frame depends only on the leaves' combinations and
-// values, which are immutable, so it survives InvalidateLabels.
+// values, so it survives InvalidateLabels; ApplyDelta patches it in place.
 func (s *Snapshot) colFrameCached() *colFrame {
 	s.mu.Lock()
 	f := s.frame
+	gen := s.gen
 	s.mu.Unlock()
 	if f != nil {
 		return f
 	}
 	// Build outside the lock: the encode is O(leaves) and concurrent
-	// builders produce identical frames, so the first store wins.
+	// builders produce identical frames, so the first store wins — unless
+	// the generation moved underneath the build, in which case the built
+	// frame describes a dead state and is discarded.
 	f = buildColFrame(s.Schema, s.Leaves)
 	s.mu.Lock()
-	if s.frame == nil {
-		s.frame = f
-	} else {
+	switch {
+	case s.frame != nil:
 		f = s.frame
+	case s.gen == gen:
+		s.frame = f
+	default:
+		// A mutation landed mid-build; leave frame nil so the next caller
+		// rebuilds from the mutated leaves. (Mutators are documented to
+		// serialize against readers, so this is belt-and-braces, not a
+		// supported interleaving.)
+		f = nil
 	}
 	s.mu.Unlock()
+	if f == nil {
+		return s.colFrameCached()
+	}
 	return f
 }
 
 // Columns returns the snapshot's columnar leaf store, building it on first
-// use. The store is cached with the other label-derived structures and
-// invalidated as a unit by InvalidateLabels, so the anomaly bitset and its
-// cached count can never go stale independently of each other. Safe for
-// concurrent use; treat the result as read-only.
+// use. The store is cached with the other label-derived structures,
+// invalidated as a unit by InvalidateLabels and patched in place by
+// PatchLabels, so the anomaly bitset and its cached count can never go
+// stale independently of each other. Safe for concurrent use; treat the
+// result as read-only.
 func (s *Snapshot) Columns() *Columns {
-	ld := s.labelCache()
-	ld.colsOnce.Do(func() {
-		ld.cols = newColumns(s.Schema, s.colFrameCached(), len(s.Leaves), ld.anomIdx)
-	})
+	frame := s.colFrameCached()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ld := s.labelCacheLocked()
+	if ld.cols == nil {
+		ld.cols = newColumns(s.Schema, frame, len(s.Leaves), ld.anomIdx)
+	}
 	return ld.cols
 }
 
@@ -216,21 +289,24 @@ func (s *Snapshot) AnomalousLeafSet() []int {
 // combination's member leaves instead of testing every anomalous leaf.
 // Cached on the snapshot — treat the result as read-only.
 func (s *Snapshot) AnomalousPostings() [][][]int32 {
-	ld := s.labelCache()
-	ld.postingsOnce.Do(func() {
-		n := s.Schema.NumAttributes()
-		postings := make([][][]int32, n)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ld := s.labelCacheLocked()
+	if ld.postings != nil {
+		return ld.postings
+	}
+	n := s.Schema.NumAttributes()
+	postings := make([][][]int32, n)
+	for a := 0; a < n; a++ {
+		postings[a] = make([][]int32, s.Schema.Cardinality(a))
+	}
+	for _, i := range ld.anomIdx {
+		combo := s.Leaves[i].Combo
 		for a := 0; a < n; a++ {
-			postings[a] = make([][]int32, s.Schema.Cardinality(a))
+			postings[a][combo[a]] = append(postings[a][combo[a]], int32(i))
 		}
-		for _, i := range ld.anomIdx {
-			combo := s.Leaves[i].Combo
-			for a := 0; a < n; a++ {
-				postings[a][combo[a]] = append(postings[a][combo[a]], int32(i))
-			}
-		}
-		ld.postings = postings
-	})
+	}
+	ld.postings = postings
 	return ld.postings
 }
 

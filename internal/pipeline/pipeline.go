@@ -39,6 +39,12 @@ type Config struct {
 	// ResolveTicks is how many consecutive clean ticks close an open
 	// incident.
 	ResolveTicks int
+	// PreLabeled skips the full detector pass before localization: the
+	// snapshot arrives already labeled, because the caller labels
+	// incrementally over the touched leaves (the continuous runner's
+	// anomaly.LabelDelta path). The Detector is still required — the
+	// labeler that pre-labels must be the same one.
+	PreLabeled bool
 	// Registry receives the monitor's metrics (event-kind counters,
 	// incident counts and durations, stage latencies). Nil means
 	// obs.Default().
@@ -286,7 +292,14 @@ func (m *Monitor) localize(ctx context.Context, snap *kpi.Snapshot) ([]localize.
 
 	ctx, span := obs.StartSpan(ctx, "pipeline.detect")
 	start := time.Now()
-	n := anomaly.Label(snap, m.cfg.Detector)
+	var n int
+	if m.cfg.PreLabeled {
+		// Continuous mode labeled incrementally as the delta applied; the
+		// anomalous count is already cached on the snapshot.
+		n = len(snap.AnomalousLeafSet())
+	} else {
+		n = anomaly.Label(snap, m.cfg.Detector)
+	}
 	m.mx.observeStage(stageDetect, time.Since(start))
 	span.SetAttr("anomalous", n)
 	span.End()
